@@ -1,0 +1,114 @@
+"""EXP-TAB1 — the complexity matrix of Sections 1 and 6, empirically.
+
+The paper's summary table (prose form):
+
+| problem                      | 2 txns, centralized | 2 txns, distributed | fixed k | arbitrary |
+|------------------------------|---------------------|---------------------|---------|-----------|
+| safety                       | P [LP]              | coNP-complete [KP2] | —       | coNP-c    |
+| deadlock-freedom             | P [LP]              | coNP-complete (Thm 2)| P [SM] | coNP-c    |
+| safety AND deadlock-freedom  | P (Lemma 2)         | P, O(n²) (Thm 3)    | P (Thm 4)| coNP-c   |
+
+This bench measures the diagonal we implement: the polynomial
+algorithms stay polynomial as input grows, while the exact deciders for
+the coNP-complete cells (exhaustive searches) blow up even at toy
+sizes. Measured ratios are printed for EXPERIMENTS.md.
+"""
+
+import time
+
+from repro.analysis.centralized import check_centralized_pair
+from repro.analysis.fixed_k import check_system
+from repro.analysis.minimal_prefix import check_pair_minimal_prefix
+from repro.analysis.pairs import check_pair
+
+from conftest import make_pair, make_system
+
+
+def _time(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def test_polynomial_cells_scale_polynomially():
+    """Doubling the input must not square the runtime of the P cells
+    (allow generous noise: ratio < 16 for a doubling)."""
+    rows = []
+    for n in (40, 80, 160):
+        t1, t2 = make_pair(n, seed=n)
+        rows.append(("Thm3 pair", n, _time(check_pair, t1, t2)))
+        rows.append(
+            ("min-prefix", n, _time(check_pair_minimal_prefix, t1, t2))
+        )
+    for n in (10, 20, 40):
+        system = make_system(4, n, seed=n)
+        rows.append(("Thm4 k=4", n, _time(check_system, system)))
+
+    print()
+    print("[EXP-TAB1] polynomial cells:")
+    for name, n, seconds in rows:
+        print(f"  {name:11s} n={n:4d}: {seconds * 1000:8.2f} ms")
+
+    by_name: dict = {}
+    for name, n, seconds in rows:
+        by_name.setdefault(name, []).append(seconds)
+    for name, series in by_name.items():
+        for a, b in zip(series, series[1:]):
+            if a > 1e-4:  # below that, timer noise dominates
+                assert b / a < 16, f"{name} grew too fast: {series}"
+
+
+def test_centralized_pair_cell():
+    """Lemma 2 on total orders — the centralized P cell."""
+    import random
+
+    from repro.sim.workload import (
+        WorkloadSpec,
+        random_schema,
+        random_transaction,
+    )
+
+    timings = []
+    for n in (50, 100, 200):
+        rng = random.Random(n)
+        schema = random_schema(rng, n, 1)
+        spec = WorkloadSpec(
+            entities_per_txn=(n, n),
+            actions_per_entity=(0, 0),
+            shape="sequential",
+        )
+        pool = sorted(schema.entities)
+        t1 = random_transaction("T1", rng, schema, spec, entities=pool)
+        t2 = random_transaction("T2", rng, schema, spec, entities=pool)
+        timings.append((n, _time(check_centralized_pair, t1, t2)))
+    print()
+    print("[EXP-TAB1] Lemma 2 (centralized pair):")
+    for n, seconds in timings:
+        print(f"  n={n:4d}: {seconds * 1000:8.2f} ms")
+
+
+def test_conp_cells_blow_up():
+    """The exact decider for the coNP cells explodes at toy sizes."""
+    from repro.analysis.exhaustive import (
+        SearchBudgetExceeded,
+        is_safe_and_deadlock_free,
+    )
+    from repro.core.system import TransactionSystem
+
+    timings = []
+    for n in (3, 4, 5):
+        t1, t2 = make_pair(n, seed=n, cross_arc_p=0.05)
+        system = TransactionSystem([t1, t2])
+        start = time.perf_counter()
+        try:
+            is_safe_and_deadlock_free(system, max_states=400_000)
+            outcome = "finished"
+        except SearchBudgetExceeded:
+            outcome = "BUDGET EXCEEDED"
+        timings.append((n, time.perf_counter() - start, outcome))
+    print()
+    print("[EXP-TAB1] exhaustive decider (coNP cells):")
+    for n, seconds, outcome in timings:
+        print(f"  n={n:2d} entities: {seconds * 1000:9.2f} ms  {outcome}")
+    # strictly increasing cost with n
+    assert timings[-1][1] > timings[0][1]

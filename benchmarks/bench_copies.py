@@ -1,0 +1,65 @@
+"""EXP-T5 — Theorem 5 and Corollary 3: copies of one transaction.
+
+Reproduces: the d-copies verdict equals the 2-copies verdict (which
+Corollary 3 decides in linear time), validated against the exhaustive
+oracle for d = 2, 3. Benchmarks the Corollary 3 test against oracle
+costs that grow explosively with d.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.copies import check_copies, check_two_copies
+from repro.analysis.exhaustive import is_safe_and_deadlock_free
+from repro.core.system import TransactionSystem
+from repro.sim.workload import WorkloadSpec, random_schema, random_transaction
+
+
+def _random_txn(seed: int, n_entities: int = 4):
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_entities, 2)
+    spec = WorkloadSpec(
+        entities_per_txn=(n_entities, n_entities),
+        actions_per_entity=(0, 0),
+    )
+    return random_transaction(
+        "T", rng, schema, spec, entities=sorted(schema.entities)
+    )
+
+
+def test_theorem5_shape():
+    """d copies <=> 2 copies, against the oracle for d = 2 and 3."""
+    agree = 0
+    for seed in range(6):
+        t = _random_txn(seed, n_entities=3)
+        two_verdict = bool(check_two_copies(t))
+        for d in (2, 3):
+            oracle = bool(
+                is_safe_and_deadlock_free(
+                    TransactionSystem.of_copies(t, d), 500_000
+                )
+            )
+            assert oracle == two_verdict, f"seed {seed} d={d}"
+        agree += 1
+    print(f"\n[EXP-T5] Theorem 5 validated on {agree} transactions "
+          f"for d in {{2, 3}}")
+
+
+@pytest.mark.parametrize("n_entities", [4, 8, 16, 32])
+def test_corollary3_scaling(benchmark, n_entities):
+    t = _random_txn(1, n_entities=n_entities)
+    benchmark(check_two_copies, t)
+
+
+@pytest.mark.parametrize("d", [2, 3])
+def test_oracle_cost_grows_with_copies(benchmark, d):
+    t = _random_txn(2, n_entities=3)
+    system = TransactionSystem.of_copies(t, d)
+    verdict = benchmark.pedantic(
+        is_safe_and_deadlock_free,
+        args=(system, 500_000),
+        rounds=2,
+        iterations=1,
+    )
+    assert bool(verdict) == bool(check_copies(t, d))

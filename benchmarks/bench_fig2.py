@@ -1,0 +1,56 @@
+"""EXP-F2 — Figure 2: Tirri's polynomial test misses a real deadlock.
+
+Reproduces: two transactions with identical syntax and no two-entity
+wait pattern (so Tirri's algorithm declares them deadlock-free) that
+nevertheless deadlock through a four-entity reduction cycle. Benchmarks
+the (fast, wrong) Tirri test against the (exhaustive, right) searches.
+"""
+
+from repro.analysis.bipartite import find_lock_only_deadlock_prefix
+from repro.analysis.exhaustive import find_deadlock
+from repro.analysis.tirri import find_two_entity_pattern, tirri_check_pair
+from repro.core.reduction import reduction_graph
+from repro.paper.figures import figure2, figure2_prefix
+
+
+def test_figure2_shape():
+    system = figure2()
+    t1, t2 = system[0], system[1]
+    assert t1.ops == t2.ops and t1.dag == t2.dag
+
+    tirri = tirri_check_pair(t1, t2)
+    assert tirri  # Tirri: "deadlock-free"
+    assert find_two_entity_pattern(t1, t2) is None
+
+    truth = find_deadlock(system)
+    assert truth is not None  # reality: deadlock
+
+    prefix = figure2_prefix(system)
+    cycle = reduction_graph(prefix).find_cycle()
+    entities = {system[g.txn].ops[g.node].entity for g in cycle}
+    assert entities == {"v", "t", "z", "w"}
+
+    print()
+    print("[EXP-F2] Tirri verdict: deadlock-free (WRONG)")
+    print(
+        "[EXP-F2] actual 4-entity cycle: "
+        + " -> ".join(system.describe_node(g) for g in cycle)
+    )
+
+
+def test_tirri_test_benchmark(benchmark):
+    system = figure2()
+    verdict = benchmark(tirri_check_pair, system[0], system[1])
+    assert verdict  # fast but unsound
+
+
+def test_exhaustive_truth_benchmark(benchmark):
+    system = figure2()
+    witness = benchmark(find_deadlock, system)
+    assert witness is not None
+
+
+def test_lock_only_scan_benchmark(benchmark):
+    system = figure2()
+    witness = benchmark(find_lock_only_deadlock_prefix, system)
+    assert witness is not None

@@ -1,0 +1,41 @@
+"""EXP-F3 — Figure 3: deadlock-freedom does not reduce to linear
+extensions.
+
+Reproduces: the Figure 3 pair of partial orders is deadlock-free while
+a pair of their linear extensions deadlocks (so — unlike safety, cf.
+Corollary 1 — deadlock-freedom cannot be checked extension-by-
+extension). Benchmarks the exhaustive searches on both systems.
+"""
+
+from repro.analysis.exhaustive import find_deadlock
+from repro.analysis.pairs import check_pair
+from repro.analysis.theorem1 import find_deadlock_prefix
+from repro.paper.figures import figure3, figure3_extensions
+
+
+def test_figure3_shape():
+    partial = figure3()
+    extensions = figure3_extensions()
+
+    assert find_deadlock(partial) is None
+    assert find_deadlock_prefix(partial) is None
+    assert find_deadlock(extensions) is not None
+
+    # Safety-and-DF together *is* extension-reducible; consistently, the
+    # pair already fails Theorem 3 (no common first lock).
+    assert not check_pair(partial[0], partial[1])
+
+    print()
+    print("[EXP-F3] partial orders: deadlock-free")
+    print("[EXP-F3] extensions t1, t2: deadlock "
+          f"({find_deadlock(extensions).describe()})")
+
+
+def test_partial_orders_benchmark(benchmark):
+    system = figure3()
+    assert benchmark(find_deadlock, system) is None
+
+
+def test_extensions_benchmark(benchmark):
+    system = figure3_extensions()
+    assert benchmark(find_deadlock, system) is not None

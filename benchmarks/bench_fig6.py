@@ -1,0 +1,42 @@
+"""EXP-F6 — Figure 6: three copies deadlock, two copies cannot.
+
+Reproduces: the boundary showing Theorem 5 (d copies <=> 2 copies) is
+specific to safety-AND-deadlock-freedom — for deadlock-freedom alone
+the equivalence fails at d = 3. Benchmarks the exhaustive search on
+both copy counts.
+"""
+
+from repro.analysis.copies import check_copies
+from repro.analysis.exhaustive import find_deadlock
+from repro.core.reduction import is_deadlock_partial_schedule
+from repro.core.system import TransactionSystem
+from repro.paper.figures import figure6
+
+
+def test_figure6_shape():
+    t = figure6()
+    two = TransactionSystem.of_copies(t, 2)
+    three = TransactionSystem.of_copies(t, 3)
+
+    assert find_deadlock(two) is None
+    witness = find_deadlock(three)
+    assert witness is not None
+    assert is_deadlock_partial_schedule(witness)
+
+    # Theorem 5 is about safe+DF, which already fails at two copies —
+    # no contradiction.
+    assert not check_copies(t, 2)
+
+    print()
+    print("[EXP-F6] 2 copies: deadlock-free")
+    print(f"[EXP-F6] 3 copies: {witness.describe()}")
+
+
+def test_two_copies_benchmark(benchmark):
+    system = TransactionSystem.of_copies(figure6(), 2)
+    assert benchmark(find_deadlock, system) is None
+
+
+def test_three_copies_benchmark(benchmark):
+    system = TransactionSystem.of_copies(figure6(), 3)
+    assert benchmark(find_deadlock, system) is not None

@@ -1,0 +1,50 @@
+"""EXP-T4 — Theorem 4 / Corollary 4: fixed k is polynomial, the
+constant is exponential in k.
+
+Benchmarks the Theorem 4 checker for k = 3..6 transactions (input size
+held proportional) and the exhaustive Lemma 1 oracle at k = 3 for the
+gap. Correctness is cross-validated against the oracle at small sizes.
+"""
+
+import pytest
+
+from repro.analysis.exhaustive import is_safe_and_deadlock_free
+from repro.analysis.fixed_k import check_system
+
+from conftest import make_system
+
+
+@pytest.mark.parametrize("k", [3, 4, 5, 6])
+def test_fixed_k_scaling(benchmark, k):
+    system = make_system(k, n_entities=k + 2, seed=k)
+    benchmark(check_system, system)
+
+
+@pytest.mark.parametrize("n_entities", [6, 12, 24, 48])
+def test_fixed_k_input_scaling(benchmark, n_entities):
+    """k fixed at 4; the input (entities per transaction) grows."""
+    system = make_system(4, n_entities=n_entities, seed=11)
+    benchmark(check_system, system)
+
+
+def test_exhaustive_baseline_k3(benchmark):
+    system = make_system(3, n_entities=5, seed=3)
+    verdict = benchmark.pedantic(
+        is_safe_and_deadlock_free,
+        args=(system, 500_000),
+        rounds=2,
+        iterations=1,
+    )
+    assert bool(verdict) == bool(check_system(system))
+
+
+def test_correctness_sweep():
+    mismatches = []
+    for seed in range(12):
+        system = make_system(3, n_entities=5, seed=seed)
+        fast = bool(check_system(system))
+        truth = bool(is_safe_and_deadlock_free(system, 500_000))
+        if fast != truth:
+            mismatches.append(seed)
+    assert not mismatches
+    print("\n[EXP-T4] Theorem 4 = oracle on 12 random k=3 systems")

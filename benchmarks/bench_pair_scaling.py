@@ -1,0 +1,73 @@
+"""EXP-T3 — Corollary 2: the pair test is quadratic.
+
+Reproduces the complexity claims of Section 5 for two transactions:
+
+* Theorem 3 test — O(n²) given the transitive closure;
+* minimal-prefix algorithm — O(n³);
+* exhaustive Lemma 1 oracle — exponential (run only at toy sizes).
+
+The two polynomial algorithms must agree at every size; the benchmark
+timings exhibit the polynomial-vs-exponential gap the paper's
+complexity matrix asserts.
+"""
+
+import pytest
+
+from repro.analysis.exhaustive import is_safe_and_deadlock_free
+from repro.analysis.minimal_prefix import check_pair_minimal_prefix
+from repro.analysis.pairs import check_pair
+
+from conftest import make_pair
+
+SIZES = [10, 20, 40, 80, 160]
+
+
+@pytest.mark.parametrize("n_entities", SIZES)
+def test_theorem3_scaling(benchmark, n_entities):
+    t1, t2 = make_pair(n_entities, seed=n_entities)
+    verdict = benchmark(check_pair, t1, t2)
+    # cross-validate against the cubic algorithm at every size
+    assert bool(verdict) == bool(check_pair_minimal_prefix(t1, t2))
+
+
+@pytest.mark.parametrize("n_entities", SIZES)
+def test_minimal_prefix_scaling(benchmark, n_entities):
+    t1, t2 = make_pair(n_entities, seed=n_entities)
+    verdict = benchmark(check_pair_minimal_prefix, t1, t2)
+    assert bool(verdict) == bool(check_pair(t1, t2))
+
+
+@pytest.mark.parametrize("n_entities", [2, 3, 4])
+def test_exhaustive_baseline(benchmark, n_entities):
+    """The oracle works only at toy sizes — that is the point.
+
+    Run pedantically (few rounds): each call explores an exponential
+    state space, which is precisely what the bench demonstrates.
+    """
+    t1, t2 = make_pair(n_entities, seed=7)
+    from repro.core.system import TransactionSystem
+
+    system = TransactionSystem([t1, t2])
+    verdict = benchmark.pedantic(
+        is_safe_and_deadlock_free,
+        args=(system, 500_000),
+        rounds=2,
+        iterations=1,
+    )
+    assert bool(verdict) == bool(check_pair(t1, t2))
+
+
+def test_agreement_sweep():
+    """Verdict agreement across a size sweep (pure correctness)."""
+    rows = []
+    for n in SIZES:
+        for seed in range(3):
+            t1, t2 = make_pair(n, seed=seed)
+            a = bool(check_pair(t1, t2))
+            b = bool(check_pair_minimal_prefix(t1, t2))
+            assert a == b, f"n={n} seed={seed}"
+            rows.append((n, seed, a))
+    print()
+    print("[EXP-T3] verdict agreement (Theorem 3 vs minimal-prefix):")
+    for n, seed, verdict in rows:
+        print(f"  n={n:4d} seed={seed}: safe+DF={verdict}")

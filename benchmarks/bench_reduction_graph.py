@@ -1,0 +1,54 @@
+"""EXP-RED — reduction-graph construction cost (Theorem 1 machinery).
+
+R(A') is the workhorse of every deadlock argument in the paper; this
+bench measures its construction + cycle test across growing system
+sizes and prefix depths.
+"""
+
+import random
+
+import pytest
+
+from repro.core.prefix import SystemPrefix
+from repro.core.reduction import reduction_graph
+
+from conftest import make_system
+
+
+def _random_consistent_prefix(system, seed: int) -> SystemPrefix:
+    """A random lock-consistent prefix obtained by simulating a legal
+    partial execution."""
+    rng = random.Random(seed)
+    from repro.analysis.exhaustive import _enabled_moves, _holders
+
+    masks = tuple([0] * len(system))
+    for _ in range(system.total_nodes() // 2):
+        holders = _holders(system, masks)
+        moves = _enabled_moves(system, masks, holders)
+        if not moves:
+            break
+        gnode = rng.choice(moves)
+        updated = list(masks)
+        updated[gnode.txn] |= 1 << gnode.node
+        masks = tuple(updated)
+    return SystemPrefix(system, masks)
+
+
+@pytest.mark.parametrize("k,n_entities", [(3, 6), (5, 10), (8, 16),
+                                          (12, 24)])
+def test_reduction_graph_scaling(benchmark, k, n_entities):
+    system = make_system(k, n_entities, seed=k)
+    prefix = _random_consistent_prefix(system, seed=k)
+
+    def build():
+        return reduction_graph(prefix)
+
+    graph = benchmark(build)
+    assert len(graph) <= system.total_nodes()
+
+
+def test_cycle_check_on_deep_prefix(benchmark):
+    system = make_system(6, 10, seed=42)
+    prefix = _random_consistent_prefix(system, seed=1)
+    graph = reduction_graph(prefix)
+    benchmark(graph.find_cycle)

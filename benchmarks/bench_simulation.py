@@ -1,0 +1,93 @@
+"""EXP-SIM — prevention-by-certification vs runtime schemes.
+
+The paper's motivation (Section 1): deciding deadlock-freedom in
+advance removes the need for runtime machinery. The bench measures, on
+a contended distributed workload:
+
+* certified workloads under pure blocking — no aborts, no deadlocks;
+* uncertified workloads under blocking — deadlock rate > 0;
+* wound-wait / wait-die / timeout / detection — live but paying aborts.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.fixed_k import check_system
+from repro.sim.runtime import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec, random_system
+
+POLICIES = ["blocking", "wound-wait", "wait-die", "timeout", "detect"]
+
+
+def _workload(shape: str, seed: int = 5):
+    return random_system(
+        random.Random(seed),
+        WorkloadSpec(
+            n_transactions=8,
+            n_entities=6,
+            n_sites=3,
+            entities_per_txn=(2, 4),
+            actions_per_entity=(0, 1),
+            hotspot_skew=1.2,
+            shape=shape,
+        ),
+    )
+
+
+def test_shape_report():
+    contended = _workload("random")
+    certified = _workload("ordered_2pl")
+    assert not check_system(contended)
+    assert check_system(certified)
+
+    rows = []
+    for name, system in (("uncertified", contended),
+                         ("certified", certified)):
+        for policy in POLICIES:
+            deadlocks = aborts = 0
+            for seed in range(20):
+                result = simulate(
+                    system, policy, SimulationConfig(seed=seed)
+                )
+                deadlocks += result.deadlocked
+                aborts += result.aborts
+            rows.append((name, policy, deadlocks, aborts))
+            if name == "certified":
+                if policy == "blocking":
+                    assert deadlocks == 0 and aborts == 0
+                else:
+                    assert deadlocks == 0
+
+    print()
+    print("[EXP-SIM] workload x policy (20 runs each): "
+          "deadlock-runs / total-aborts")
+    for name, policy, deadlocks, aborts in rows:
+        print(f"  {name:12s} {policy:11s} {deadlocks:2d} / {aborts}")
+    contended_blocking = next(
+        r for r in rows if r[0] == "uncertified" and r[1] == "blocking"
+    )
+    assert contended_blocking[2] > 0  # blocking deadlocks without cert
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_run_benchmark(benchmark, policy):
+    system = _workload("random")
+
+    def run():
+        return simulate(system, policy, SimulationConfig(seed=3))
+
+    result = benchmark(run)
+    if policy in ("wound-wait", "wait-die"):
+        assert not result.deadlocked
+
+
+def test_certified_blocking_benchmark(benchmark):
+    system = _workload("ordered_2pl")
+
+    def run():
+        return simulate(system, "blocking", SimulationConfig(seed=3))
+
+    result = benchmark(run)
+    assert result.committed == len(system)
+    assert result.aborts == 0

@@ -1,0 +1,62 @@
+"""Shared fixtures and builders for the benchmark suite.
+
+Every benchmark prints the paper-shaped artifact it reproduces (run
+pytest with ``-s`` to see the tables) and asserts the qualitative shape
+the paper claims, so a regression in any algorithm fails the bench run
+even before timings are compared.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+from repro.sim.workload import WorkloadSpec, random_schema, random_transaction
+
+__all__ = ["make_pair", "make_system"]
+
+
+def make_pair(
+    n_entities: int,
+    seed: int = 0,
+    n_sites: int = 4,
+    cross_arc_p: float = 0.15,
+) -> tuple[Transaction, Transaction]:
+    """A random pair of distributed transactions over a shared pool.
+
+    Both transactions access every entity of the pool so that the pair
+    test's work grows with ``n_entities`` (node count = 2 entities per
+    transaction per entity: 2·n nodes each).
+    """
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_entities, n_sites)
+    spec = WorkloadSpec(
+        entities_per_txn=(n_entities, n_entities),
+        actions_per_entity=(0, 0),
+        cross_arc_p=cross_arc_p,
+    )
+    pool = sorted(schema.entities)
+    t1 = random_transaction("T1", rng, schema, spec, entities=pool)
+    t2 = random_transaction("T2", rng, schema, spec, entities=pool)
+    return t1, t2
+
+
+def make_system(
+    n_transactions: int,
+    n_entities: int,
+    seed: int = 0,
+    shape: str = "random",
+) -> TransactionSystem:
+    rng = random.Random(seed)
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        n_entities=n_entities,
+        n_sites=3,
+        entities_per_txn=(2, 3),
+        actions_per_entity=(0, 0),
+        shape=shape,
+    )
+    from repro.sim.workload import random_system
+
+    return random_system(rng, spec)

@@ -1,0 +1,126 @@
+"""repro — deadlock-freedom and safety of distributed locked transactions.
+
+A faithful, tested implementation of Wolfson & Yannakakis,
+*Deadlock-Freedom (and Safety) of Transactions in a Distributed
+Database* (PODS 1985; JCSS 33, 1986):
+
+* the model of distributed locked transactions as partial orders
+  (:mod:`repro.core`);
+* the reduction-graph deadlock characterization (Theorem 1), the
+  Theorem 3 O(n²) pair test, the Theorem 4 fixed-k test, the copies
+  results (Corollary 3 / Theorem 5), the Lemma 2 centralized test, the
+  minimal-prefix algorithm, and exhaustive oracles
+  (:mod:`repro.analysis`);
+* the Theorem 2 coNP-hardness construction with certificates in both
+  directions (:mod:`repro.reductions`);
+* a discrete-event distributed lock-scheduler simulator with classical
+  runtime policies (:mod:`repro.sim`);
+* executable reconstructions of the paper's figures
+  (:mod:`repro.paper`).
+
+Quickstart::
+
+    from repro import Transaction, TransactionSystem, check_pair
+
+    t1 = Transaction.sequential("T1", ["Lx", "A.x", "Ly", "Ux", "Uy"])
+    t2 = Transaction.sequential("T2", ["Lx", "Ly", "A.y", "Uy", "Ux"])
+    verdict = check_pair(t1, t2)
+    print(bool(verdict), verdict.reason)
+"""
+
+from repro.analysis import (
+    PairViolation,
+    SerializationViolation,
+    Verdict,
+    check_centralized_pair,
+    check_copies,
+    check_pair,
+    check_pair_minimal_prefix,
+    check_system,
+    check_two_copies,
+    find_deadlock,
+    is_deadlock_free,
+    is_pair_safe_deadlock_free,
+    is_safe,
+    is_safe_and_deadlock_free,
+    repair_system,
+    tirri_check_pair,
+)
+from repro.analysis.theorem1 import (
+    find_deadlock_prefix,
+    is_deadlock_free_theorem1,
+)
+from repro.analysis.witnesses import DeadlockWitness
+from repro.core import (
+    DatabaseSchema,
+    GlobalNode,
+    IllegalScheduleError,
+    MalformedTransactionError,
+    Operation,
+    OpKind,
+    Schedule,
+    SystemPrefix,
+    Transaction,
+    TransactionBuilder,
+    TransactionSystem,
+    d_graph,
+    is_deadlock_partial_schedule,
+    is_deadlock_prefix,
+    is_serializable,
+    prefix_has_schedule,
+    reduction_graph,
+)
+from repro.reductions import (
+    CnfFormula,
+    encode_formula,
+    random_three_sat_prime,
+)
+from repro.sim import SimulationConfig, Simulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CnfFormula",
+    "DatabaseSchema",
+    "DeadlockWitness",
+    "GlobalNode",
+    "IllegalScheduleError",
+    "MalformedTransactionError",
+    "OpKind",
+    "Operation",
+    "PairViolation",
+    "Schedule",
+    "SerializationViolation",
+    "SimulationConfig",
+    "Simulator",
+    "SystemPrefix",
+    "Transaction",
+    "TransactionBuilder",
+    "TransactionSystem",
+    "Verdict",
+    "__version__",
+    "check_centralized_pair",
+    "check_copies",
+    "check_pair",
+    "check_pair_minimal_prefix",
+    "check_system",
+    "check_two_copies",
+    "d_graph",
+    "encode_formula",
+    "find_deadlock",
+    "find_deadlock_prefix",
+    "is_deadlock_free",
+    "is_deadlock_free_theorem1",
+    "is_deadlock_partial_schedule",
+    "is_deadlock_prefix",
+    "is_pair_safe_deadlock_free",
+    "is_safe",
+    "is_safe_and_deadlock_free",
+    "is_serializable",
+    "prefix_has_schedule",
+    "random_three_sat_prime",
+    "reduction_graph",
+    "repair_system",
+    "simulate",
+    "tirri_check_pair",
+]

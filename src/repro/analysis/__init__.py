@@ -1,0 +1,95 @@
+"""Static analyses: the paper's algorithms plus exhaustive oracles."""
+
+from repro.analysis.bipartite import (
+    find_lock_only_deadlock_prefix,
+    is_deadlock_free_lock_minimal,
+    is_lock_minimal,
+)
+from repro.analysis.centralized import check_centralized_pair
+from repro.analysis.copies import check_copies, check_two_copies
+from repro.analysis.extensions import (
+    check_pair_by_extensions,
+    extension_pair_count,
+)
+from repro.analysis.exhaustive import (
+    SearchBudgetExceeded,
+    enumerate_complete_schedules,
+    find_deadlock,
+    find_lemma1_violation,
+    find_unserializable_schedule,
+    is_deadlock_free,
+    is_safe,
+    is_safe_and_deadlock_free,
+)
+from repro.analysis.fixed_k import check_system, normal_form_witness
+from repro.analysis.minimal_prefix import (
+    check_pair_minimal_prefix,
+    minimal_prefix_mask,
+)
+from repro.analysis.optimize import (
+    OptimizationReport,
+    early_unlock,
+    holding_span,
+)
+from repro.analysis.pairs import (
+    check_pair,
+    common_first_locked_entity,
+    is_pair_safe_deadlock_free,
+)
+from repro.analysis.policies import (
+    certify_prevention,
+    find_global_lock_order,
+    follows_lock_order,
+    relock_two_phase_ordered,
+    repair_system,
+)
+from repro.analysis.sets import l_set, r_set
+from repro.analysis.tirri import find_two_entity_pattern, tirri_check_pair
+from repro.analysis.witnesses import (
+    DeadlockWitness,
+    PairViolation,
+    SerializationViolation,
+    Verdict,
+)
+
+__all__ = [
+    "DeadlockWitness",
+    "OptimizationReport",
+    "PairViolation",
+    "SearchBudgetExceeded",
+    "SerializationViolation",
+    "Verdict",
+    "certify_prevention",
+    "check_centralized_pair",
+    "check_copies",
+    "check_pair",
+    "check_pair_by_extensions",
+    "check_pair_minimal_prefix",
+    "check_system",
+    "check_two_copies",
+    "early_unlock",
+    "extension_pair_count",
+    "find_lock_only_deadlock_prefix",
+    "holding_span",
+    "is_deadlock_free_lock_minimal",
+    "is_lock_minimal",
+    "common_first_locked_entity",
+    "enumerate_complete_schedules",
+    "find_deadlock",
+    "find_global_lock_order",
+    "find_lemma1_violation",
+    "find_two_entity_pattern",
+    "find_unserializable_schedule",
+    "follows_lock_order",
+    "is_deadlock_free",
+    "is_pair_safe_deadlock_free",
+    "is_safe",
+    "is_safe_and_deadlock_free",
+    "l_set",
+    "minimal_prefix_mask",
+    "normal_form_witness",
+    "r_set",
+    "relock_two_phase_ordered",
+    "repair_system",
+    "tirri_check_pair",
+]

@@ -1,0 +1,194 @@
+"""Complete deadlock decision for *lock-minimal* transaction systems.
+
+A transaction is **lock-minimal** when no Lock node has a predecessor
+(equivalently: every arc leaves a Lock and enters an Unlock — the shape
+of the Theorem 2 construction and of Figure 2). For such systems the
+deadlock-prefix search collapses:
+
+Lemma (implicit in the converse direction of the paper's Theorem 2
+proof): *a lock-minimal system has a deadlock prefix iff it has one
+whose prefixes consist of Lock nodes only.*
+
+Proof sketch: let A' be a deadlock prefix with cycle M in R(A'). Replace
+each prefix by the Lock nodes of its currently-held entities (drop
+executed Unlocks and the Locks of already-released entities). Lock nodes
+have no predecessors, so the result is a legal prefix; it is trivially
+schedulable (held sets are unchanged, hence disjoint); un-executing
+nodes only *adds* nodes and arcs to the reduction graph while every held
+entity stays held, so M survives. ∎
+
+A lock-only prefix is determined by a *holder assignment* — a partial
+map from entities to transactions — so deadlock-freedom reduces to
+scanning (k+1)^|E| assignments instead of exploring interleavings. For
+the Theorem 2 instances this is what makes the UNSAT direction checkable
+at all: the generic state search (:func:`repro.analysis.exhaustive.
+find_deadlock`) drowns in the exponential schedule space.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.analysis.witnesses import DeadlockWitness, Verdict
+from repro.core.operations import OpKind
+from repro.core.prefix import SystemPrefix
+from repro.core.reduction import reduction_graph
+from repro.core.system import TransactionSystem
+
+__all__ = [
+    "find_lock_only_deadlock_prefix",
+    "is_deadlock_free_lock_minimal",
+    "is_lock_minimal",
+]
+
+
+def is_lock_minimal(system: TransactionSystem) -> bool:
+    """True if no Lock node of any transaction has a predecessor."""
+    for t in system.transactions:
+        for node, op in enumerate(t.ops):
+            if op.kind is OpKind.LOCK and t.dag.ancestors(node):
+                return False
+    return True
+
+
+def find_lock_only_deadlock_prefix(
+    system: TransactionSystem,
+) -> DeadlockWitness | None:
+    """Scan holder assignments for a deadlock prefix (lock-minimal only).
+
+    Complexity: O((k+1)^|E| · poly); |E| counts only entities accessed
+    by at least two transactions (others cannot carry cross arcs, and
+    holding them never helps a cycle).
+
+    The inner loop works on a flattened integer graph: nodes of
+    transaction i are offset by the node counts of earlier transactions;
+    the static intra-transaction arcs are precomputed once and only the
+    per-assignment cross arcs and excluded Lock nodes vary.
+
+    Raises:
+        ValueError: if the system is not lock-minimal (the reduction
+            lemma would be unsound).
+    """
+    if not is_lock_minimal(system):
+        raise ValueError(
+            "system is not lock-minimal; use the general searches"
+        )
+    shared = sorted(
+        entity
+        for entity in system.entities
+        if len(system.accessors(entity)) >= 2
+    )
+
+    offsets = []
+    total = 0
+    for t in system.transactions:
+        offsets.append(total)
+        total += t.node_count
+    static_succ: list[list[int]] = [[] for _ in range(total)]
+    for i, t in enumerate(system.transactions):
+        for u, v in t.dag.arcs:
+            static_succ[offsets[i] + u].append(offsets[i] + v)
+    # Flat ids of each entity's Lock/Unlock per accessor.
+    lock_flat = {
+        entity: {
+            j: offsets[j] + system[j].lock_node(entity)
+            for j in system.accessors(entity)
+        }
+        for entity in shared
+    }
+    unlock_flat = {
+        entity: {
+            j: offsets[j] + system[j].unlock_node(entity)
+            for j in system.accessors(entity)
+        }
+        for entity in shared
+    }
+
+    # Holder choices come before None: dense assignments — the ones
+    # that can actually carry a cycle — are visited first, so the SAT
+    # side of Theorem 2 instances exits early while the UNSAT side
+    # still scans everything (as it must).
+    choice_sets = [(*system.accessors(entity), None) for entity in shared]
+    for assignment in product(*choice_sets):
+        if all(holder is None for holder in assignment):
+            continue  # no cross arcs; static graph is acyclic
+        excluded: set[int] = set()
+        cross: dict[int, list[int]] = {}
+        for entity, holder in zip(shared, assignment):
+            if holder is None:
+                continue
+            excluded.add(lock_flat[entity][holder])
+            source = unlock_flat[entity][holder]
+            targets = [
+                flat
+                for j, flat in lock_flat[entity].items()
+                if j != holder
+            ]
+            cross.setdefault(source, []).extend(targets)
+        if _flat_cycle_exists(total, static_succ, cross, excluded):
+            masks = [0] * len(system)
+            for entity, holder in zip(shared, assignment):
+                if holder is not None:
+                    masks[holder] |= 1 << system[holder].lock_node(entity)
+            prefix = SystemPrefix(system, masks)
+            cycle = reduction_graph(prefix).find_cycle()
+            assert cycle is not None
+            return DeadlockWitness(prefix, tuple(cycle))
+    return None
+
+
+def _flat_cycle_exists(
+    total: int,
+    static_succ: list[list[int]],
+    cross: dict[int, list[int]],
+    excluded: set[int],
+) -> bool:
+    """Cycle test on the flattened reduction graph.
+
+    Only nodes reachable from cross arcs can lie on a cycle (static arcs
+    alone are acyclic), so the DFS starts from cross-arc sources.
+    """
+    color = bytearray(total)  # 0 white, 1 gray, 2 black
+    for start in cross:
+        if color[start]:
+            continue
+        stack: list[tuple[int, int]] = [(start, 0)]
+        color[start] = 1
+        path_succ: list[list[int]] = [
+            static_succ[start] + cross.get(start, [])
+        ]
+        while stack:
+            node, idx = stack[-1]
+            succ = path_succ[-1]
+            if idx < len(succ):
+                stack[-1] = (node, idx + 1)
+                nxt = succ[idx]
+                if nxt in excluded:
+                    continue
+                state = color[nxt]
+                if state == 1:
+                    return True
+                if state == 0:
+                    color[nxt] = 1
+                    stack.append((nxt, 0))
+                    path_succ.append(
+                        static_succ[nxt] + cross.get(nxt, [])
+                    )
+            else:
+                color[node] = 2
+                stack.pop()
+                path_succ.pop()
+    return False
+
+
+def is_deadlock_free_lock_minimal(system: TransactionSystem) -> Verdict:
+    """Decide deadlock-freedom of a lock-minimal system exactly."""
+    witness = find_lock_only_deadlock_prefix(system)
+    if witness is None:
+        return Verdict(
+            True, "deadlock-free (lock-only prefix scan is exhaustive "
+            "for lock-minimal systems)"
+        )
+    return Verdict(
+        False, "a lock-only deadlock prefix exists", witness=witness
+    )

@@ -1,0 +1,128 @@
+"""Lemma 2: safety-and-deadlock-freedom of two *centralized* transactions.
+
+A centralized transaction is a total order (one site). With
+R = R(t1) ∩ R(t2), the pair {t1, t2} is safe and deadlock-free iff
+
+1. the first entity of R locked by t1 equals the first entity of R
+   locked by t2 (call it x), and
+2. for every y ≠ x in R, the sets Q1(y) = L_{t1}(Ly) ∩ R_{t2}(Ly) and
+   Q2(y) = L_{t2}(Ly) ∩ R_{t1}(Ly) are both non-empty,
+
+where for a total order t, R_t(s) is the set of entities locked before
+step s and L_t(s) the set locked-but-not-unlocked before s.
+
+This module implements the sets with direct sequence scans (independent
+of the distributed machinery) so that Theorem 3 restricted to total
+orders can be validated against it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.witnesses import PairViolation, Verdict
+from repro.core.entity import Entity
+from repro.core.operations import OpKind
+from repro.core.transaction import Transaction
+
+__all__ = [
+    "check_centralized_pair",
+    "sequence_l_set",
+    "sequence_r_set",
+]
+
+
+def _as_sequence(t: Transaction) -> list:
+    """The operation list of a total-order transaction.
+
+    Raises:
+        ValueError: if the transaction is not totally ordered.
+    """
+    if not t.is_sequential():
+        raise ValueError(
+            f"{t.name} is not a total order; Lemma 2 applies to "
+            "centralized transactions only"
+        )
+    order = t.dag.topological_order()
+    return [t.ops[node] for node in order]
+
+
+def sequence_r_set(ops: list, position: int) -> frozenset[Entity]:
+    """R_t(s): entities locked (possibly unlocked) before index
+    ``position``."""
+    locked = set()
+    for op in ops[:position]:
+        if op.kind is OpKind.LOCK:
+            locked.add(op.entity)
+    return frozenset(locked)
+
+
+def sequence_l_set(ops: list, position: int) -> frozenset[Entity]:
+    """L_t(s): entities locked but not unlocked before index
+    ``position``."""
+    held = set()
+    for op in ops[:position]:
+        if op.kind is OpKind.LOCK:
+            held.add(op.entity)
+        elif op.kind is OpKind.UNLOCK:
+            held.discard(op.entity)
+    return frozenset(held)
+
+
+def _lock_position(ops: list, entity: Entity) -> int:
+    for index, op in enumerate(ops):
+        if op.kind is OpKind.LOCK and op.entity == entity:
+            return index
+    raise KeyError(entity)
+
+
+def check_centralized_pair(t1: Transaction, t2: Transaction) -> Verdict:
+    """Decide safety-and-deadlock-freedom of two total orders (Lemma 2)."""
+    ops1 = [op for op in _as_sequence(t1) if op.kind is not OpKind.ACTION]
+    ops2 = [op for op in _as_sequence(t2) if op.kind is not OpKind.ACTION]
+    common = {op.entity for op in ops1} & {op.entity for op in ops2}
+    if not common:
+        return Verdict(
+            True, "no common entities; trivially safe and deadlock-free"
+        )
+
+    first1 = next(
+        op.entity
+        for op in ops1
+        if op.kind is OpKind.LOCK and op.entity in common
+    )
+    first2 = next(
+        op.entity
+        for op in ops2
+        if op.kind is OpKind.LOCK and op.entity in common
+    )
+    if first1 != first2:
+        return Verdict(
+            False,
+            "condition (1) of Lemma 2 fails",
+            witness=PairViolation(1, (first1, first2)),
+        )
+
+    x = first1
+    for y in sorted(common):
+        if y == x:
+            continue
+        pos1 = _lock_position(ops1, y)
+        pos2 = _lock_position(ops2, y)
+        q1 = sequence_l_set(ops1, pos1) & sequence_r_set(ops2, pos2)
+        if not q1:
+            return Verdict(
+                False,
+                f"condition (2) of Lemma 2 fails at {y!r}",
+                witness=PairViolation(2, (y,), side="Q1"),
+                details={"x": x},
+            )
+        q2 = sequence_l_set(ops2, pos2) & sequence_r_set(ops1, pos1)
+        if not q2:
+            return Verdict(
+                False,
+                f"condition (2) of Lemma 2 fails at {y!r}",
+                witness=PairViolation(2, (y,), side="Q2"),
+                details={"x": x},
+            )
+    return Verdict(
+        True, "safe and deadlock-free (Lemma 2)", details={"x": x}
+    )

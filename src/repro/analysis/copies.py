@@ -1,0 +1,95 @@
+"""Copies of one transaction: Corollary 3 and Theorem 5.
+
+Corollary 3: two copies of a distributed transaction T are safe and
+deadlock-free iff there is an entity x whose Lock precedes all other
+nodes of T, and for every other entity y some entity z is locked before
+Ly and unlocked after Ly.
+
+Theorem 5: a system of **any** number of copies of T is safe and
+deadlock-free iff two copies are. (The proof: the interaction graph of d
+copies is complete, and on any cycle of length ≥ 3 the first maximal
+prefix T*_1 is empty, so no normal-form witness survives beyond what the
+pair analysis already sees.)
+
+The analogue for deadlock-freedom *alone* is false — Figure 6 exhibits a
+transaction whose 3 copies deadlock while 2 copies cannot; see
+:func:`repro.paper.figures.figure6` and the EXP-F6 benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.witnesses import PairViolation, Verdict
+from repro.core.transaction import Transaction
+
+__all__ = ["check_two_copies", "check_copies"]
+
+
+def check_two_copies(transaction: Transaction) -> Verdict:
+    """Corollary 3 test on the lock skeleton of ``transaction``."""
+    t = transaction.lock_skeleton()
+    entities = sorted(t.entities)
+    if len(entities) <= 1:
+        return Verdict(
+            True, "at most one entity; copies serialize on its lock"
+        )
+
+    dag = t.dag
+    all_nodes = dag.all_nodes_mask()
+    x = None
+    for candidate in entities:
+        lock = t.lock_node(candidate)
+        others = all_nodes & ~(1 << lock)
+        if dag.descendants(lock) == others:
+            x = candidate
+            break
+    if x is None:
+        return Verdict(
+            False,
+            "no entity's Lock precedes all other nodes of T",
+            witness=PairViolation(1, tuple(entities[:2])),
+        )
+
+    for y in entities:
+        if y == x:
+            continue
+        lock_y = t.lock_node(y)
+        guarded = False
+        for z in entities:
+            if z == y:
+                continue
+            if dag.precedes(t.lock_node(z), lock_y) and dag.precedes(
+                lock_y, t.unlock_node(z)
+            ):
+                guarded = True
+                break
+        if not guarded:
+            return Verdict(
+                False,
+                f"no entity is locked before L{y} and unlocked after it",
+                witness=PairViolation(2, (y,)),
+                details={"x": x},
+            )
+    return Verdict(
+        True, "two copies are safe and deadlock-free (Corollary 3)",
+        details={"x": x},
+    )
+
+
+def check_copies(transaction: Transaction, count: int) -> Verdict:
+    """Theorem 5: d copies are safe+DF iff two copies are (d >= 2)."""
+    if count <= 1:
+        return Verdict(True, "a single transaction is trivially safe")
+    verdict = check_two_copies(transaction)
+    if verdict:
+        return Verdict(
+            True,
+            f"{count} copies are safe and deadlock-free (Theorem 5 via "
+            "Corollary 3)",
+            details=verdict.details,
+        )
+    return Verdict(
+        False,
+        f"{count} copies are not safe and deadlock-free: {verdict.reason}",
+        witness=verdict.witness,
+        details=verdict.details,
+    )

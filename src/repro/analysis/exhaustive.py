@@ -1,0 +1,335 @@
+"""Exhaustive state-space oracles for deadlock-freedom and safety.
+
+These explore every reachable execution state of a transaction system —
+exponential, but exact. They serve two roles:
+
+* ground truth against which the paper's polynomial algorithms are
+  validated on thousands of random small systems (see the property tests);
+* the "brute force" baseline whose exponential growth the complexity
+  benchmarks exhibit (the coNP-hardness side of Theorems 2 and 4).
+
+Three related searches:
+
+* :func:`find_deadlock` — reachability of a state in which every
+  unfinished transaction is blocked on a held lock (§3 deadlock partial
+  schedule). State = executed-node masks.
+* :func:`find_unserializable_schedule` — a complete schedule whose D(S)
+  is cyclic. State must additionally track per-entity lock order, which
+  determines D.
+* :func:`find_lemma1_violation` — a partial schedule S' with cyclic
+  D(S'); by Lemma 1 one exists iff the system is not safe-and-deadlock-
+  free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.witnesses import SerializationViolation, Verdict
+from repro.core.operations import OpKind
+from repro.core.schedule import Schedule
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.util.bitset import bits_of
+
+__all__ = [
+    "SearchBudgetExceeded",
+    "enumerate_complete_schedules",
+    "find_deadlock",
+    "find_lemma1_violation",
+    "find_unserializable_schedule",
+    "is_deadlock_free",
+    "is_safe",
+    "is_safe_and_deadlock_free",
+]
+
+DEFAULT_MAX_STATES = 2_000_000
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The state cap was hit before the search finished.
+
+    Raised instead of returning a possibly wrong "no violation found".
+    """
+
+
+def _holders(system: TransactionSystem, masks: tuple[int, ...]) -> (
+        dict[str, int]):
+    """Map each locked-but-not-unlocked entity to its holder."""
+    held: dict[str, int] = {}
+    for i, t in enumerate(system.transactions):
+        mask = masks[i]
+        if not mask:
+            continue
+        for entity in t.entities:
+            if (
+                mask >> t.lock_node(entity) & 1
+                and not mask >> t.unlock_node(entity) & 1
+            ):
+                held[entity] = i
+    return held
+
+
+def _enabled_moves(
+    system: TransactionSystem,
+    masks: tuple[int, ...],
+    holders: dict[str, int],
+) -> list[GlobalNode]:
+    """All nodes executable next from the given state."""
+    moves = []
+    for i, t in enumerate(system.transactions):
+        remaining = t.dag.all_nodes_mask() & ~masks[i]
+        for u in bits_of(remaining):
+            if t.dag.ancestors(u) & ~masks[i]:
+                continue
+            op = t.ops[u]
+            if op.kind is OpKind.LOCK:
+                holder = holders.get(op.entity)
+                if holder is not None and holder != i:
+                    continue
+            moves.append(GlobalNode(i, u))
+    return moves
+
+
+def _reconstruct(
+    system: TransactionSystem,
+    parents: dict,
+    state,
+) -> Schedule:
+    steps: list[GlobalNode] = []
+    cursor = state
+    while parents[cursor] is not None:
+        prev, gnode = parents[cursor]
+        steps.append(gnode)
+        cursor = prev
+    steps.reverse()
+    return Schedule(system, steps)
+
+
+# ----------------------------------------------------------------------
+# deadlock search (masks-only state)
+# ----------------------------------------------------------------------
+
+def find_deadlock(
+    system: TransactionSystem, max_states: int = DEFAULT_MAX_STATES
+) -> Schedule | None:
+    """Search every reachable state for a deadlock.
+
+    Returns:
+        A deadlock partial schedule (per the §3 definition), or None if
+        the system is deadlock-free.
+
+    Raises:
+        SearchBudgetExceeded: if more than ``max_states`` states are
+            reached before the search completes.
+    """
+    start = tuple([0] * len(system))
+    complete = tuple(t.dag.all_nodes_mask() for t in system.transactions)
+    parents: dict[tuple[int, ...], tuple | None] = {start: None}
+    stack = [start]
+    while stack:
+        state = stack.pop()
+        holders = _holders(system, state)
+        moves = _enabled_moves(system, state, holders)
+        if not moves and state != complete:
+            return _reconstruct(system, parents, state)
+        for gnode in moves:
+            nxt = list(state)
+            nxt[gnode.txn] |= 1 << gnode.node
+            key = tuple(nxt)
+            if key not in parents:
+                if len(parents) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"deadlock search exceeded {max_states} states"
+                    )
+                parents[key] = (state, gnode)
+                stack.append(key)
+    return None
+
+
+def is_deadlock_free(
+    system: TransactionSystem, max_states: int = DEFAULT_MAX_STATES
+) -> Verdict:
+    """Exhaustively decide deadlock-freedom."""
+    witness = find_deadlock(system, max_states)
+    if witness is None:
+        return Verdict(True, "deadlock-free (exhaustive state search)")
+    return Verdict(
+        False,
+        "a deadlock partial schedule is reachable",
+        witness=witness,
+    )
+
+
+# ----------------------------------------------------------------------
+# safety searches (state = masks + per-entity lock order)
+# ----------------------------------------------------------------------
+
+def _d_arcs(
+    system: TransactionSystem,
+    masks: tuple[int, ...],
+    lock_orders: tuple[tuple[int, ...], ...],
+    entities: tuple[str, ...],
+) -> dict[int, set[int]]:
+    """Adjacency of D(S') from the per-entity lock orders."""
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(system))}
+    for entity, order in zip(entities, lock_orders):
+        if not order:
+            continue
+        for a, b in zip(order, order[1:]):
+            adjacency[a].add(b)
+        last = order[-1]
+        for j in system.accessors(entity):
+            lock = system[j].lock_node(entity)
+            if not masks[j] >> lock & 1:
+                adjacency[last].add(j)
+    return adjacency
+
+
+def _find_digraph_cycle(adjacency: dict[int, set[int]]) -> list[int] | None:
+    from repro.util.graphs import find_cycle
+
+    return find_cycle(list(adjacency), lambda u: adjacency[u])
+
+
+def _explore_with_lock_orders(
+    system: TransactionSystem,
+    max_states: int,
+    check_partial: bool,
+) -> SerializationViolation | None:
+    """Shared engine for the two safety searches.
+
+    Args:
+        check_partial: when True (Lemma 1 mode) test D(S') at every
+            reachable state; when False test only complete schedules.
+    """
+    entities = tuple(sorted(system.entities))
+    multi = tuple(
+        entity for entity in entities if len(system.accessors(entity)) >= 2
+    )
+    n = len(system)
+    start_masks = tuple([0] * n)
+    start_orders: tuple[tuple[int, ...], ...] = tuple(() for _ in multi)
+    start = (start_masks, start_orders)
+    complete_masks = tuple(t.dag.all_nodes_mask() for t in system.transactions)
+    entity_index = {entity: k for k, entity in enumerate(multi)}
+
+    parents: dict[tuple, tuple | None] = {start: None}
+    stack = [start]
+    while stack:
+        state = stack.pop()
+        masks, orders = state
+        if check_partial or masks == complete_masks:
+            adjacency = _d_arcs(system, masks, orders, multi)
+            cycle = _find_digraph_cycle(adjacency)
+            if cycle is not None:
+                schedule = _reconstruct_pair(system, parents, state)
+                return SerializationViolation(schedule, tuple(cycle))
+        holders = _holders(system, masks)
+        for gnode in _enabled_moves(system, masks, holders):
+            op = system[gnode.txn].ops[gnode.node]
+            next_masks = list(masks)
+            next_masks[gnode.txn] |= 1 << gnode.node
+            next_orders = orders
+            if op.kind is OpKind.LOCK and op.entity in entity_index:
+                k = entity_index[op.entity]
+                updated = list(orders)
+                updated[k] = orders[k] + (gnode.txn,)
+                next_orders = tuple(updated)
+            key = (tuple(next_masks), next_orders)
+            if key not in parents:
+                if len(parents) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"safety search exceeded {max_states} states"
+                    )
+                parents[key] = (state, gnode)
+                stack.append(key)
+    return None
+
+
+def _reconstruct_pair(system, parents, state) -> Schedule:
+    steps: list[GlobalNode] = []
+    cursor = state
+    while parents[cursor] is not None:
+        prev, gnode = parents[cursor]
+        steps.append(gnode)
+        cursor = prev
+    steps.reverse()
+    return Schedule(system, steps)
+
+
+def find_unserializable_schedule(
+    system: TransactionSystem, max_states: int = DEFAULT_MAX_STATES
+) -> SerializationViolation | None:
+    """Find a complete schedule with cyclic D(S), or None if safe."""
+    return _explore_with_lock_orders(system, max_states, check_partial=False)
+
+
+def find_lemma1_violation(
+    system: TransactionSystem, max_states: int = DEFAULT_MAX_STATES
+) -> SerializationViolation | None:
+    """Find a partial schedule with cyclic D(S'), or None.
+
+    By Lemma 1, returns None iff the system is safe and deadlock-free.
+    """
+    return _explore_with_lock_orders(system, max_states, check_partial=True)
+
+
+def is_safe(
+    system: TransactionSystem, max_states: int = DEFAULT_MAX_STATES
+) -> Verdict:
+    """Exhaustively decide safety (all complete schedules serializable)."""
+    violation = find_unserializable_schedule(system, max_states)
+    if violation is None:
+        return Verdict(True, "safe (all schedules serializable)")
+    return Verdict(
+        False, "a non-serializable schedule exists", witness=violation
+    )
+
+
+def is_safe_and_deadlock_free(
+    system: TransactionSystem, max_states: int = DEFAULT_MAX_STATES
+) -> Verdict:
+    """Exhaustively decide the Lemma 1 conjunction."""
+    violation = find_lemma1_violation(system, max_states)
+    if violation is None:
+        return Verdict(True, "safe and deadlock-free (Lemma 1 exhaustive)")
+    return Verdict(
+        False,
+        "some partial schedule has a cyclic digraph D(S')",
+        witness=violation,
+    )
+
+
+# ----------------------------------------------------------------------
+# schedule enumeration (tiny systems; Corollary 1 experiments)
+# ----------------------------------------------------------------------
+
+def enumerate_complete_schedules(
+    system: TransactionSystem, limit: int | None = None
+) -> Iterator[Schedule]:
+    """Yield complete schedules of the system (each step sequence once).
+
+    Exponential; intended for tiny systems in tests. ``limit`` caps the
+    number of schedules produced.
+    """
+    complete = tuple(t.dag.all_nodes_mask() for t in system.transactions)
+    produced = 0
+    path: list[GlobalNode] = []
+
+    def walk(masks: tuple[int, ...]) -> Iterator[Schedule]:
+        nonlocal produced
+        if masks == complete:
+            yield Schedule(system, list(path))
+            produced += 1
+            return
+        holders = _holders(system, masks)
+        for gnode in _enabled_moves(system, masks, holders):
+            if limit is not None and produced >= limit:
+                return
+            nxt = list(masks)
+            nxt[gnode.txn] |= 1 << gnode.node
+            path.append(gnode)
+            yield from walk(tuple(nxt))
+            path.pop()
+
+    yield from walk(tuple([0] * len(system)))

@@ -1,0 +1,76 @@
+"""Corollary 1 as a (deliberately naive) algorithm.
+
+Corollary 1: a system {T1, ..., Tn} is safe and deadlock-free iff every
+choice of linear extensions {t1, ..., tn} is. This module decides the
+pair case by enumerating extension pairs and applying the centralized
+Lemma 2 test to each — correct, but exponential in the width of the
+partial orders.
+
+It exists as an ablation baseline: Theorem 3 gets the same answer in
+O(n²), and the benchmark comparing the two is the cleanest
+demonstration of what the paper's machinery buys. (The paper makes the
+same point: "the corollary in itself does not imply a polynomial time
+solution... there may be an exponential number of total orders".)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.centralized import check_centralized_pair
+from repro.analysis.witnesses import Verdict
+from repro.core.transaction import Transaction
+
+__all__ = ["check_pair_by_extensions", "extension_pair_count"]
+
+
+def extension_pair_count(t1: Transaction, t2: Transaction) -> int:
+    """|ext(T1)| × |ext(T2)| — the work the naive algorithm faces."""
+    return t1.dag.count_linear_extensions() * (
+        t2.dag.count_linear_extensions()
+    )
+
+
+def check_pair_by_extensions(
+    t1: Transaction,
+    t2: Transaction,
+    limit: int | None = 100_000,
+) -> Verdict:
+    """Decide pair safety-and-deadlock-freedom via Corollary 1.
+
+    Args:
+        t1: first transaction (any distribution).
+        t2: second transaction.
+        limit: abort with RuntimeError when more than this many
+            extension pairs would be enumerated (None = no cap).
+
+    Returns:
+        Verdict; on failure the details carry the offending extension
+        pair as operation-label sequences.
+
+    Raises:
+        RuntimeError: when the extension-pair count exceeds ``limit``.
+    """
+    s1, s2 = t1.lock_skeleton(), t2.lock_skeleton()
+    if limit is not None:
+        count = extension_pair_count(s1, s2)
+        if count > limit:
+            raise RuntimeError(
+                f"{count} extension pairs exceed the limit {limit}; "
+                "use repro.analysis.pairs.check_pair instead"
+            )
+    for e1 in s1.linear_extensions():
+        for e2 in s2.linear_extensions():
+            verdict = check_centralized_pair(e1, e2)
+            if not verdict:
+                return Verdict(
+                    False,
+                    f"extension pair violates Lemma 2: {verdict.reason}",
+                    witness=verdict.witness,
+                    details={
+                        "t1": [str(op) for op in e1.ops],
+                        "t2": [str(op) for op in e2.ops],
+                    },
+                )
+    return Verdict(
+        True, "all extension pairs are safe and deadlock-free "
+        "(Corollary 1, exhaustive)"
+    )

@@ -1,0 +1,124 @@
+"""Theorem 3: the O(n²) safety-and-deadlock-freedom test for two
+distributed transactions.
+
+Let R = R(T1) ∩ R(T2). The pair {T1, T2} is safe and deadlock-free iff:
+
+1. there is an entity ``x ∈ R`` such that for every other ``y ∈ R``,
+   ``Lx`` precedes ``Ly`` in **both** T1 and T2; and
+2. for every ``y ∈ R`` other than ``x``, both sets
+   ``L_{T1}(L¹y) ∩ R_{T2}(L²y)`` and ``L_{T2}(L²y) ∩ R_{T1}(L¹y)``
+   are non-empty.
+
+With transactions in transitively closed form (our :class:`Dag` always
+stores the closure) every precedence probe is O(1), giving the paper's
+O(n²) bound (Corollary 2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sets import l_set, r_set
+from repro.analysis.witnesses import PairViolation, Verdict
+from repro.core.entity import Entity
+from repro.core.transaction import Transaction
+
+__all__ = [
+    "check_pair",
+    "common_first_locked_entity",
+    "is_pair_safe_deadlock_free",
+]
+
+
+def common_first_locked_entity(
+    t1: Transaction, t2: Transaction
+) -> Entity | None:
+    """The entity x of condition (1), or None if no such entity exists.
+
+    When it exists it is unique: two distinct candidates would each have
+    to lock strictly before the other.
+    """
+    common = sorted(t1.entities & t2.entities)
+    for x in common:
+        if all(
+            _lock_precedes(t, x, y)
+            for t in (t1, t2)
+            for y in common
+            if y != x
+        ):
+            return x
+    return None
+
+
+def _lock_precedes(t: Transaction, x: Entity, y: Entity) -> bool:
+    return t.dag.precedes(t.lock_node(x), t.lock_node(y))
+
+
+def check_pair(t1: Transaction, t2: Transaction) -> Verdict:
+    """Decide safety-and-deadlock-freedom of a pair (Theorem 3).
+
+    Actions are ignored (the paper shows they play no role): the test
+    runs on the lock skeletons.
+
+    Returns:
+        A :class:`Verdict`; on failure the witness is a
+        :class:`PairViolation` naming the violated condition.
+    """
+    s1, s2 = t1.lock_skeleton(), t2.lock_skeleton()
+    common = sorted(s1.entities & s2.entities)
+    if not common:
+        return Verdict(
+            True, "no common entities; trivially safe and deadlock-free"
+        )
+
+    x = common_first_locked_entity(s1, s2)
+    if x is None:
+        first1 = _first_lockable(s1, common)
+        first2 = _first_lockable(s2, common)
+        entities = tuple(sorted(set(first1[:1] + first2[:1])))
+        return Verdict(
+            False,
+            "condition (1) of Theorem 3 fails",
+            witness=PairViolation(1, entities or tuple(common[:2])),
+        )
+
+    for y in common:
+        if y == x:
+            continue
+        l1 = l_set(s1, s1.lock_node(y))
+        r2 = r_set(s2, s2.lock_node(y))
+        if not l1 & r2:
+            return Verdict(
+                False,
+                f"condition (2) of Theorem 3 fails at {y!r}",
+                witness=PairViolation(2, (y,), side="L(T1)&R(T2)"),
+                details={"x": x},
+            )
+        l2 = l_set(s2, s2.lock_node(y))
+        r1 = r_set(s1, s1.lock_node(y))
+        if not l2 & r1:
+            return Verdict(
+                False,
+                f"condition (2) of Theorem 3 fails at {y!r}",
+                witness=PairViolation(2, (y,), side="L(T2)&R(T1)"),
+                details={"x": x},
+            )
+    return Verdict(
+        True,
+        "safe and deadlock-free (Theorem 3)",
+        details={"x": x},
+    )
+
+
+def _first_lockable(t: Transaction, common: list[Entity]) -> list[Entity]:
+    """Common entities whose Lock is not preceded by another common Lock."""
+    result = []
+    for y in common:
+        if not any(
+            _lock_precedes(t, z, y) for z in common if z != y
+        ):
+            result.append(y)
+    return result
+
+
+def is_pair_safe_deadlock_free(t1: Transaction, t2: Transaction) -> bool:
+    """Boolean convenience wrapper around :func:`check_pair`."""
+    return bool(check_pair(t1, t2))

@@ -1,0 +1,142 @@
+"""Locking-policy predicates and deadlock-prevention repairs.
+
+The paper's context (Section 6): in practice transactions are locked by
+some safe policy (two-phase locking being the dominant one), and the
+interesting question is then deadlock-freedom. This module provides the
+classical structural policies and a repair transform that makes an
+arbitrary workload safe-and-deadlock-free by re-locking it 2PL along a
+global entity order — the textbook prevention scheme the paper's static
+tests can then certify.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.witnesses import Verdict
+from repro.core.entity import Entity
+from repro.core.operations import Operation
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+from repro.util.graphs import topological_sort
+
+__all__ = [
+    "find_global_lock_order",
+    "follows_lock_order",
+    "relock_two_phase_ordered",
+    "repair_system",
+]
+
+
+def follows_lock_order(
+    transaction: Transaction, order: Sequence[Entity]
+) -> bool:
+    """True if every pair of Locks is ordered consistently with ``order``.
+
+    Entities absent from ``order`` are unconstrained. Two locks on ranked
+    entities must be *comparable* in the partial order and acquired in
+    rank order — incomparable locks could be acquired either way at run
+    time, so they do not follow the discipline.
+    """
+    rank = {entity: i for i, entity in enumerate(order)}
+    t = transaction.lock_skeleton()
+    ranked = [e for e in t.entities if e in rank]
+    ranked.sort(key=lambda e: rank[e])
+    for i, a in enumerate(ranked):
+        for b in ranked[i + 1:]:
+            if not t.dag.precedes(t.lock_node(a), t.lock_node(b)):
+                return False
+    return True
+
+
+def find_global_lock_order(system: TransactionSystem) -> (
+        list[Entity] | None):
+    """Find a global entity order all transactions' Locks respect.
+
+    Returns:
+        A total order of the system's entities such that every
+        transaction acquires its locks along it, or None when the
+        workload's existing lock orders conflict (or some transaction
+        acquires two locks incomparably).
+    """
+    entities = sorted(system.entities)
+    arcs: dict[Entity, set[Entity]] = {e: set() for e in entities}
+    for transaction in system.transactions:
+        t = transaction.lock_skeleton()
+        accessed = sorted(t.entities)
+        for i, a in enumerate(accessed):
+            for b in accessed[i + 1:]:
+                if t.dag.precedes(t.lock_node(a), t.lock_node(b)):
+                    arcs[a].add(b)
+                elif t.dag.precedes(t.lock_node(b), t.lock_node(a)):
+                    arcs[b].add(a)
+                else:
+                    return None  # incomparable locks: no static order
+    try:
+        return topological_sort(entities, lambda e: sorted(arcs[e]))
+    except ValueError:
+        return None
+
+
+def relock_two_phase_ordered(
+    transaction: Transaction, order: Sequence[Entity]
+) -> Transaction:
+    """Re-lock a transaction 2PL along a global entity order.
+
+    The result is a sequential transaction: Locks in rank order, then the
+    original actions (one per action node, grouped by entity in rank
+    order), then Unlocks in reverse rank order. Accessed entities and the
+    schema are preserved; only the locking skeleton changes.
+    """
+    rank = {entity: i for i, entity in enumerate(order)}
+    accessed = sorted(
+        transaction.entities, key=lambda e: (rank.get(e, len(rank)), e)
+    )
+    ops: list[Operation] = [Operation.lock(e) for e in accessed]
+    for entity in accessed:
+        count = len(transaction.action_nodes(entity))
+        ops.extend(Operation.action(entity) for _ in range(count))
+    ops.extend(Operation.unlock(e) for e in reversed(accessed))
+    return Transaction.sequential(
+        transaction.name, ops, transaction.schema
+    )
+
+
+def repair_system(system: TransactionSystem) -> (
+        tuple[TransactionSystem, list[Entity]]):
+    """Rewrite every transaction 2PL along one global order.
+
+    Uses the workload's own consistent order when one exists, otherwise
+    the lexicographic entity order. The result always passes Theorem 4's
+    safe-and-deadlock-free test (all pairs share the first-locked common
+    entity and hold earlier locks across later ones).
+
+    Returns:
+        ``(repaired_system, order)``.
+    """
+    order = find_global_lock_order(system)
+    if order is None:
+        order = sorted(system.entities)
+    repaired = [
+        relock_two_phase_ordered(t, order) for t in system.transactions
+    ]
+    return TransactionSystem(repaired), order
+
+
+def certify_prevention(system: TransactionSystem) -> Verdict:
+    """Convenience: does a global lock order statically prevent deadlock?
+
+    This is the classical *prevention* argument; it is sufficient but not
+    necessary (the paper's tests are exact for pairs and fixed k).
+    """
+    order = find_global_lock_order(system)
+    if order is None:
+        return Verdict(
+            False,
+            "no global lock order is respected by every transaction",
+        )
+    return Verdict(
+        True,
+        "all transactions acquire locks along a common global order",
+        details={"order": order},
+    )

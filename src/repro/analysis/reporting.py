@@ -1,0 +1,118 @@
+"""One-call audit reports: everything the paper lets us say about a
+workload, as a structured object and as text.
+
+:func:`audit_system` runs the full static pipeline — pairwise Theorem 3
+matrix, Theorem 4 over interaction-graph cycles, global-lock-order
+prevention check — and packages verdicts, certificates and repair
+advice. The CLI's ``analyze`` command and the examples are thin shells
+around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.fixed_k import check_system
+from repro.analysis.pairs import check_pair
+from repro.analysis.policies import find_global_lock_order
+from repro.analysis.witnesses import Verdict
+from repro.core.system import TransactionSystem
+from repro.util.render import format_table
+
+__all__ = ["AuditReport", "audit_system"]
+
+
+@dataclass
+class AuditReport:
+    """Structured result of a full static audit.
+
+    Attributes:
+        system: the audited system.
+        pair_verdicts: Theorem 3 verdict per transaction index pair.
+        system_verdict: the Theorem 4 verdict.
+        lock_order: a global lock order the workload already follows,
+            when one exists (prevention certificate), else None.
+    """
+
+    system: TransactionSystem
+    pair_verdicts: dict[tuple[int, int], Verdict] = field(
+        default_factory=dict
+    )
+    system_verdict: Verdict | None = None
+    lock_order: list[str] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the whole system is safe and deadlock-free."""
+        return bool(self.system_verdict)
+
+    @property
+    def failing_pairs(self) -> list[tuple[int, int]]:
+        return [
+            pair
+            for pair, verdict in sorted(self.pair_verdicts.items())
+            if not verdict
+        ]
+
+    def to_text(self) -> str:
+        """Render the report as an aligned plain-text document."""
+        system = self.system
+        lines = [
+            f"audit of {len(system)} transactions, "
+            f"{len(system.entities)} entities, "
+            f"{len(system.schema.sites)} sites",
+            "",
+        ]
+        rows = []
+        for (i, j), verdict in sorted(self.pair_verdicts.items()):
+            rows.append(
+                [
+                    f"{system[i].name}, {system[j].name}",
+                    "ok" if verdict else "VIOLATION",
+                    verdict.reason,
+                ]
+            )
+        if rows:
+            lines.append(format_table(["pair", "verdict", "reason"], rows))
+            lines.append("")
+        assert self.system_verdict is not None
+        status = (
+            "SAFE AND DEADLOCK-FREE"
+            if self.system_verdict
+            else "NOT safe-and-deadlock-free"
+        )
+        lines.append(f"system: {status}")
+        lines.append(self.system_verdict.describe())
+        if self.lock_order is not None:
+            lines.append(
+                "prevention: transactions already follow the global "
+                f"lock order {self.lock_order}"
+            )
+        elif self.ok:
+            lines.append(
+                "prevention: no single global lock order, but the "
+                "Theorem 4 certificate holds regardless"
+            )
+        else:
+            lines.append(
+                "suggestion: repro.analysis.policies.repair_system "
+                "re-locks the workload 2PL along a global order"
+            )
+        return "\n".join(lines)
+
+
+def audit_system(system: TransactionSystem) -> AuditReport:
+    """Run the full static pipeline on a system."""
+    report = AuditReport(system)
+    n = len(system)
+    skeleton = system.lock_skeleton()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not system.common_entities(i, j):
+                continue
+            report.pair_verdicts[(i, j)] = check_pair(
+                skeleton[i], skeleton[j]
+            )
+    report.system_verdict = check_system(system)
+    report.lock_order = find_global_lock_order(system)
+    return report

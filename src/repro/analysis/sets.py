@@ -1,0 +1,45 @@
+"""The step sets R_T(s) and L_T(s) of Section 5.
+
+For a distributed transaction ``T`` and a step ``s``:
+
+* ``R_T(s)`` — entities ``z`` whose Lock strictly precedes ``s`` in T
+  ("locked, and possibly unlocked, before s" in every extension).
+* ``L_T(s)`` — entities ``z`` such that ``s`` precedes ``Uz`` but not
+  ``Lz``. This is the *asymmetric* definition the paper needs: the set of
+  entities locked-but-not-unlocked right before ``s`` in a linear
+  extension of T that postpones everything it can until after ``s``.
+
+For total orders both coincide with the classical definitions. Note that
+for distributed transactions ``L_T(s) ⊆ R_T(s)`` does **not** hold in
+general (the paper remarks on this): an entity locked concurrently with
+``s`` belongs to ``L_T(s)`` but not to ``R_T(s)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.entity import Entity
+from repro.core.transaction import Transaction
+
+__all__ = ["l_set", "r_set"]
+
+
+def r_set(transaction: Transaction, step: int) -> frozenset[Entity]:
+    """R_T(s): entities whose Lock strictly precedes step ``s``."""
+    dag = transaction.dag
+    result = set()
+    for entity in transaction.entities:
+        if dag.precedes(transaction.lock_node(entity), step):
+            result.add(entity)
+    return frozenset(result)
+
+
+def l_set(transaction: Transaction, step: int) -> frozenset[Entity]:
+    """L_T(s): entities ``z`` with ``s ≺ Uz`` and not ``s ≺ Lz``."""
+    dag = transaction.dag
+    result = set()
+    for entity in transaction.entities:
+        unlock = transaction.unlock_node(entity)
+        lock = transaction.lock_node(entity)
+        if dag.precedes(step, unlock) and not dag.precedes(step, lock):
+            result.add(entity)
+    return frozenset(result)

@@ -1,0 +1,72 @@
+"""Tirri's (incorrect) two-entity deadlock test — kept as a baseline.
+
+Tirri [T, PODC 1983] gave a polynomial algorithm for deadlock-freedom of
+a pair of distributed transactions built on the premise:
+
+    if a deadlock between T1 and T2 arises, then there are two entities
+    x, y accessed by both such that L¹y ≺ U¹x, L²x ≺ U²y,
+    L¹y ⊀ L¹x and L²x ⊀ L²y.
+
+Section 3 of Wolfson & Yannakakis refutes the premise: a deadlock can be
+carried by a reduction-graph cycle through **more than two** entities
+(Figure 2), which this test cannot see. We implement the premise-based
+checker faithfully so the Figure 2 benchmark can demonstrate the false
+negative against the exhaustive oracle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.witnesses import Verdict
+from repro.core.transaction import Transaction
+
+__all__ = ["find_two_entity_pattern", "tirri_check_pair"]
+
+
+def find_two_entity_pattern(
+    t1: Transaction, t2: Transaction
+) -> tuple[str, str] | None:
+    """Search for the two-entity pattern of Tirri's premise.
+
+    Returns:
+        ``(x, y)`` realizing the pattern, or None.
+    """
+    s1, s2 = t1.lock_skeleton(), t2.lock_skeleton()
+    common = sorted(s1.entities & s2.entities)
+    for x in common:
+        for y in common:
+            if x == y:
+                continue
+            if not s1.dag.precedes(s1.lock_node(y), s1.unlock_node(x)):
+                continue
+            if not s2.dag.precedes(s2.lock_node(x), s2.unlock_node(y)):
+                continue
+            if s1.dag.precedes(s1.lock_node(y), s1.lock_node(x)):
+                continue
+            if s2.dag.precedes(s2.lock_node(x), s2.lock_node(y)):
+                continue
+            return x, y
+    return None
+
+
+def tirri_check_pair(t1: Transaction, t2: Transaction) -> Verdict:
+    """Tirri's deadlock-freedom verdict for a pair. **Unsound**: it can
+    report "deadlock-free" for pairs that do deadlock (Figure 2).
+
+    Returns:
+        Verdict(True) when the two-entity pattern is absent (Tirri would
+        declare the pair deadlock-free), Verdict(False) with the pattern
+        otherwise.
+    """
+    pattern = find_two_entity_pattern(t1, t2)
+    if pattern is None:
+        return Verdict(
+            True,
+            "no two-entity wait pattern; Tirri's test declares the pair "
+            "deadlock-free (NOT a sound conclusion — see Figure 2)",
+        )
+    x, y = pattern
+    return Verdict(
+        False,
+        f"two-entity wait pattern on ({x!r}, {y!r}): a deadlock may occur",
+        details={"pattern": pattern},
+    )

@@ -1,0 +1,121 @@
+"""Witness and verdict types shared by the analysis algorithms.
+
+Every refutation produced by this library is *certified*: a "not
+deadlock-free" verdict carries a deadlock prefix (with the cycle of its
+reduction graph) or a deadlock partial schedule; a "not safe" verdict
+carries a schedule whose serialization digraph is cyclic. Tests replay
+these witnesses through the schedule validator, so verdicts are never
+taken on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.prefix import SystemPrefix
+from repro.core.schedule import Schedule
+from repro.core.system import GlobalNode
+
+__all__ = [
+    "DeadlockWitness",
+    "PairViolation",
+    "SerializationViolation",
+    "Verdict",
+]
+
+
+@dataclass(frozen=True)
+class DeadlockWitness:
+    """A certified deadlock.
+
+    Attributes:
+        prefix: a deadlock prefix A' (Theorem 1).
+        cycle: one cycle of the reduction graph R(A').
+        schedule: a partial schedule realizing the prefix, when available.
+    """
+
+    prefix: SystemPrefix
+    cycle: tuple[GlobalNode, ...]
+    schedule: Schedule | None = None
+
+    def describe(self) -> str:
+        system = self.prefix.system
+        cycle = ", ".join(system.describe_node(g) for g in self.cycle)
+        return (
+            f"deadlock prefix:\n{self.prefix.describe()}\n"
+            f"reduction-graph cycle: {cycle}"
+        )
+
+
+@dataclass(frozen=True)
+class SerializationViolation:
+    """A certified safety violation (or Lemma 1 violation).
+
+    Attributes:
+        schedule: the offending (partial) schedule.
+        cycle: a cycle of transaction indices in D(S').
+    """
+
+    schedule: Schedule
+    cycle: tuple[int, ...]
+
+    def describe(self) -> str:
+        system = self.schedule.system
+        names = " -> ".join(system[i].name for i in self.cycle)
+        return (
+            f"schedule: {self.schedule.describe()}\n"
+            f"D(S') cycle: {names} -> {system[self.cycle[0]].name}"
+        )
+
+
+@dataclass(frozen=True)
+class PairViolation:
+    """Why a pair fails Theorem 3 (or Lemma 2).
+
+    Attributes:
+        condition: 1 (no common first-locked entity) or 2 (some Q set
+            empty).
+        entities: the entities exhibiting the failure — for condition 1
+            the two incompatible first locks, for condition 2 the entity y
+            whose Q set is empty.
+        side: for condition 2, which intersection was empty:
+            ``"L(T1)&R(T2)"`` or ``"L(T2)&R(T1)"``.
+    """
+
+    condition: int
+    entities: tuple[str, ...]
+    side: str = ""
+
+    def describe(self) -> str:
+        if self.condition == 1:
+            return (
+                "condition (1) fails: no entity's Lock precedes all common "
+                f"Locks in both transactions (e.g. {self.entities})"
+            )
+        return (
+            f"condition (2) fails for entity {self.entities[0]!r}: "
+            f"{self.side} is empty"
+        )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of a property check, with an optional certificate.
+
+    ``bool(verdict)`` is True when the property HOLDS (safe, deadlock-free,
+    ...). ``witness`` certifies the failure when it does not.
+    """
+
+    ok: bool
+    reason: str
+    witness: object | None = None
+    details: dict = field(default_factory=dict, compare=False)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        text = self.reason
+        if self.witness is not None and hasattr(self.witness, "describe"):
+            text += "\n" + self.witness.describe()
+        return text

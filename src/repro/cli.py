@@ -1,0 +1,294 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``analyze FILE`` — static safety-and-deadlock-freedom analysis of a
+  transaction system in the text format (Theorem 3 pairs + Theorem 4
+  cycles), with certificates for refutations.
+* ``deadlock FILE`` — exhaustive deadlock search and Theorem 1 deadlock-
+  prefix search.
+* ``simulate FILE`` — run the discrete-event simulator under one or
+  more contention policies.
+* ``sat DIMACS-LIKE`` — encode a 3SAT′ formula as two transactions and
+  demonstrate the Theorem 2 equivalence.
+* ``figures`` — run the paper-figure demonstrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.io.textfmt import parse_system
+
+__all__ = ["main"]
+
+
+def _load_system(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return parse_system(handle.read())
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import audit_system
+
+    system = _load_system(args.file)
+    print(f"system: {', '.join(t.name for t in system.transactions)}")
+    report = audit_system(system)
+    print(report.to_text())
+    return 0 if report.ok else 1
+
+
+def _cmd_deadlock(args: argparse.Namespace) -> int:
+    from repro.analysis.exhaustive import find_deadlock
+    from repro.analysis.theorem1 import find_deadlock_prefix
+
+    system = _load_system(args.file)
+    witness = find_deadlock(system, max_states=args.max_states)
+    if witness is None:
+        print("deadlock-free (exhaustive search)")
+        prefix_witness = find_deadlock_prefix(
+            system, max_states=args.max_states
+        )
+        assert prefix_witness is None, "Theorem 1 disagreement"
+        print("no deadlock prefix exists (Theorem 1 agrees)")
+        return 0
+    print("DEADLOCK reachable; partial schedule:")
+    print(f"  {witness.describe()}")
+    prefix_witness = find_deadlock_prefix(system, max_states=args.max_states)
+    assert prefix_witness is not None, "Theorem 1 disagreement"
+    print(prefix_witness.describe())
+    return 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.metrics import SimulationResult
+    from repro.sim.runtime import SimulationConfig, simulate
+
+    system = _load_system(args.file)
+    results = []
+    for policy in args.policies:
+        config = SimulationConfig(
+            seed=args.seed,
+            max_time=args.max_time,
+            network_delay=args.network_delay,
+        )
+        results.append(simulate(system, policy, config))
+    print(SimulationResult.summary_table(results))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.io.dot import system_to_dot
+    from repro.io.jsonfmt import system_to_json
+    from repro.io.textfmt import format_system
+
+    system = _load_system(args.file)
+    if args.format == "dot":
+        print(system_to_dot(system), end="")
+    elif args.format == "json":
+        print(system_to_json(system))
+    else:
+        print(format_system(system), end="")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.analysis.fixed_k import check_system
+    from repro.analysis.optimize import early_unlock
+    from repro.analysis.policies import repair_system
+    from repro.io.textfmt import format_system
+
+    system = _load_system(args.file)
+    verdict = check_system(system)
+    if verdict:
+        print("# system is already safe and deadlock-free; no repair "
+              "needed")
+        print(format_system(system), end="")
+        return 0
+    repaired, order = repair_system(system)
+    assert check_system(repaired)
+    print(f"# repaired: re-locked 2PL along global order {order}")
+    if args.optimize:
+        report = early_unlock(repaired)
+        repaired = report.system
+        print(
+            f"# early-unlock: holding span {report.before} -> "
+            f"{report.after} ({report.improvement:.0%} shorter, "
+            f"{report.moves} moves), still certified"
+        )
+    print(format_system(repaired), end="")
+    return 0
+
+
+def _cmd_sat(args: argparse.Namespace) -> int:
+    from repro.analysis.theorem1 import find_deadlock_prefix
+    from repro.core.reduction import reduction_graph
+    from repro.reductions.cnf import CnfFormula
+    from repro.reductions.encoding import (
+        assignment_to_prefix,
+        decode_assignment,
+        encode_formula,
+        expected_cycle,
+        verify_cycle,
+    )
+    from repro.reductions.solvers import dpll_solve
+
+    clauses = [clause.split() for clause in args.formula.split(",")]
+    formula = CnfFormula.from_lists(clauses)
+    print(f"formula: {formula}")
+    system = encode_formula(formula)
+    print(
+        f"encoded: |T1| = {system[0].node_count} nodes, "
+        f"|T2| = {system[1].node_count} nodes, "
+        f"{len(system.entities)} entities/sites"
+    )
+    assignment = dpll_solve(formula)
+    if assignment is None:
+        print("UNSAT — by Theorem 2 the pair {T1, T2} is deadlock-free")
+        return 0
+    print(f"SAT: {assignment}")
+    prefix = assignment_to_prefix(formula, system, assignment)
+    cycle = expected_cycle(formula, system, assignment)
+    graph = reduction_graph(prefix)
+    assert verify_cycle(graph, cycle), "constructed cycle not in R(A')"
+    print("deadlock prefix (Z sets):")
+    print(prefix.describe())
+    print(
+        "reduction-graph cycle: "
+        + " -> ".join(system.describe_node(g) for g in cycle)
+    )
+    decoded = decode_assignment(formula, system, cycle)
+    assert formula.evaluate(decoded)
+    print(f"decoded back from the cycle: {decoded}")
+    if args.search:
+        witness = find_deadlock_prefix(system)
+        assert witness is not None
+        print("independent Theorem 1 search also found a deadlock prefix")
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.analysis.exhaustive import find_deadlock
+    from repro.analysis.tirri import tirri_check_pair
+    from repro.core.reduction import is_deadlock_prefix, reduction_graph
+    from repro.core.system import TransactionSystem
+    from repro.paper import figures
+
+    print("— Figure 1: deadlock prefix of three transactions —")
+    system = figures.figure1()
+    prefix = figures.figure1_prefix(system)
+    graph = reduction_graph(prefix)
+    cycle = graph.find_cycle()
+    print(prefix.describe())
+    print(
+        "cycle: " + " -> ".join(system.describe_node(g) for g in cycle)
+    )
+    assert is_deadlock_prefix(prefix)
+
+    print()
+    print("— Figure 2: Tirri's oversight —")
+    pair = figures.figure2()
+    tirri = tirri_check_pair(pair[0], pair[1])
+    truth = find_deadlock(pair)
+    print(f"Tirri's test: {tirri.reason}")
+    print(
+        "exhaustive truth: "
+        + ("deadlocks — " + truth.describe() if truth else "deadlock-free")
+    )
+
+    print()
+    print("— Figure 3: deadlock-freedom is not extension-reducible —")
+    partial = figures.figure3()
+    extensions = figures.figure3_extensions()
+    print(f"partial orders deadlock: {find_deadlock(partial) is not None}")
+    print(
+        f"extensions deadlock: {find_deadlock(extensions) is not None}"
+    )
+
+    print()
+    print("— Figure 6: copies and deadlock —")
+    t = figures.figure6()
+    two = TransactionSystem.of_copies(t, 2)
+    three = TransactionSystem.of_copies(t, 3)
+    print(f"2 copies deadlock: {find_deadlock(two) is not None}")
+    print(f"3 copies deadlock: {find_deadlock(three) is not None}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Deadlock-freedom and safety analysis of locked transactions "
+            "in a distributed database (Wolfson & Yannakakis, PODS 1985)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="static pair + fixed-k analysis")
+    p.add_argument("file", help="transaction system in text format")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("deadlock", help="exhaustive deadlock search")
+    p.add_argument("file")
+    p.add_argument("--max-states", type=int, default=2_000_000)
+    p.set_defaults(func=_cmd_deadlock)
+
+    p = sub.add_parser("simulate", help="discrete-event simulation")
+    p.add_argument("file")
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        default=["blocking", "wound-wait", "wait-die", "detect"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-time", type=float, default=100_000.0)
+    p.add_argument("--network-delay", type=float, default=0.0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("show", help="render a system (text/json/dot)")
+    p.add_argument("file")
+    p.add_argument(
+        "--format", choices=["text", "json", "dot"], default="text"
+    )
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser(
+        "repair",
+        help="re-lock a violating workload 2PL along a global order",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="also shrink lock-holding spans (early unlocking) while "
+        "keeping the certificate",
+    )
+    p.set_defaults(func=_cmd_repair)
+
+    p = sub.add_parser("sat", help="Theorem 2 reduction demo")
+    p.add_argument(
+        "formula",
+        help="clauses separated by commas, literals by spaces; "
+        "'~' negates: 'x1 x2, x1 ~x2, ~x1 x2'",
+    )
+    p.add_argument(
+        "--search",
+        action="store_true",
+        help="also run the exponential Theorem 1 search",
+    )
+    p.set_defaults(func=_cmd_sat)
+
+    p = sub.add_parser("figures", help="paper figure demonstrations")
+    p.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's model: entities/sites, transactions, systems, schedules,
+prefixes, reduction graphs, serialization digraphs."""
+
+from repro.core.entity import DatabaseSchema, Entity, Site
+from repro.core.operations import Operation, OpKind
+from repro.core.prefix import SystemPrefix, prefix_mask_from_labels
+from repro.core.reduction import (
+    is_deadlock_partial_schedule,
+    is_deadlock_prefix,
+    prefix_has_schedule,
+    reduction_graph,
+)
+from repro.core.schedule import IllegalScheduleError, Schedule
+from repro.core.serialization import (
+    d_graph,
+    equivalent_serial_order,
+    is_serializable,
+)
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.core.transaction import (
+    MalformedTransactionError,
+    Transaction,
+    TransactionBuilder,
+)
+
+__all__ = [
+    "DatabaseSchema",
+    "Entity",
+    "GlobalNode",
+    "IllegalScheduleError",
+    "MalformedTransactionError",
+    "OpKind",
+    "Operation",
+    "Schedule",
+    "Site",
+    "SystemPrefix",
+    "Transaction",
+    "TransactionBuilder",
+    "TransactionSystem",
+    "d_graph",
+    "equivalent_serial_order",
+    "is_deadlock_partial_schedule",
+    "is_deadlock_prefix",
+    "is_serializable",
+    "prefix_has_schedule",
+    "prefix_mask_from_labels",
+    "reduction_graph",
+]

@@ -1,0 +1,149 @@
+"""Entities, sites, and the distributed database schema.
+
+Following Section 2 of the paper, a distributed database (DDB) is a finite
+set of *entities* partitioned into pairwise-disjoint *sites*. Replication
+is not modelled: copies of one logical item at different sites are distinct
+entities whose equality is a matter for the transactions, not the schema.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = ["DatabaseSchema", "Entity", "Site"]
+
+# Entities and sites are plain strings; the schema object carries the
+# partition. Keeping them as str makes user code and the text format easy.
+Entity = str
+Site = str
+
+
+class DatabaseSchema:
+    """The partition of entities into sites.
+
+    Args:
+        placement: mapping from entity name to the site that stores it.
+
+    Raises:
+        ValueError: on empty entity or site names.
+    """
+
+    __slots__ = ("_site_of", "_entities_at")
+
+    def __init__(self, placement: Mapping[Entity, Site]):
+        site_of: dict[Entity, Site] = {}
+        entities_at: dict[Site, set[Entity]] = {}
+        for entity, site in placement.items():
+            if not entity:
+                raise ValueError("entity names must be non-empty")
+            if not site:
+                raise ValueError(f"entity {entity!r} has an empty site name")
+            site_of[entity] = site
+            entities_at.setdefault(site, set()).add(entity)
+        self._site_of = site_of
+        self._entities_at = {
+            site: frozenset(entities) for site, entities in entities_at.items()
+        }
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_site(
+        cls, entities: Iterable[Entity], site: Site = "site0"
+    ) -> "DatabaseSchema":
+        """A centralized database: every entity at one site."""
+        return cls({entity: site for entity in entities})
+
+    @classmethod
+    def site_per_entity(cls, entities: Iterable[Entity]) -> "DatabaseSchema":
+        """The fully distributed extreme: each entity at its own site."""
+        return cls({entity: f"site[{entity}]" for entity in entities})
+
+    @classmethod
+    def from_groups(
+        cls, groups: Mapping[Site, Iterable[Entity]]
+    ) -> "DatabaseSchema":
+        """Build from a site -> entities mapping.
+
+        Raises:
+            ValueError: if an entity is assigned to two sites (the paper
+                requires the sites to be pairwise disjoint).
+        """
+        placement: dict[Entity, Site] = {}
+        for site, entities in groups.items():
+            for entity in entities:
+                if entity in placement and placement[entity] != site:
+                    raise ValueError(
+                        f"entity {entity!r} assigned to two sites: "
+                        f"{placement[entity]!r} and {site!r}"
+                    )
+                placement[entity] = site
+        return cls(placement)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def entities(self) -> frozenset[Entity]:
+        return frozenset(self._site_of)
+
+    @property
+    def sites(self) -> frozenset[Site]:
+        return frozenset(self._entities_at)
+
+    def site_of(self, entity: Entity) -> Site:
+        """The site storing ``entity``.
+
+        Raises:
+            KeyError: if the entity is not in the schema.
+        """
+        return self._site_of[entity]
+
+    def entities_at(self, site: Site) -> frozenset[Entity]:
+        """All entities stored at ``site`` (empty if the site is unknown)."""
+        return self._entities_at.get(site, frozenset())
+
+    def __contains__(self, entity: Entity) -> bool:
+        return entity in self._site_of
+
+    def colocated(self, a: Entity, b: Entity) -> bool:
+        """True if the two entities live at the same site."""
+        return self._site_of[a] == self._site_of[b]
+
+    def is_centralized(self) -> bool:
+        """True if the schema has at most one site."""
+        return len(self._entities_at) <= 1
+
+    def merged_with(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """Union of two schemas.
+
+        Raises:
+            ValueError: if an entity is placed differently in the two.
+        """
+        placement = dict(self._site_of)
+        for entity, site in other._site_of.items():
+            if entity in placement and placement[entity] != site:
+                raise ValueError(
+                    f"conflicting placement for {entity!r}: "
+                    f"{placement[entity]!r} vs {site!r}"
+                )
+            placement[entity] = site
+        return DatabaseSchema(placement)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._site_of == other._site_of
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._site_of.items()))
+
+    def __repr__(self) -> str:
+        groups = {
+            site: sorted(entities)
+            for site, entities in sorted(self._entities_at.items())
+        }
+        return f"DatabaseSchema({groups})"

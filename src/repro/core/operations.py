@@ -1,0 +1,89 @@
+"""Lock / Unlock / Action operations — the node labels of a transaction.
+
+Section 2: every node of a transaction is labelled ``Lx`` (lock entity x),
+``Ux`` (unlock x), or ``A.x`` (an indivisible read-update action on x).
+The analyses only depend on the Lock/Unlock skeleton, but the model keeps
+actions so that schedules and the simulator are faithful to the paper's
+serializability semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.entity import Entity
+
+__all__ = ["OpKind", "Operation"]
+
+
+class OpKind(enum.Enum):
+    """The three operation labels of the model."""
+
+    LOCK = "L"
+    UNLOCK = "U"
+    ACTION = "A"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One step of a transaction: a kind applied to an entity.
+
+    ``Operation`` is a pure label; its position in the transaction's
+    partial order lives in :class:`repro.core.transaction.Transaction`.
+    """
+
+    kind: OpKind
+    entity: Entity
+
+    def __str__(self) -> str:
+        if self.kind is OpKind.ACTION:
+            return f"A.{self.entity}"
+        return f"{self.kind.value}{self.entity}"
+
+    @classmethod
+    def lock(cls, entity: Entity) -> "Operation":
+        return cls(OpKind.LOCK, entity)
+
+    @classmethod
+    def unlock(cls, entity: Entity) -> "Operation":
+        return cls(OpKind.UNLOCK, entity)
+
+    @classmethod
+    def action(cls, entity: Entity) -> "Operation":
+        return cls(OpKind.ACTION, entity)
+
+    @classmethod
+    def parse(cls, text: str) -> "Operation":
+        """Parse ``"Lx"``, ``"Ux"`` or ``"A.x"`` forms.
+
+        Raises:
+            ValueError: on malformed input.
+        """
+        text = text.strip()
+        if text.startswith("A."):
+            entity = text[2:]
+            kind = OpKind.ACTION
+        elif text[:1] in ("L", "U") and len(text) > 1:
+            kind = OpKind.LOCK if text[0] == "L" else OpKind.UNLOCK
+            entity = text[1:]
+        else:
+            raise ValueError(f"cannot parse operation {text!r}")
+        if not entity:
+            raise ValueError(f"operation {text!r} names no entity")
+        return cls(kind, entity)
+
+    @property
+    def is_lock(self) -> bool:
+        return self.kind is OpKind.LOCK
+
+    @property
+    def is_unlock(self) -> bool:
+        return self.kind is OpKind.UNLOCK
+
+    @property
+    def is_action(self) -> bool:
+        return self.kind is OpKind.ACTION

@@ -1,0 +1,191 @@
+"""Prefixes of transactions and of transaction systems.
+
+Section 3: a *prefix* of a dag G is a subgraph with no arcs entering it
+from outside — a down-set of the partial order. A prefix A' of a system A
+picks one prefix per transaction. Prefixes are the state space of every
+static analysis in the paper: deadlock prefixes (Theorem 1), the minimal
+prefix of the two-transaction algorithm, and the maximal prefixes T* of
+Theorem 4 are all instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.entity import Entity
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.core.transaction import Transaction
+from repro.util.bitset import bits_of, from_indices
+
+__all__ = ["SystemPrefix", "prefix_mask_from_labels"]
+
+
+def prefix_mask_from_labels(
+    transaction: Transaction, labels: Iterable[str]
+) -> int:
+    """Build a node mask from operation labels like ``["Lx", "Ux"]``.
+
+    Raises:
+        KeyError: if a label does not occur (exactly once) in the
+            transaction.
+    """
+    by_label: dict[str, int] = {}
+    for node, op in enumerate(transaction.ops):
+        text = str(op)
+        if text in by_label:
+            raise KeyError(
+                f"{transaction.name}: ambiguous label {text!r}; "
+                "address the node by id instead"
+            )
+        by_label[text] = node
+    return from_indices(by_label[label] for label in labels)
+
+
+class SystemPrefix:
+    """A prefix A' = (T1', ..., Tn') of a transaction system.
+
+    Args:
+        system: the underlying system.
+        masks: one bitmask of executed nodes per transaction; each must be
+            a down-set of its transaction's partial order.
+
+    Raises:
+        ValueError: if some mask is not a down-set.
+    """
+
+    __slots__ = ("system", "masks")
+
+    def __init__(self, system: TransactionSystem, masks: Sequence[int]):
+        if len(masks) != len(system):
+            raise ValueError(
+                f"expected {len(system)} masks, got {len(masks)}"
+            )
+        for i, mask in enumerate(masks):
+            t = system[i]
+            if mask >> t.node_count:
+                raise ValueError(f"mask for {t.name} has out-of-range bits")
+            if not t.dag.is_down_set(mask):
+                raise ValueError(
+                    f"mask {mask:#x} is not a prefix of {t.name}"
+                )
+        self.system = system
+        self.masks = tuple(masks)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, system: TransactionSystem) -> "SystemPrefix":
+        return cls(system, [0] * len(system))
+
+    @classmethod
+    def complete(cls, system: TransactionSystem) -> "SystemPrefix":
+        return cls(
+            system, [t.dag.all_nodes_mask() for t in system.transactions]
+        )
+
+    @classmethod
+    def from_labels(
+        cls, system: TransactionSystem, labels: Sequence[Iterable[str]]
+    ) -> "SystemPrefix":
+        """Build from per-transaction operation labels.
+
+        The given nodes are *down-closed* automatically, so callers can
+        name just the maximal nodes of each prefix.
+        """
+        masks = []
+        for t, names in zip(system.transactions, labels):
+            mask = prefix_mask_from_labels(t, names)
+            masks.append(t.dag.down_closure(mask))
+        return cls(system, masks)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def executed(self, gnode: GlobalNode) -> bool:
+        return bool(self.masks[gnode.txn] >> gnode.node & 1)
+
+    def remaining_mask(self, txn: int) -> int:
+        t = self.system[txn]
+        return t.dag.all_nodes_mask() & ~self.masks[txn]
+
+    def is_complete(self) -> bool:
+        return all(
+            self.masks[i] == t.dag.all_nodes_mask()
+            for i, t in enumerate(self.system.transactions)
+        )
+
+    def is_transaction_done(self, txn: int) -> bool:
+        return self.masks[txn] == self.system[txn].dag.all_nodes_mask()
+
+    def step_count(self) -> int:
+        """Total number of executed nodes."""
+        return sum(mask.bit_count() for mask in self.masks)
+
+    def locked_not_unlocked(self, txn: int) -> frozenset[Entity]:
+        """Entities ``x`` with ``Lx`` executed but ``Ux`` not, in Ti'."""
+        t = self.system[txn]
+        mask = self.masks[txn]
+        held = set()
+        for entity in t.entities:
+            if (
+                mask >> t.lock_node(entity) & 1
+                and not mask >> t.unlock_node(entity) & 1
+            ):
+                held.add(entity)
+        return frozenset(held)
+
+    def holders(self) -> dict[Entity, int]:
+        """Map each held entity to the transaction holding it.
+
+        Raises:
+            ValueError: if two prefixes hold the same entity (such a prefix
+                cannot have a schedule — the necessary condition of §3).
+        """
+        held: dict[Entity, int] = {}
+        for i in range(len(self.system)):
+            for entity in self.locked_not_unlocked(i):
+                if entity in held:
+                    raise ValueError(
+                        f"entity {entity!r} locked-but-not-unlocked by both "
+                        f"T{held[entity] + 1} and T{i + 1}"
+                    )
+                held[entity] = i
+        return held
+
+    def is_lock_consistent(self) -> bool:
+        """True if no entity is held by two prefixes (necessary for a
+        schedule to exist; not sufficient)."""
+        try:
+            self.holders()
+        except ValueError:
+            return False
+        return True
+
+    def executed_nodes(self, txn: int) -> list[int]:
+        return list(bits_of(self.masks[txn]))
+
+    def describe(self) -> str:
+        """Readable summary, one line per transaction."""
+        lines = []
+        for i, t in enumerate(self.system.transactions):
+            labels = [t.describe_node(u) for u in self.executed_nodes(i)]
+            lines.append(f"{t.name}: {{{', '.join(labels)}}}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SystemPrefix):
+            return NotImplemented
+        return self.system is other.system and self.masks == other.masks
+
+    def __hash__(self) -> int:
+        return hash((id(self.system), self.masks))
+
+    def __repr__(self) -> str:
+        return f"SystemPrefix(masks={[hex(m) for m in self.masks]})"

@@ -1,0 +1,164 @@
+"""The reduction graph R(A') and the deadlock-prefix characterization.
+
+Section 3: given a prefix A' of a system A that has a schedule, the
+*reduction graph* R(A') is built on the remaining (unexecuted) nodes:
+
+* all arcs of the remaining parts of the transactions, and
+* for each entity ``x`` locked-but-not-unlocked in A' by transaction Ti,
+  arcs from ``Ui x`` to every remaining ``Lj x`` of the other
+  transactions (Tj must unlock-wait behind Ti).
+
+A' is a *deadlock prefix* if it has a schedule and R(A') is cyclic.
+Theorem 1: a system is deadlock-free iff it has no deadlock prefix.
+
+The reduction graph generalizes the classical waits-for graph: a cycle
+certifies that the partial schedule can never be completed, even before
+every participant is physically blocked.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import OpKind
+from repro.core.prefix import SystemPrefix
+from repro.core.schedule import Schedule
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.util.bitset import bits_of
+from repro.util.graphs import Digraph
+
+__all__ = [
+    "is_deadlock_partial_schedule",
+    "is_deadlock_prefix",
+    "prefix_has_schedule",
+    "reduction_graph",
+]
+
+
+def reduction_graph(prefix: SystemPrefix) -> Digraph:
+    """Build R(A') for a lock-consistent prefix.
+
+    Raises:
+        ValueError: if two prefixes hold the same entity (no schedule can
+            have produced such a prefix, so R is undefined).
+    """
+    system = prefix.system
+    holders = prefix.holders()  # raises on double-hold
+    graph = Digraph()
+
+    # Remaining transaction arcs. Because prefixes are down-sets, the
+    # restriction of the direct arcs to remaining nodes preserves every
+    # remaining path.
+    for i, t in enumerate(system.transactions):
+        remaining = prefix.remaining_mask(i)
+        for u in bits_of(remaining):
+            graph.add_node(GlobalNode(i, u))
+        for u, v in t.dag.arcs:
+            if remaining >> u & 1 and remaining >> v & 1:
+                graph.add_arc(GlobalNode(i, u), GlobalNode(i, v))
+
+    # Cross arcs U_i x -> L_j x for held entities.
+    for entity, i in holders.items():
+        unlock_gnode = GlobalNode(i, system[i].unlock_node(entity))
+        for j in system.accessors(entity):
+            if j == i:
+                continue
+            lock_node = system[j].lock_node(entity)
+            if not prefix.masks[j] >> lock_node & 1:
+                graph.add_arc(
+                    unlock_gnode, GlobalNode(j, lock_node), label=entity
+                )
+    return graph
+
+
+def prefix_has_schedule(prefix: SystemPrefix) -> Schedule | None:
+    """Search for a schedule executing exactly this prefix.
+
+    Not every prefix has one (§3): the locks may make the exact node sets
+    unreachable. The search explores interleavings of the prefix nodes
+    respecting precedence and locks, memoizing visited states; worst case
+    exponential in the prefix size, fine for analysis-sized prefixes.
+
+    Returns:
+        A witness :class:`Schedule`, or None if the prefix is unreachable.
+    """
+    system = prefix.system
+    n = len(system)
+    target = prefix.masks
+    start = tuple([0] * n)
+    # parent pointers for witness reconstruction
+    seen: dict[tuple[int, ...], tuple[tuple[int, ...], GlobalNode] | None] = {
+        start: None
+    }
+    stack = [start]
+    while stack:
+        state = stack.pop()
+        if state == target:
+            steps: list[GlobalNode] = []
+            cursor = state
+            while seen[cursor] is not None:
+                prev, gnode = seen[cursor]  # type: ignore[misc]
+                steps.append(gnode)
+                cursor = prev
+            steps.reverse()
+            return Schedule(system, steps)
+        # who holds what in this state
+        holder: dict[str, int] = {}
+        for i, t in enumerate(system.transactions):
+            mask = state[i]
+            for entity in t.entities:
+                if (
+                    mask >> t.lock_node(entity) & 1
+                    and not mask >> t.unlock_node(entity) & 1
+                ):
+                    holder[entity] = i
+        for i, t in enumerate(system.transactions):
+            executable = target[i] & ~state[i]
+            for u in bits_of(executable):
+                if t.dag.ancestors(u) & ~state[i]:
+                    continue  # a predecessor has not run yet
+                op = t.ops[u]
+                if op.kind is OpKind.LOCK:
+                    current = holder.get(op.entity)
+                    if current is not None and current != i:
+                        continue  # blocked
+                nxt = list(state)
+                nxt[i] |= 1 << u
+                key = tuple(nxt)
+                if key not in seen:
+                    seen[key] = (state, GlobalNode(i, u))
+                    stack.append(key)
+    return None
+
+
+def is_deadlock_prefix(prefix: SystemPrefix) -> bool:
+    """Definition of §3: the prefix has a schedule and R(A') is cyclic."""
+    if not prefix.is_lock_consistent():
+        return False
+    graph = reduction_graph(prefix)
+    if graph.is_acyclic():
+        return False
+    return prefix_has_schedule(prefix) is not None
+
+
+def is_deadlock_partial_schedule(schedule: Schedule) -> bool:
+    """Check the §3 definition of a deadlock partial schedule.
+
+    For every transaction, the only remaining nodes without predecessors
+    must be Lock operations requesting entities locked-but-not-unlocked by
+    some *other* prefix — i.e. nobody can take a step, yet somebody must.
+    """
+    prefix = schedule.prefix()
+    if prefix.is_complete():
+        return False
+    system = schedule.system
+    holders = prefix.holders()
+    for i, t in enumerate(system.transactions):
+        remaining = prefix.remaining_mask(i)
+        candidates = t.dag.minimal_nodes(remaining)
+        for u in bits_of(candidates):
+            op = t.ops[u]
+            if op.kind is not OpKind.LOCK:
+                return False
+            holder = holders.get(op.entity)
+            if holder is None or holder == i:
+                return False
+    return True

@@ -1,0 +1,171 @@
+"""Schedules: lock-respecting merges of transaction (prefix) executions.
+
+Section 2: a sequence S is a *schedule* of A = {T1,...,Tn} if it merges
+one linear extension of each transaction and between every two ``Lx``
+operations there is a ``Ux``. A *partial schedule* executes a prefix of
+each transaction under the same rules (Section 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.entity import Entity
+from repro.core.operations import OpKind
+from repro.core.prefix import SystemPrefix
+from repro.core.system import GlobalNode, TransactionSystem
+
+__all__ = ["IllegalScheduleError", "Schedule"]
+
+
+class IllegalScheduleError(ValueError):
+    """The step sequence violates precedence or the locks."""
+
+
+class Schedule:
+    """A validated (partial) schedule of a transaction system.
+
+    Args:
+        system: the transaction system.
+        steps: global nodes in execution order.
+
+    Raises:
+        IllegalScheduleError: if a step repeats, violates its transaction's
+            partial order, or locks an entity currently held by another
+            transaction.
+    """
+
+    __slots__ = ("system", "steps", "_masks")
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        steps: Sequence[GlobalNode | tuple[int, int]],
+    ):
+        self.system = system
+        normalized = [GlobalNode(*step) for step in steps]
+        masks = [0] * len(system)
+        holder: dict[Entity, int] = {}
+        for position, gnode in enumerate(normalized):
+            txn, node = gnode
+            if not 0 <= txn < len(system):
+                raise IllegalScheduleError(
+                    f"step {position}: transaction index {txn} out of range"
+                )
+            t = system[txn]
+            if not 0 <= node < t.node_count:
+                raise IllegalScheduleError(
+                    f"step {position}: node {node} out of range for {t.name}"
+                )
+            if masks[txn] >> node & 1:
+                raise IllegalScheduleError(
+                    f"step {position}: {system.describe_node(gnode)} "
+                    f"executed twice"
+                )
+            if t.dag.ancestors(node) & ~masks[txn]:
+                raise IllegalScheduleError(
+                    f"step {position}: {system.describe_node(gnode)} runs "
+                    f"before one of its predecessors in {t.name}"
+                )
+            op = t.ops[node]
+            if op.kind is OpKind.LOCK:
+                current = holder.get(op.entity)
+                if current is not None and current != txn:
+                    raise IllegalScheduleError(
+                        f"step {position}: {system.describe_node(gnode)} "
+                        f"while T{current + 1} holds {op.entity!r}"
+                    )
+                holder[op.entity] = txn
+            elif op.kind is OpKind.UNLOCK:
+                holder.pop(op.entity, None)
+            masks[txn] |= 1 << node
+        self.steps = tuple(normalized)
+        self._masks = tuple(masks)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def serial(
+        cls, system: TransactionSystem, order: Iterable[int] | None = None
+    ) -> "Schedule":
+        """The serial schedule running whole transactions in ``order``."""
+        if order is None:
+            order = range(len(system))
+        steps: list[GlobalNode] = []
+        for txn in order:
+            for node in system[txn].dag.topological_order():
+                steps.append(GlobalNode(txn, node))
+        return cls(system, steps)
+
+    @classmethod
+    def serial_prefixes(
+        cls, prefix: SystemPrefix, order: Iterable[int] | None = None
+    ) -> "Schedule":
+        """Run each prefix to completion serially in ``order``.
+
+        This is the normal form S* used in the proof of Theorem 4.
+        """
+        system = prefix.system
+        if order is None:
+            order = range(len(system))
+        steps: list[GlobalNode] = []
+        for txn in order:
+            mask = prefix.masks[txn]
+            for node in system[txn].dag.topological_order():
+                if mask >> node & 1:
+                    steps.append(GlobalNode(txn, node))
+        return cls(system, steps)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def prefix(self) -> SystemPrefix:
+        """The system prefix executed by this (partial) schedule."""
+        return SystemPrefix(self.system, self._masks)
+
+    def is_complete(self) -> bool:
+        return self.prefix().is_complete()
+
+    def is_serial(self) -> bool:
+        """True if the transactions appear consecutively, no interleaving."""
+        seen: list[int] = []
+        for gnode in self.steps:
+            if not seen or seen[-1] != gnode.txn:
+                if gnode.txn in seen:
+                    return False
+                seen.append(gnode.txn)
+        return True
+
+    def lock_sequence(self, entity: Entity) -> list[int]:
+        """Transaction indices in the order they lock ``entity``."""
+        order = []
+        for gnode in self.steps:
+            op = self.system[gnode.txn].ops[gnode.node]
+            if op.kind is OpKind.LOCK and op.entity == entity:
+                order.append(gnode.txn)
+        return order
+
+    def subsequence_of(self, txn: int) -> list[int]:
+        """Node ids of transaction ``txn`` in schedule order."""
+        return [g.node for g in self.steps if g.txn == txn]
+
+    def extended(self, steps: Iterable[GlobalNode | tuple[int, int]]) -> (
+            "Schedule"):
+        """A new schedule with ``steps`` appended (revalidated)."""
+        return Schedule(self.system, list(self.steps) + list(steps))
+
+    def describe(self) -> str:
+        """Space-separated paper-style step labels."""
+        return " ".join(self.system.describe_node(g) for g in self.steps)
+
+    def __repr__(self) -> str:
+        return f"Schedule({self.describe()})"

@@ -1,0 +1,20 @@
+"""Serialization of transaction systems: text format, JSON, Graphviz."""
+
+from repro.io.dot import d_graph_to_dot, system_to_dot, transaction_to_dot
+from repro.io.jsonfmt import system_from_json, system_to_json
+from repro.io.textfmt import (
+    ParseError,
+    format_system,
+    parse_system,
+)
+
+__all__ = [
+    "ParseError",
+    "d_graph_to_dot",
+    "format_system",
+    "parse_system",
+    "system_from_json",
+    "system_to_dot",
+    "system_to_json",
+    "transaction_to_dot",
+]

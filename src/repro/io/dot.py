@@ -1,0 +1,74 @@
+"""Graphviz DOT export for transactions and derived graphs."""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.core.serialization import d_graph
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+from repro.util.graphs import Digraph
+
+__all__ = ["d_graph_to_dot", "system_to_dot", "transaction_to_dot"]
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def transaction_to_dot(transaction: Transaction) -> str:
+    """The Hasse diagram of one transaction, clustered by site."""
+    lines = [f"digraph {_quote(transaction.name)} {{", "  rankdir=TB;"]
+    for index, site in enumerate(sorted(transaction.sites_touched())):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(site)};")
+        for node in transaction.nodes_at_site(site):
+            label = transaction.describe_node(node)
+            lines.append(
+                f"    n{node} [label={_quote(label)}, shape=box];"
+            )
+        lines.append("  }")
+    for u, v in sorted(transaction.dag.transitive_reduction().arcs):
+        lines.append(f"  n{u} -> n{v};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def system_to_dot(system: TransactionSystem) -> str:
+    """All transactions of a system, clustered per transaction."""
+    lines = ["digraph system {", "  rankdir=TB;", "  compound=true;"]
+    for index, transaction in enumerate(system.transactions):
+        lines.append(f"  subgraph cluster_t{index} {{")
+        lines.append(f"    label={_quote(transaction.name)};")
+        for node in range(transaction.node_count):
+            label = transaction.describe_node(node)
+            lines.append(
+                f"    t{index}n{node} [label={_quote(label)}, shape=box];"
+            )
+        for u, v in sorted(transaction.dag.transitive_reduction().arcs):
+            lines.append(f"    t{index}n{u} -> t{index}n{v};")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def digraph_to_dot(graph: Digraph, name: str = "G", labeler=str) -> str:
+    """Generic :class:`Digraph` export; ``labeler`` renders node labels."""
+    lines = [f"digraph {_quote(name)} {{"]
+    ids = {node: f"n{i}" for i, node in enumerate(graph.nodes)}
+    for node, node_id in ids.items():
+        lines.append(f"  {node_id} [label={_quote(labeler(node))}];")
+    for u, v, label in graph.arcs():
+        attr = f" [label={_quote(str(label))}]" if label is not None else ""
+        lines.append(f"  {ids[u]} -> {ids[v]}{attr};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def d_graph_to_dot(schedule: Schedule) -> str:
+    """The serialization digraph D(S) of a schedule."""
+    graph = d_graph(schedule)
+    system = schedule.system
+    return digraph_to_dot(
+        graph, name="D", labeler=lambda i: system[i].name
+    )

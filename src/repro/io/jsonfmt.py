@@ -1,0 +1,61 @@
+"""JSON (de)serialization of transaction systems."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.entity import DatabaseSchema
+from repro.core.operations import Operation
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+
+__all__ = ["system_from_json", "system_to_json"]
+
+_FORMAT_VERSION = 1
+
+
+def system_to_json(system: TransactionSystem, indent: int | None = 2) -> str:
+    """Serialize a system to a JSON document."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "schema": {
+            entity: system.schema.site_of(entity)
+            for entity in sorted(system.entities)
+        },
+        "transactions": [
+            {
+                "name": t.name,
+                "ops": [str(op) for op in t.ops],
+                "arcs": sorted([list(arc) for arc in t.dag.arcs]),
+            }
+            for t in system.transactions
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def system_from_json(text: str) -> TransactionSystem:
+    """Parse a system from a JSON document produced by
+    :func:`system_to_json`.
+
+    Raises:
+        ValueError: on version mismatch or malformed structure.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("top-level JSON value must be an object")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    schema = DatabaseSchema(dict(payload["schema"]))
+    transactions = []
+    for entry in payload["transactions"]:
+        ops = [Operation.parse(text) for text in entry["ops"]]
+        arcs = [(int(u), int(v)) for u, v in entry["arcs"]]
+        transactions.append(
+            Transaction(entry["name"], ops, arcs, schema)
+        )
+    return TransactionSystem(transactions)

@@ -1,0 +1,23 @@
+"""Executable reconstructions of the paper's figures."""
+
+from repro.paper.figures import (
+    figure1,
+    figure1_prefix,
+    figure2,
+    figure2_prefix,
+    figure3,
+    figure3_extensions,
+    figure5_formula,
+    figure6,
+)
+
+__all__ = [
+    "figure1",
+    "figure1_prefix",
+    "figure2",
+    "figure2_prefix",
+    "figure3",
+    "figure3_extensions",
+    "figure5_formula",
+    "figure6",
+]

@@ -1,0 +1,36 @@
+"""The Theorem 2 machinery: 3SAT′ formulas, solvers, and the encoding
+of satisfiability into deadlock of two distributed transactions."""
+
+from repro.reductions.cnf import (
+    CnfFormula,
+    Literal,
+    NotThreeSatPrimeError,
+    random_three_sat_prime,
+)
+from repro.reductions.encoding import (
+    assignment_to_prefix,
+    decode_assignment,
+    encode_formula,
+    expected_cycle,
+    verify_cycle,
+)
+from repro.reductions.solvers import (
+    brute_force_satisfiable,
+    count_models,
+    dpll_solve,
+)
+
+__all__ = [
+    "CnfFormula",
+    "Literal",
+    "NotThreeSatPrimeError",
+    "assignment_to_prefix",
+    "brute_force_satisfiable",
+    "count_models",
+    "decode_assignment",
+    "dpll_solve",
+    "encode_formula",
+    "expected_cycle",
+    "random_three_sat_prime",
+    "verify_cycle",
+]

@@ -1,0 +1,276 @@
+"""CNF formulas and the 3SAT′ fragment used by Theorem 2.
+
+3SAT′ (the paper's notation, NP-complete per [GJ; J]): a CNF formula in
+which every clause has at most three literals and every variable occurs
+**exactly twice positively and once negatively** across the whole
+formula. The Theorem 2 construction consumes exactly this fragment: the
+two positive occurrence clauses (h, k) and the negative occurrence
+clause (l) of each variable index the arcs of the built transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "CnfFormula",
+    "Literal",
+    "NotThreeSatPrimeError",
+    "Occurrences",
+    "random_three_sat_prime",
+]
+
+
+class NotThreeSatPrimeError(ValueError):
+    """The formula violates the 3SAT′ occurrence discipline."""
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A possibly negated propositional variable."""
+
+    variable: str
+    positive: bool = True
+
+    def negated(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def value_under(self, assignment: Mapping[str, bool]) -> bool:
+        value = assignment[self.variable]
+        return value if self.positive else not value
+
+    @classmethod
+    def parse(cls, text: str) -> "Literal":
+        """Parse ``"x"`` / ``"~x"`` / ``"!x"`` / ``"-x"`` forms."""
+        text = text.strip()
+        if text[:1] in ("~", "!", "-"):
+            name = text[1:].strip()
+            positive = False
+        else:
+            name = text
+            positive = True
+        if not name:
+            raise ValueError(f"cannot parse literal {text!r}")
+        return cls(name, positive)
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+@dataclass(frozen=True, slots=True)
+class Occurrences:
+    """Where one variable occurs: 1-based clause indices.
+
+    Attributes:
+        first_positive: clause of the first positive occurrence (h).
+        second_positive: clause of the second positive occurrence (k).
+        negative: clause of the negative occurrence (l).
+    """
+
+    first_positive: int
+    second_positive: int
+    negative: int
+
+
+class CnfFormula:
+    """An immutable CNF formula (conjunction of literal disjunctions)."""
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Sequence[Literal]]):
+        self.clauses: tuple[tuple[Literal, ...], ...] = tuple(
+            tuple(clause) for clause in clauses
+        )
+        for index, clause in enumerate(self.clauses, start=1):
+            if not clause:
+                raise ValueError(f"clause {index} is empty")
+            variables = [lit.variable for lit in clause]
+            if len(set(variables)) != len(variables):
+                raise ValueError(
+                    f"clause {index} mentions a variable twice: {variables}"
+                )
+
+    @classmethod
+    def from_lists(cls, clauses: Iterable[Iterable[str]]) -> "CnfFormula":
+        """Build from string literals, e.g. ``[["x1", "~x2"], ...]``."""
+        return cls(
+            [[Literal.parse(text) for text in clause] for clause in clauses]
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def variables(self) -> list[str]:
+        """Variable names in first-occurrence order."""
+        seen: dict[str, None] = {}
+        for clause in self.clauses:
+            for lit in clause:
+                seen.setdefault(lit.variable, None)
+        return list(seen)
+
+    @property
+    def clause_count(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Truth value under a (total) assignment.
+
+        Raises:
+            KeyError: if the assignment misses a variable.
+        """
+        return all(
+            any(lit.value_under(assignment) for lit in clause)
+            for clause in self.clauses
+        )
+
+    def satisfying_literals(
+        self, assignment: Mapping[str, bool]
+    ) -> list[Literal]:
+        """One true literal per clause (the z_i of the Theorem 2 proof).
+
+        Raises:
+            ValueError: if some clause is unsatisfied.
+        """
+        chosen = []
+        for index, clause in enumerate(self.clauses, start=1):
+            for lit in clause:
+                if lit.value_under(assignment):
+                    chosen.append(lit)
+                    break
+            else:
+                raise ValueError(
+                    f"assignment does not satisfy clause {index}"
+                )
+        return chosen
+
+    # ------------------------------------------------------------------
+    # the 3SAT' discipline
+    # ------------------------------------------------------------------
+
+    def occurrence_table(self) -> dict[str, Occurrences]:
+        """Per-variable (h, k, l) clause indices.
+
+        Raises:
+            NotThreeSatPrimeError: if the formula is not 3SAT′.
+        """
+        positive: dict[str, list[int]] = {}
+        negative: dict[str, list[int]] = {}
+        for index, clause in enumerate(self.clauses, start=1):
+            if len(clause) > 3:
+                raise NotThreeSatPrimeError(
+                    f"clause {index} has more than 3 literals"
+                )
+            for lit in clause:
+                bucket = positive if lit.positive else negative
+                bucket.setdefault(lit.variable, []).append(index)
+        table = {}
+        for variable in self.variables:
+            pos = positive.get(variable, [])
+            neg = negative.get(variable, [])
+            if len(pos) != 2 or len(neg) != 1:
+                raise NotThreeSatPrimeError(
+                    f"variable {variable!r} occurs {len(pos)}x positively "
+                    f"and {len(neg)}x negatively; 3SAT' requires 2 and 1"
+                )
+            table[variable] = Occurrences(pos[0], pos[1], neg[0])
+        return table
+
+    def is_three_sat_prime(self) -> bool:
+        """True if the formula lies in the 3SAT′ fragment."""
+        try:
+            self.occurrence_table()
+        except NotThreeSatPrimeError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return " & ".join(
+            "(" + " | ".join(str(lit) for lit in clause) + ")"
+            for clause in self.clauses
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CnfFormula):
+            return NotImplemented
+        return self.clauses == other.clauses
+
+    def __hash__(self) -> int:
+        return hash(self.clauses)
+
+
+def random_three_sat_prime(
+    n_variables: int,
+    rng: random.Random,
+    clause_size: int = 3,
+    max_attempts: int = 1000,
+) -> CnfFormula:
+    """Generate a random 3SAT′ formula over ``n_variables`` variables.
+
+    Creates the 3·n occurrence tokens (two positive, one negative per
+    variable), shuffles them, and deals them into ``n`` clauses of
+    ``clause_size`` (= 3 by default, requiring ``clause_size`` to divide
+    3·n) such that no clause repeats a variable, retrying on conflicts.
+
+    Args:
+        n_variables: number of variables (and, with size-3 clauses, of
+            clauses). Must be at least 3 so that a conflict-free deal
+            exists.
+        rng: source of randomness (pass a seeded ``random.Random``).
+        clause_size: literals per clause; must divide ``3 * n_variables``.
+        max_attempts: shuffle retries before giving up.
+
+    Raises:
+        ValueError: on infeasible parameters or exhausted retries.
+    """
+    if n_variables < 3:
+        raise ValueError("need at least 3 variables for 3SAT'")
+    total = 3 * n_variables
+    if total % clause_size:
+        raise ValueError(
+            f"clause size {clause_size} does not divide {total} tokens"
+        )
+    n_clauses = total // clause_size
+    names = [f"x{j + 1}" for j in range(n_variables)]
+    tokens = []
+    for name in names:
+        tokens.extend(
+            [Literal(name), Literal(name), Literal(name, positive=False)]
+        )
+    for _ in range(max_attempts):
+        rng.shuffle(tokens)
+        clauses: list[list[Literal]] = [[] for _ in range(n_clauses)]
+        ok = True
+        for token in tokens:
+            placed = False
+            # Prefer the emptiest clause without this variable: keeps the
+            # deal balanced and makes conflicts rare.
+            candidates = sorted(
+                range(n_clauses), key=lambda c: (len(clauses[c]), c)
+            )
+            for c in candidates:
+                if len(clauses[c]) >= clause_size:
+                    continue
+                if any(t.variable == token.variable for t in clauses[c]):
+                    continue
+                clauses[c].append(token)
+                placed = True
+                break
+            if not placed:
+                ok = False
+                break
+        if ok:
+            formula = CnfFormula(clauses)
+            if formula.is_three_sat_prime():
+                return formula
+    raise ValueError(
+        f"could not deal a 3SAT' formula with n={n_variables} in "
+        f"{max_attempts} attempts"
+    )

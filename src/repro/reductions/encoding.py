@@ -1,0 +1,330 @@
+"""The Theorem 2 construction: 3SAT′ → deadlock of two transactions.
+
+Given a 3SAT′ formula with clauses c_1..c_r and variables x_1..x_n, two
+distributed transactions T1, T2 are built over the entities
+
+    c_i, c'_i          for each clause i, and
+    x_j, x'_j, x''_j   for each variable j,
+
+each at its own site, such that **the formula is satisfiable iff
+{T1, T2} has a deadlock prefix** (equivalently, by Theorem 1, iff the
+pair can deadlock). Since the node count is linear in the formula size,
+this establishes coNP-hardness of deadlock-freedom for two distributed
+transactions.
+
+Arc families (recovered arc-by-arc from the proof text; throughout,
+``c_{r+1} = c_1``):
+
+Common to T1 and T2:
+    Ld -> Ud            for every entity d,
+    Lc'_i -> Uc_i       for every clause i.
+
+For each variable x_j — let h, k be the clauses of its two positive
+occurrences and l the clause of its negative occurrence:
+
+    T1:  Lc_h -> Ux_j,   Lc_k -> Ux'_j,
+         Lx_j -> Ux''_j,
+         Lx'_j -> Uc_{l+1},   Lx'_j -> Uc'_{l+1}.
+
+    T2:  Lc_l -> Ux_j,
+         Lx''_j -> Ux'_j,
+         Lx_j -> Uc_{h+1},  Lx_j -> Uc'_{h+1},
+         Lx'_j -> Uc_{k+1}, Lx'_j -> Uc'_{k+1}.
+
+Every arc runs from a Lock to an Unlock, so both transactions are
+trivially acyclic, and with one entity per site the per-site total-order
+requirement is the Ld -> Ud chain.
+
+Certificates run in both directions:
+
+* :func:`assignment_to_prefix` maps a satisfying assignment to the
+  deadlock prefix N = ∪ Z_i of the proof, and :func:`expected_cycle`
+  produces the explicit reduction-graph cycle, component by component;
+* :func:`decode_assignment` maps any cycle of any deadlock prefix's
+  reduction graph back to a satisfying truth assignment (the converse
+  direction of the proof: U¹x_j or U¹x'_j on the cycle ⇒ x_j true,
+  U²x_j on the cycle ⇒ x_j false).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+
+from repro.core.entity import DatabaseSchema
+from repro.core.operations import OpKind
+from repro.core.prefix import SystemPrefix
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.core.transaction import Transaction, TransactionBuilder
+from repro.reductions.cnf import CnfFormula, Literal
+from repro.util.graphs import Digraph
+
+__all__ = [
+    "assignment_to_prefix",
+    "decode_assignment",
+    "encode_formula",
+    "expected_cycle",
+    "verify_cycle",
+]
+
+_RESERVED = re.compile(r"^c\d+'?$")
+
+
+def _validate_names(formula: CnfFormula) -> None:
+    for variable in formula.variables:
+        if "'" in variable or _RESERVED.match(variable):
+            raise ValueError(
+                f"variable name {variable!r} collides with the encoder's "
+                "entity naming (c<i>, primes); rename it"
+            )
+
+
+def _clause_entity(i: int) -> str:
+    return f"c{i}"
+
+
+def _clause_prime_entity(i: int) -> str:
+    return f"c{i}'"
+
+
+def encode_formula(formula: CnfFormula) -> TransactionSystem:
+    """Build the pair {T1, T2} of Theorem 2 for a 3SAT′ formula.
+
+    Raises:
+        NotThreeSatPrimeError: if the formula is not 3SAT′.
+        ValueError: if a variable name collides with generated entities.
+    """
+    _validate_names(formula)
+    table = formula.occurrence_table()
+    r = formula.clause_count
+
+    entities: list[str] = []
+    for i in range(1, r + 1):
+        entities.append(_clause_entity(i))
+        entities.append(_clause_prime_entity(i))
+    for variable in formula.variables:
+        entities.extend([variable, f"{variable}'", f"{variable}''"])
+    schema = DatabaseSchema.site_per_entity(entities)
+
+    def nxt(i: int) -> int:
+        return i % r + 1
+
+    def build(name: str, second: bool) -> Transaction:
+        b = TransactionBuilder(name, schema)
+        lock: dict[str, int] = {}
+        unlock: dict[str, int] = {}
+        for entity in entities:
+            lock[entity] = b.lock(entity)
+            unlock[entity] = b.unlock(entity)
+            b.arc(lock[entity], unlock[entity])
+        for i in range(1, r + 1):
+            b.arc(lock[_clause_prime_entity(i)], unlock[_clause_entity(i)])
+        for variable, occ in table.items():
+            x, xp, xpp = variable, f"{variable}'", f"{variable}''"
+            h, k, l = occ.first_positive, occ.second_positive, occ.negative
+            if not second:  # T1
+                b.arc(lock[_clause_entity(h)], unlock[x])
+                b.arc(lock[_clause_entity(k)], unlock[xp])
+                b.arc(lock[x], unlock[xpp])
+                b.arc(lock[xp], unlock[_clause_entity(nxt(l))])
+                b.arc(lock[xp], unlock[_clause_prime_entity(nxt(l))])
+            else:  # T2
+                b.arc(lock[_clause_entity(l)], unlock[x])
+                b.arc(lock[xpp], unlock[xp])
+                b.arc(lock[x], unlock[_clause_entity(nxt(h))])
+                b.arc(lock[x], unlock[_clause_prime_entity(nxt(h))])
+                b.arc(lock[xp], unlock[_clause_entity(nxt(k))])
+                b.arc(lock[xp], unlock[_clause_prime_entity(nxt(k))])
+        return b.build()
+
+    return TransactionSystem(
+        [build("T1", second=False), build("T2", second=True)]
+    )
+
+
+# ----------------------------------------------------------------------
+# satisfiable  ==>  deadlock prefix (+ explicit cycle)
+# ----------------------------------------------------------------------
+
+def assignment_to_prefix(
+    formula: CnfFormula,
+    system: TransactionSystem,
+    assignment: Mapping[str, bool],
+) -> SystemPrefix:
+    """The deadlock prefix N = ∪ Z_i of the proof of Theorem 2.
+
+    For each clause i, a satisfying literal z_i is chosen; then
+
+    * z_i = x_j (positive):  Z_i = {L¹x_j, L¹x'_j, L²c_i, L¹c'_i};
+    * z_i = ¬x_j (negative): Z_i = {L²x_j, L²x'_j, L¹x''_j, L¹c_i,
+      L²c'_i}.
+
+    All members are Lock nodes (minimal in both transactions), the two
+    transactions hold disjoint entity sets (the chosen literals are
+    consistent), so any interleaving of N is a legal partial schedule.
+
+    Raises:
+        ValueError: if the assignment does not satisfy the formula.
+    """
+    chosen = formula.satisfying_literals(assignment)
+    t1, t2 = system[0], system[1]
+    masks = [0, 0]
+
+    def add(txn: int, entity: str) -> None:
+        t = system[txn]
+        masks[txn] |= 1 << t.lock_node(entity)
+
+    for i, lit in enumerate(chosen, start=1):
+        x, xp, xpp = lit.variable, f"{lit.variable}'", f"{lit.variable}''"
+        if lit.positive:
+            add(0, x)
+            add(0, xp)
+            add(1, _clause_entity(i))
+            add(0, _clause_prime_entity(i))
+        else:
+            add(1, x)
+            add(1, xp)
+            add(0, xpp)
+            add(0, _clause_entity(i))
+            add(1, _clause_prime_entity(i))
+    return SystemPrefix(system, masks)
+
+
+def expected_cycle(
+    formula: CnfFormula,
+    system: TransactionSystem,
+    assignment: Mapping[str, bool],
+) -> list[GlobalNode]:
+    """The explicit reduction-graph cycle, concatenating one component
+    per clause exactly as in the proof of Theorem 2.
+
+    Component for z_i (writing y_j for x_j on the first positive
+    occurrence and x'_j on the second):
+
+    * z_i positive, z_{i+1} positive:
+      L¹c_i, U¹y_j, L²y_j, U²c_{i+1}
+    * z_i positive, z_{i+1} negative:
+      L¹c_i, U¹y_j, L²y_j, U²c'_{i+1}, L¹c'_{i+1}, U¹c_{i+1}
+    * z_i negative, z_{i+1} positive:
+      L²c_i, U²x_j, L¹x_j, U¹x''_j, L²x''_j, U²x'_j, L¹x'_j,
+      U¹c'_{i+1}, L²c'_{i+1}, U²c_{i+1}
+    * z_i negative, z_{i+1} negative:
+      L²c_i, U²x_j, L¹x_j, U¹x''_j, L²x''_j, U²x'_j, L¹x'_j, U¹c_{i+1}
+    """
+    chosen = formula.satisfying_literals(assignment)
+    table = formula.occurrence_table()
+    r = formula.clause_count
+
+    def gnode(txn: int, kind: OpKind, entity: str) -> GlobalNode:
+        t = system[txn]
+        node = (
+            t.lock_node(entity)
+            if kind is OpKind.LOCK
+            else t.unlock_node(entity)
+        )
+        return GlobalNode(txn, node)
+
+    L, U = OpKind.LOCK, OpKind.UNLOCK
+    cycle: list[GlobalNode] = []
+    for index, lit in enumerate(chosen):
+        i = index + 1
+        i_next = i % r + 1
+        next_lit = chosen[(index + 1) % r]
+        x = lit.variable
+        xp, xpp = f"{x}'", f"{x}''"
+        ci, ci1 = _clause_entity(i), _clause_entity(i_next)
+        cpi1 = _clause_prime_entity(i_next)
+        if lit.positive:
+            occ = table[x]
+            y = x if occ.first_positive == i else xp
+            cycle += [gnode(0, L, ci), gnode(0, U, y), gnode(1, L, y)]
+            if next_lit.positive:
+                cycle += [gnode(1, U, ci1)]
+            else:
+                cycle += [
+                    gnode(1, U, cpi1),
+                    gnode(0, L, cpi1),
+                    gnode(0, U, ci1),
+                ]
+        else:
+            cycle += [
+                gnode(1, L, ci),
+                gnode(1, U, x),
+                gnode(0, L, x),
+                gnode(0, U, xpp),
+                gnode(1, L, xpp),
+                gnode(1, U, xp),
+                gnode(0, L, xp),
+            ]
+            if next_lit.positive:
+                cycle += [
+                    gnode(0, U, cpi1),
+                    gnode(1, L, cpi1),
+                    gnode(1, U, ci1),
+                ]
+            else:
+                cycle += [gnode(0, U, ci1)]
+    return cycle
+
+
+def verify_cycle(graph: Digraph, cycle: Sequence[GlobalNode]) -> bool:
+    """Check that consecutive cycle members (cyclically) are arcs of the
+    graph."""
+    if not cycle:
+        return False
+    for a, b in zip(cycle, tuple(cycle[1:]) + (cycle[0],)):
+        if not graph.has_arc(a, b):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# deadlock prefix  ==>  satisfying assignment
+# ----------------------------------------------------------------------
+
+def decode_assignment(
+    formula: CnfFormula,
+    system: TransactionSystem,
+    cycle: Sequence[GlobalNode],
+) -> dict[str, bool]:
+    """Extract a satisfying assignment from a reduction-graph cycle.
+
+    The converse direction of the proof: on any cycle M of R(A'),
+
+    * ``U¹x_j`` or ``U¹x'_j`` in M forces x_j **true**;
+    * ``U²x_j`` in M forces x_j **false**;
+    * untouched variables are set true arbitrarily.
+
+    Raises:
+        ValueError: if the cycle forces a variable both ways (cannot
+            happen for a genuine reduction-graph cycle of an encoded
+            pair — the proof rules it out).
+    """
+    variables = set(formula.variables)
+    assignment: dict[str, bool] = {}
+
+    def force(variable: str, value: bool) -> None:
+        if assignment.get(variable, value) != value:
+            raise ValueError(
+                f"cycle forces {variable!r} both true and false; "
+                "not a reduction-graph cycle of an encoded pair"
+            )
+        assignment[variable] = value
+
+    for gnode in cycle:
+        t = system[gnode.txn]
+        op = t.ops[gnode.node]
+        if op.kind is not OpKind.UNLOCK:
+            continue
+        entity = op.entity
+        base = entity.rstrip("'")
+        primes = len(entity) - len(base)
+        if base not in variables or primes > 1:
+            continue
+        if gnode.txn == 0:
+            force(base, True)  # U1x_j or U1x'_j
+        elif primes == 0:
+            force(base, False)  # U2x_j
+    for variable in variables:
+        assignment.setdefault(variable, True)
+    return assignment

@@ -1,0 +1,53 @@
+"""A minimal discrete-event kernel: a time-ordered event queue.
+
+Events are opaque payloads ordered by (time, sequence number); the
+sequence number makes simulation runs deterministic under equal
+timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A deterministic priority queue of timed events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time``.
+
+        Raises:
+            ValueError: on negative or non-finite times.
+        """
+        if not (time >= 0):
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        time, _seq, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> float | None:
+        """Earliest scheduled time, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,118 @@
+"""Per-site lock tables with FIFO wait queues.
+
+Each site manages exclusive locks on its own entities — the distributed
+aspect of the model. Grant decisions are purely local; global phenomena
+(deadlock among sites) emerge from the composition, exactly as in the
+paper's setting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.entity import Entity
+
+__all__ = ["SiteLockManager"]
+
+
+class SiteLockManager:
+    """Exclusive locks for the entities of one site.
+
+    Lock requests are granted immediately when the entity is free,
+    otherwise queued FIFO. Waiters can be cancelled (policy aborts) and
+    holders force-released (wounds, aborts).
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        self._holder: dict[Entity, int] = {}
+        self._queue: dict[Entity, deque[int]] = {}
+
+    # ------------------------------------------------------------------
+    # requests and releases
+    # ------------------------------------------------------------------
+
+    def request(self, txn: int, entity: Entity) -> bool:
+        """Request the lock; True if granted now, False if queued.
+
+        Raises:
+            ValueError: if ``txn`` already holds or already waits for the
+                entity (the model's one-Lock-per-entity rule makes this a
+                caller bug).
+        """
+        holder = self._holder.get(entity)
+        if holder == txn:
+            raise ValueError(f"T{txn} already holds {entity!r}")
+        if holder is None:
+            self._holder[entity] = txn
+            return True
+        queue = self._queue.setdefault(entity, deque())
+        if txn in queue:
+            raise ValueError(f"T{txn} already waits for {entity!r}")
+        queue.append(txn)
+        return False
+
+    def release(self, txn: int, entity: Entity) -> int | None:
+        """Release a held lock; returns the next waiter granted, if any.
+
+        Raises:
+            ValueError: if ``txn`` does not hold the entity.
+        """
+        if self._holder.get(entity) != txn:
+            raise ValueError(f"T{txn} does not hold {entity!r}")
+        queue = self._queue.get(entity)
+        if queue:
+            nxt = queue.popleft()
+            self._holder[entity] = nxt
+            if not queue:
+                del self._queue[entity]
+            return nxt
+        del self._holder[entity]
+        return None
+
+    def cancel_wait(self, txn: int, entity: Entity) -> None:
+        """Remove ``txn`` from the wait queue of ``entity`` (no-op if
+        absent)."""
+        queue = self._queue.get(entity)
+        if queue and txn in queue:
+            queue.remove(txn)
+            if not queue:
+                del self._queue[entity]
+
+    def release_all(self, txn: int) -> list[tuple[Entity, int | None]]:
+        """Release every lock ``txn`` holds at this site.
+
+        Returns:
+            ``(entity, granted_txn_or_None)`` for each released entity.
+        """
+        held = [e for e, holder in self._holder.items() if holder == txn]
+        return [(entity, self.release(txn, entity)) for entity in held]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def holder(self, entity: Entity) -> int | None:
+        return self._holder.get(entity)
+
+    def waiters(self, entity: Entity) -> list[int]:
+        return list(self._queue.get(entity, ()))
+
+    def held_by(self, txn: int) -> list[Entity]:
+        return sorted(
+            entity for entity, holder in self._holder.items()
+            if holder == txn
+        )
+
+    def waiting_for(self, txn: int) -> list[Entity]:
+        return sorted(
+            entity
+            for entity, queue in self._queue.items()
+            if txn in queue
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SiteLockManager({self.site!r}, held={dict(self._holder)}, "
+            f"queued={{k: list(v) for k, v in self._queue.items()}})"
+        )

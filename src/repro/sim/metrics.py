@@ -1,0 +1,93 @@
+"""Result records and summary formatting for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.render import format_table
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything observed during one simulation run.
+
+    Attributes:
+        policy: policy name.
+        committed: number of transactions that committed.
+        total: number of transactions in the system.
+        end_time: simulated time at which the run ended.
+        aborts: total aborts (all causes).
+        wounds: aborts caused by wound-wait.
+        deaths: self-aborts caused by wait-die.
+        timeouts: aborts caused by lock-wait timeouts.
+        detected: aborts issued by the deadlock detector.
+        deadlocked: True if the run ended in a permanent deadlock
+            (blocking policy only).
+        deadlock_cycle: the wait-for cycle at the deadlock, as
+            transaction indices.
+        waits: number of lock requests that had to wait.
+        wait_time: total simulated time spent waiting for locks.
+        latencies: per-transaction commit latency (first start to
+            commit), indexed like the system.
+        serializable: whether the committed trace is serializable
+            (filled by the runtime via the D(S) test); None if the run
+            did not commit everything.
+        truncated: True if the run hit the event or time budget.
+    """
+
+    policy: str
+    committed: int = 0
+    total: int = 0
+    end_time: float = 0.0
+    aborts: int = 0
+    wounds: int = 0
+    deaths: int = 0
+    timeouts: int = 0
+    detected: int = 0
+    deadlocked: bool = False
+    deadlock_cycle: tuple[int, ...] = ()
+    waits: int = 0
+    wait_time: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    serializable: bool | None = None
+    truncated: bool = False
+
+    @property
+    def throughput(self) -> float:
+        """Commits per unit simulated time (0 for empty runs)."""
+        if self.end_time <= 0:
+            return 0.0
+        return self.committed / self.end_time
+
+    @property
+    def mean_latency(self) -> float:
+        done = [lat for lat in self.latencies if lat >= 0]
+        if not done:
+            return 0.0
+        return sum(done) / len(done)
+
+    def summary_row(self) -> list[object]:
+        """One table row for multi-policy comparisons."""
+        return [
+            self.policy,
+            f"{self.committed}/{self.total}",
+            f"{self.end_time:.1f}",
+            self.aborts,
+            "yes" if self.deadlocked else "no",
+            f"{self.mean_latency:.1f}",
+            "-" if self.serializable is None
+            else ("yes" if self.serializable else "NO"),
+        ]
+
+    @staticmethod
+    def summary_table(results: list["SimulationResult"]) -> str:
+        """Aligned comparison table across policies."""
+        headers = [
+            "policy", "committed", "time", "aborts", "deadlock",
+            "latency", "serializable",
+        ]
+        return format_table(
+            headers, [r.summary_row() for r in results]
+        )

@@ -1,0 +1,502 @@
+"""The distributed lock-scheduler simulator.
+
+Executes a :class:`repro.core.TransactionSystem` as a discrete-event
+simulation: every transaction is a client walking its partial order,
+issuing each operation to the site of its entity once all predecessors
+completed. Because transactions are partial orders, a client can have
+several operations in flight at different sites — including several
+blocked lock requests — which is exactly the distributed behaviour the
+paper's model captures and centralized simulators miss.
+
+Lock conflicts are resolved by the configured policy
+(:mod:`repro.sim.policies`); aborted transactions release their locks
+and restart from scratch after a delay, keeping their original
+timestamp (so wound-wait and wait-die are livelock-free).
+
+The committed operations form a trace that replays as a legal
+:class:`repro.core.Schedule`; the runtime closes the loop with the
+static theory by testing that trace for serializability with the same
+D(S) machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.operations import OpKind
+from repro.core.schedule import Schedule
+from repro.core.serialization import is_serializable
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.sim.events import EventQueue
+from repro.sim.locks import SiteLockManager
+from repro.sim.metrics import SimulationResult
+from repro.sim.policies import Decision, Policy, make_policy
+from repro.util.bitset import bits_of
+from repro.util.graphs import find_cycle
+
+__all__ = ["SimulationConfig", "Simulator", "simulate"]
+
+_RUNNING = "running"
+_COMMITTED = "committed"
+_ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tunable parameters of a run.
+
+    Attributes:
+        service_time: simulated duration of one operation at a site.
+        network_delay: extra latency charged when an operation depends
+            on a predecessor that completed at a *different* site (the
+            cross-site coordination message of the distributed model).
+        arrival_spread: transactions start uniformly in
+            [0, arrival_spread].
+        restart_delay: wait before an aborted transaction retries.
+        restart_jitter: extra uniform jitter added to restarts (avoids
+            lock-step retry storms).
+        timeout: lock-wait deadline for the timeout policy.
+        detection_interval: period of the wait-for-graph scan for the
+            detection policy.
+        max_time: hard stop for the simulated clock.
+        max_events: hard stop on processed events.
+        seed: RNG seed (arrivals and jitter).
+    """
+
+    service_time: float = 1.0
+    network_delay: float = 0.0
+    arrival_spread: float = 2.0
+    restart_delay: float = 4.0
+    restart_jitter: float = 2.0
+    timeout: float = 12.0
+    detection_interval: float = 8.0
+    max_time: float = 100_000.0
+    max_events: int = 1_000_000
+    seed: int = 0
+
+
+class _Instance:
+    """Mutable execution state of one transaction."""
+
+    __slots__ = (
+        "index", "status", "timestamp", "attempt", "done", "issued",
+        "waiting", "commit_time", "start_time",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.status = _RUNNING
+        self.timestamp = 0.0  # first-start time; kept across restarts
+        self.attempt = 0
+        self.done = 0  # bitmask of completed nodes
+        self.issued = 0  # bitmask of issued nodes
+        self.waiting: dict[str, float] = {}  # entity -> wait start time
+        self.commit_time = -1.0
+        self.start_time = 0.0
+
+
+class Simulator:
+    """One simulation run over a system, policy, and configuration."""
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        policy: Policy | str = "blocking",
+        config: SimulationConfig | None = None,
+    ):
+        self.system = system
+        self.policy = (
+            make_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.config = config or SimulationConfig()
+        self._rng = random.Random(self.config.seed)
+        self._queue = EventQueue()
+        self._sites = {
+            site: SiteLockManager(site) for site in system.schema.sites
+        }
+        self._instances = [_Instance(i) for i in range(len(system))]
+        self._now = 0.0
+        self._events_processed = 0
+        self._trace: list[tuple[float, int, int, int, int]] = []
+        self._trace_seq = 0
+        self.result = SimulationResult(
+            policy=self.policy.name, total=len(system)
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _site_for_entity(self, entity: str) -> SiteLockManager:
+        return self._sites[self.system.schema.site_of(entity)]
+
+    def _push(self, delay: float, payload: tuple) -> None:
+        self._queue.push(self._now + delay, payload)
+
+    def _ready_nodes(self, inst: _Instance) -> list[int]:
+        t = self.system[inst.index]
+        pending = t.dag.all_nodes_mask() & ~inst.issued
+        return [
+            u
+            for u in bits_of(pending)
+            if t.dag.ancestors(u) & ~inst.done == 0
+        ]
+
+    # ------------------------------------------------------------------
+    # issuing operations
+    # ------------------------------------------------------------------
+
+    def _cross_site_delay(self, txn: int, node: int) -> float:
+        """Network latency when a direct predecessor ran at another
+        site."""
+        if self.config.network_delay <= 0:
+            return 0.0
+        t = self.system[txn]
+        site = self.system.schema.site_of(t.ops[node].entity)
+        for pred in bits_of(t.dag.predecessors(node)):
+            pred_site = self.system.schema.site_of(t.ops[pred].entity)
+            if pred_site != site:
+                return self.config.network_delay
+        return 0.0
+
+    def _issue_ready(self, inst: _Instance) -> None:
+        if inst.status != _RUNNING:
+            return
+        for node in self._ready_nodes(inst):
+            inst.issued |= 1 << node
+            delay = self._cross_site_delay(inst.index, node)
+            if delay > 0:
+                self._push(
+                    delay, ("issue", inst.index, node, inst.attempt)
+                )
+                continue
+            self._issue_one(inst, node)
+            if inst.status != _RUNNING:
+                return  # the request aborted us (wait-die)
+
+    def _issue_one(self, inst: _Instance, node: int) -> None:
+        op = self.system[inst.index].ops[node]
+        if op.kind is OpKind.LOCK:
+            self._request_lock(inst, node)
+        else:
+            self._push(
+                self.config.service_time,
+                ("op_done", inst.index, node, inst.attempt),
+            )
+
+    def _on_issue(self, txn: int, node: int, attempt: int) -> None:
+        """A cross-site coordination message arrived: issue the op."""
+        inst = self._instances[txn]
+        if inst.status != _RUNNING or inst.attempt != attempt:
+            return
+        self._issue_one(inst, node)
+
+    def _request_lock(self, inst: _Instance, node: int) -> None:
+        op = self.system[inst.index].ops[node]
+        site = self._site_for_entity(op.entity)
+        if site.request(inst.index, op.entity):
+            self._push(
+                self.config.service_time,
+                ("op_done", inst.index, node, inst.attempt),
+            )
+            return
+        holder = site.holder(op.entity)
+        assert holder is not None and holder != inst.index
+        decision = self.policy.on_conflict(
+            inst.timestamp, self._instances[holder].timestamp
+        )
+        if decision is Decision.ABORT_SELF:
+            site.cancel_wait(inst.index, op.entity)
+            self.result.deaths += 1
+            self._abort(inst)
+            return
+        # WAIT and ABORT_HOLDER both leave the requester in the queue.
+        inst.waiting[op.entity] = self._now
+        self.result.waits += 1
+        if decision is Decision.ABORT_HOLDER:
+            self.result.wounds += 1
+            self._abort(self._instances[holder])
+            return
+        if self.policy.uses_timeout:
+            self._push(
+                self.config.timeout,
+                ("timeout", inst.index, node, inst.attempt),
+            )
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _on_grant(self, txn: int, entity: str) -> None:
+        """A queued request of ``txn`` was granted by a release.
+
+        Besides waking the new holder, the remaining waiters re-run the
+        policy's conflict rule against the *new* holder: under
+        wound-wait an old transaction must not linger behind a young one
+        that just inherited the lock (it wounds it), and under wait-die
+        a young waiter behind a newly-granted older holder dies. Without
+        this re-evaluation the RSL schemes lose their deadlock-freedom
+        guarantee.
+        """
+        inst = self._instances[txn]
+        if inst.status != _RUNNING or entity not in inst.waiting:
+            # Defensive: aborts remove waiters from the queues, so a
+            # stale grant indicates a bookkeeping bug; hand the lock back
+            # rather than wedging the site.
+            site = self._site_for_entity(entity)
+            granted = site.release(txn, entity)
+            if granted is not None:
+                self._on_grant(granted, entity)
+            return
+        self.result.wait_time += self._now - inst.waiting.pop(entity)
+        node = self.system[txn].lock_node(entity)
+        self._push(
+            self.config.service_time, ("op_done", txn, node, inst.attempt)
+        )
+        self._reevaluate_waiters(entity, inst)
+
+    def _reevaluate_waiters(self, entity: str, holder: _Instance) -> None:
+        site = self._site_for_entity(entity)
+        for waiter in list(site.waiters(entity)):
+            if holder.status != _RUNNING:
+                return  # the holder was wounded; releases re-grant
+            w_inst = self._instances[waiter]
+            decision = self.policy.on_conflict(
+                w_inst.timestamp, holder.timestamp
+            )
+            if decision is Decision.ABORT_HOLDER:
+                self.result.wounds += 1
+                self._abort(holder)
+                return
+            if decision is Decision.ABORT_SELF:
+                self.result.deaths += 1
+                self._abort(w_inst)
+
+    def _on_op_done(self, txn: int, node: int, attempt: int) -> None:
+        inst = self._instances[txn]
+        if inst.status != _RUNNING or inst.attempt != attempt:
+            return  # stale event from an aborted attempt
+        t = self.system[txn]
+        op = t.ops[node]
+        inst.done |= 1 << node
+        self._trace.append((self._now, self._trace_seq, txn, node, attempt))
+        self._trace_seq += 1
+        if op.kind is OpKind.UNLOCK:
+            site = self._site_for_entity(op.entity)
+            granted = site.release(txn, op.entity)
+            if granted is not None:
+                self._on_grant(granted, op.entity)
+        if inst.done == t.dag.all_nodes_mask():
+            inst.status = _COMMITTED
+            inst.commit_time = self._now
+            self.result.committed += 1
+        else:
+            self._issue_ready(inst)
+
+    def _abort(self, inst: _Instance) -> None:
+        """Release everything, forget progress, schedule a restart."""
+        if inst.status != _RUNNING:
+            return
+        inst.status = _ABORTED
+        self.result.aborts += 1
+        txn = inst.index
+        for entity in list(inst.waiting):
+            self._site_for_entity(entity).cancel_wait(txn, entity)
+        inst.waiting.clear()
+        for site in self._sites.values():
+            for entity, granted in site.release_all(txn):
+                if granted is not None:
+                    self._on_grant(granted, entity)
+        inst.done = 0
+        inst.issued = 0
+        inst.attempt += 1
+        delay = self.config.restart_delay + self._rng.uniform(
+            0, self.config.restart_jitter
+        )
+        self._push(delay, ("restart", txn, inst.attempt))
+
+    def _on_restart(self, txn: int, attempt: int) -> None:
+        inst = self._instances[txn]
+        if inst.status != _ABORTED or inst.attempt != attempt:
+            return
+        inst.status = _RUNNING
+        self._issue_ready(inst)
+
+    def _on_timeout(self, txn: int, node: int, attempt: int) -> None:
+        inst = self._instances[txn]
+        entity = self.system[txn].ops[node].entity
+        if (
+            inst.status == _RUNNING
+            and inst.attempt == attempt
+            and entity in inst.waiting
+        ):
+            self.result.timeouts += 1
+            self._abort(inst)
+
+    # ------------------------------------------------------------------
+    # deadlock machinery
+    # ------------------------------------------------------------------
+
+    def _wait_for_edges(self) -> dict[int, set[int]]:
+        """Waits-for graph: waiter -> holder, one edge per blocked
+        request."""
+        edges: dict[int, set[int]] = {}
+        for inst in self._instances:
+            if inst.status != _RUNNING:
+                continue
+            for entity in inst.waiting:
+                holder = self._site_for_entity(entity).holder(entity)
+                if holder is not None:
+                    edges.setdefault(inst.index, set()).add(holder)
+        return edges
+
+    def _on_detect(self) -> None:
+        edges = self._wait_for_edges()
+        cycle = find_cycle(list(edges), lambda u: edges.get(u, ()))
+        if cycle:
+            victim = max(cycle, key=lambda i: self._instances[i].timestamp)
+            self.result.detected += 1
+            self._abort(self._instances[victim])
+        if any(i.status != _COMMITTED for i in self._instances):
+            self._push(self.config.detection_interval, ("detect",))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result record."""
+        config = self.config
+        for inst in self._instances:
+            start = self._rng.uniform(0, config.arrival_spread)
+            inst.timestamp = start
+            inst.start_time = start
+            self._queue.push(start, ("begin", inst.index))
+        if self.policy.uses_detection:
+            self._queue.push(config.detection_interval, ("detect",))
+
+        while self._queue:
+            time, payload = self._queue.pop()
+            if time > config.max_time:
+                self.result.truncated = True
+                break
+            self._now = time
+            self._events_processed += 1
+            if self._events_processed > config.max_events:
+                self.result.truncated = True
+                break
+            kind = payload[0]
+            if kind == "begin":
+                self._issue_ready(self._instances[payload[1]])
+            elif kind == "issue":
+                self._on_issue(payload[1], payload[2], payload[3])
+            elif kind == "op_done":
+                self._on_op_done(payload[1], payload[2], payload[3])
+            elif kind == "restart":
+                self._on_restart(payload[1], payload[2])
+            elif kind == "timeout":
+                self._on_timeout(payload[1], payload[2], payload[3])
+            elif kind == "detect":
+                self._on_detect()
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event {payload!r}")
+
+        self.result.end_time = self._now
+        if self.result.committed < len(self.system):
+            if not self._queue and not self.result.truncated:
+                self.result.deadlocked = True
+                edges = self._wait_for_edges()
+                cycle = find_cycle(list(edges), lambda u: edges.get(u, ()))
+                if cycle:
+                    self.result.deadlock_cycle = tuple(cycle)
+        self.result.latencies = [
+            (inst.commit_time - inst.start_time)
+            if inst.commit_time >= 0
+            else -1.0
+            for inst in self._instances
+        ]
+        self.result.serializable = self._check_serializability()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # trace replay
+    # ------------------------------------------------------------------
+
+    def _final_steps(self, committed_only: bool) -> list[GlobalNode]:
+        steps = []
+        for _time, _seq, txn, node, attempt in sorted(self._trace):
+            inst = self._instances[txn]
+            if committed_only and inst.status != _COMMITTED:
+                continue
+            if inst.status == _ABORTED:
+                continue
+            if attempt == inst.attempt:
+                steps.append(GlobalNode(txn, node))
+        return steps
+
+    def _check_serializability(self) -> bool | None:
+        """Replay the final attempts' operations as a Schedule and test
+        D(S').
+
+        Includes the partial progress of still-running transactions:
+        their completed operations are part of the history too (this is
+        what makes the Lemma 1 / D(S') connection exact at deadlocks).
+        """
+        try:
+            schedule = Schedule(self.system, self._final_steps(False))
+        except Exception:  # pragma: no cover - indicates a runtime bug
+            return False
+        return is_serializable(schedule)
+
+    def committed_schedule(self) -> Schedule:
+        """The committed trace as a validated Schedule."""
+        return Schedule(self.system, self._final_steps(True))
+
+
+def simulate(
+    system: TransactionSystem,
+    policy: Policy | str = "blocking",
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a Simulator and run it."""
+    return Simulator(system, policy, config).run()
+
+
+def find_deadlocking_seed(
+    system: TransactionSystem,
+    max_seeds: int = 200,
+    config: SimulationConfig | None = None,
+) -> tuple[int, SimulationResult] | None:
+    """Search arrival orders for one that wedges the blocking scheduler.
+
+    A cheap dynamic fuzzer: statically refuted systems usually wedge
+    within a few seeds, while certified systems never do (the property
+    tests rely on exactly that asymmetry).
+
+    Args:
+        system: the system to stress.
+        max_seeds: how many seeds to try.
+        config: base configuration; its seed field is overridden.
+
+    Returns:
+        ``(seed, result)`` for the first deadlocking run, or None.
+    """
+    base = config or SimulationConfig()
+    for seed in range(max_seeds):
+        candidate = SimulationConfig(
+            service_time=base.service_time,
+            network_delay=base.network_delay,
+            arrival_spread=base.arrival_spread,
+            restart_delay=base.restart_delay,
+            restart_jitter=base.restart_jitter,
+            timeout=base.timeout,
+            detection_interval=base.detection_interval,
+            max_time=base.max_time,
+            max_events=base.max_events,
+            seed=seed,
+        )
+        result = simulate(system, "blocking", candidate)
+        if result.deadlocked:
+            return seed, result
+    return None

@@ -1,0 +1,257 @@
+"""Random workload generation: schemas, transactions, systems.
+
+The generator builds *valid* distributed transactions by construction:
+
+1. choose the accessed entities and, per entity, an optional number of
+   action steps;
+2. lay the per-entity chains ``Lx (A.x)* Ux`` down in a random riffle —
+   this reference sequence is a legal total order;
+3. emit per-site chains (the reference order restricted to each site)
+   as arcs, which satisfies the per-site total-order requirement;
+4. sprinkle extra cross-site arcs consistent with the reference order
+   (probability ``cross_arc_p``), making the partial order tighter.
+
+Because every arc follows the reference order, the result is acyclic
+and has the reference sequence as a linear extension. ``shape``
+controls the locking style:
+
+* ``"random"`` — arbitrary riffle of the entity chains;
+* ``"two_phase"`` — all Locks before any Unlock (2PL);
+* ``"sequential"`` — the transaction is the reference total order
+  itself (a centralized-style transaction);
+* ``"ordered_2pl"`` — 2PL with Locks acquired in the global entity
+  order: statically safe and deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.entity import DatabaseSchema, Entity
+from repro.core.operations import Operation, OpKind
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+
+__all__ = [
+    "WorkloadSpec",
+    "random_schema",
+    "random_system",
+    "random_transaction",
+]
+
+_SHAPES = ("random", "two_phase", "sequential", "ordered_2pl")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a random workload.
+
+    Attributes:
+        n_transactions: number of transactions.
+        n_entities: size of the entity pool.
+        n_sites: number of sites the pool is spread over.
+        entities_per_txn: inclusive (lo, hi) range of entities accessed.
+        actions_per_entity: inclusive (lo, hi) range of A-steps per
+            accessed entity.
+        cross_arc_p: probability of each admissible extra cross-site arc.
+        shape: locking style (see module docstring).
+        hotspot_skew: 0 = uniform entity choice; larger values
+            concentrate accesses on low-numbered entities
+            (P(i) ∝ 1/(1+i)^skew).
+    """
+
+    n_transactions: int = 4
+    n_entities: int = 8
+    n_sites: int = 3
+    entities_per_txn: tuple[int, int] = (2, 4)
+    actions_per_entity: tuple[int, int] = (0, 1)
+    cross_arc_p: float = 0.25
+    shape: str = "random"
+    hotspot_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shape not in _SHAPES:
+            raise ValueError(
+                f"unknown shape {self.shape!r}; choose from {_SHAPES}"
+            )
+
+
+def random_schema(
+    rng: random.Random, n_entities: int, n_sites: int
+) -> DatabaseSchema:
+    """Spread ``n_entities`` entities over ``n_sites`` sites.
+
+    Every site receives at least one entity when possible; the remainder
+    is assigned uniformly.
+    """
+    entities = [f"e{i}" for i in range(n_entities)]
+    sites = [f"s{i}" for i in range(min(n_sites, n_entities))]
+    placement: dict[Entity, str] = {}
+    shuffled = entities[:]
+    rng.shuffle(shuffled)
+    for i, site in enumerate(sites):
+        placement[shuffled[i]] = site
+    for entity in shuffled[len(sites):]:
+        placement[entity] = rng.choice(sites)
+    return DatabaseSchema(placement)
+
+
+def _pick_entities(
+    rng: random.Random, spec: WorkloadSpec, pool: list[Entity]
+) -> list[Entity]:
+    lo, hi = spec.entities_per_txn
+    count = min(rng.randint(lo, hi), len(pool))
+    if spec.hotspot_skew <= 0:
+        return rng.sample(pool, count)
+    weights = [1.0 / (1 + i) ** spec.hotspot_skew for i in range(len(pool))]
+    chosen: list[Entity] = []
+    candidates = list(zip(pool, weights))
+    for _ in range(count):
+        total = sum(w for _e, w in candidates)
+        point = rng.uniform(0, total)
+        acc = 0.0
+        for index, (entity, weight) in enumerate(candidates):
+            acc += weight
+            if point <= acc:
+                chosen.append(entity)
+                del candidates[index]
+                break
+    return chosen
+
+
+def _reference_sequence(
+    rng: random.Random,
+    spec: WorkloadSpec,
+    entities: list[Entity],
+) -> list[Operation]:
+    """A legal total order over the chosen entities' operations."""
+    lo, hi = spec.actions_per_entity
+    chains = {}
+    for entity in entities:
+        n_actions = rng.randint(lo, hi)
+        chains[entity] = (
+            [Operation.lock(entity)]
+            + [Operation.action(entity) for _ in range(n_actions)]
+            + [Operation.unlock(entity)]
+        )
+
+    if spec.shape in ("two_phase", "ordered_2pl"):
+        ordered = sorted(entities) if spec.shape == "ordered_2pl" else (
+            rng.sample(entities, len(entities))
+        )
+        sequence = [Operation.lock(entity) for entity in ordered]
+        middles = [op for e in ordered for op in chains[e][1:-1]]
+        rng.shuffle(middles)
+        sequence.extend(middles)
+        release = ordered[:]
+        if spec.shape != "ordered_2pl":
+            rng.shuffle(release)
+        sequence.extend(
+            Operation.unlock(entity) for entity in reversed(release)
+        )
+        return sequence
+
+    # Random riffle of the per-entity chains.
+    cursors = {entity: 0 for entity in entities}
+    remaining = [entity for entity in entities for _ in chains[entity]]
+    rng.shuffle(remaining)
+    sequence = []
+    for entity in remaining:
+        sequence.append(chains[entity][cursors[entity]])
+        cursors[entity] += 1
+    return sequence
+
+
+def _structural_arcs(
+    spec: WorkloadSpec, sequence: list[Operation]
+) -> list[tuple[int, int]]:
+    """Arcs that make the *partial order* match the declared shape.
+
+    The per-site chains alone leave cross-site operations unordered, so
+    a "two-phase" reference sequence would not yield a two-phase partial
+    order (an Unlock at one site could run before a Lock at another).
+    For the 2PL shapes we therefore add every Lock -> Unlock arc, and
+    for ``ordered_2pl`` we additionally chain the Locks in the global
+    entity order — making the lock-ordering prevention argument hold
+    across sites, not just within them.
+    """
+    arcs: list[tuple[int, int]] = []
+    if spec.shape not in ("two_phase", "ordered_2pl"):
+        return arcs
+    lock_ids = [
+        i for i, op in enumerate(sequence) if op.kind is OpKind.LOCK
+    ]
+    unlock_ids = [
+        i for i, op in enumerate(sequence) if op.kind is OpKind.UNLOCK
+    ]
+    arcs.extend((u, v) for u in lock_ids for v in unlock_ids)
+    if spec.shape == "ordered_2pl":
+        arcs.extend(zip(lock_ids, lock_ids[1:]))
+    return arcs
+
+
+def random_transaction(
+    name: str,
+    rng: random.Random,
+    schema: DatabaseSchema,
+    spec: WorkloadSpec,
+    entities: list[Entity] | None = None,
+) -> Transaction:
+    """Generate one random valid transaction over ``schema``.
+
+    Args:
+        name: transaction name.
+        rng: seeded randomness source.
+        schema: entity placement; accessed entities are drawn from it.
+        spec: workload parameters.
+        entities: fix the accessed entities instead of sampling them.
+    """
+    pool = sorted(schema.entities)
+    accessed = entities if entities is not None else _pick_entities(
+        rng, spec, pool
+    )
+    if not accessed:
+        accessed = [rng.choice(pool)]
+    sequence = _reference_sequence(rng, spec, list(accessed))
+
+    if spec.shape == "sequential":
+        return Transaction.sequential(name, sequence, schema)
+
+    # Per-site chains from the reference order.
+    arcs: list[tuple[int, int]] = []
+    last_at_site: dict[str, int] = {}
+    for index, op in enumerate(sequence):
+        site = schema.site_of(op.entity)
+        if site in last_at_site:
+            arcs.append((last_at_site[site], index))
+        last_at_site[site] = index
+
+    # Extra cross-site arcs consistent with the reference order.
+    for u in range(len(sequence)):
+        for v in range(u + 1, len(sequence)):
+            site_u = schema.site_of(sequence[u].entity)
+            site_v = schema.site_of(sequence[v].entity)
+            if site_u != site_v and rng.random() < spec.cross_arc_p:
+                arcs.append((u, v))
+
+    # Shape-defining arcs (2PL closure, global lock chain).
+    arcs.extend(_structural_arcs(spec, sequence))
+
+    # The Lock -> Unlock arc is implied by the same-site chain when the
+    # entity's nodes are colocated (they always are — same entity), so
+    # the construction is already well formed.
+    return Transaction(name, sequence, arcs, schema)
+
+
+def random_system(
+    rng: random.Random, spec: WorkloadSpec | None = None
+) -> TransactionSystem:
+    """Generate a random transaction system per ``spec``."""
+    spec = spec or WorkloadSpec()
+    schema = random_schema(rng, spec.n_entities, spec.n_sites)
+    transactions = [
+        random_transaction(f"T{i + 1}", rng, schema, spec)
+        for i in range(spec.n_transactions)
+    ]
+    return TransactionSystem(transactions)

@@ -1,0 +1,42 @@
+"""Generic substrate utilities: bitsets, DAGs/posets, graph algorithms.
+
+These modules are deliberately free of any database vocabulary so that the
+core model (:mod:`repro.core`) reads as a direct transcription of the
+paper's definitions on top of a small, well-tested discrete-math toolbox.
+"""
+
+from repro.util.bitset import (
+    bit,
+    bits_of,
+    first_bit,
+    from_indices,
+    is_subset,
+    popcount,
+)
+from repro.util.dag import CycleError, Dag, DagBuilder
+from repro.util.graphs import (
+    Digraph,
+    find_cycle,
+    has_cycle,
+    simple_cycles_undirected,
+    strongly_connected_components,
+    topological_sort,
+)
+
+__all__ = [
+    "CycleError",
+    "Dag",
+    "DagBuilder",
+    "Digraph",
+    "bit",
+    "bits_of",
+    "find_cycle",
+    "first_bit",
+    "from_indices",
+    "has_cycle",
+    "is_subset",
+    "popcount",
+    "simple_cycles_undirected",
+    "strongly_connected_components",
+    "topological_sort",
+]

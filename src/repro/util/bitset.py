@@ -1,0 +1,62 @@
+"""Bitset helpers over arbitrary-precision integers.
+
+Sets of node indices are represented as Python ``int`` bitmasks throughout
+the library: membership is a shift-and-mask, union/intersection are single
+``|``/``&`` operations, and transitive closures over a few hundred nodes
+stay fast without any native extension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit",
+    "bits_of",
+    "first_bit",
+    "from_indices",
+    "is_subset",
+    "popcount",
+]
+
+
+def bit(index: int) -> int:
+    """Return the bitmask containing exactly ``index``."""
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Return the bitmask containing every index in ``indices``."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the indices present in ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Return the number of indices present in ``mask``."""
+    return mask.bit_count()
+
+
+def first_bit(mask: int) -> int:
+    """Return the smallest index in ``mask``.
+
+    Raises:
+        ValueError: if ``mask`` is empty.
+    """
+    if not mask:
+        raise ValueError("empty bitset has no first bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def is_subset(smaller: int, larger: int) -> bool:
+    """Return True if every index of ``smaller`` is present in ``larger``."""
+    return smaller & ~larger == 0

@@ -1,0 +1,284 @@
+"""General directed/undirected graph algorithms on hashable node labels.
+
+Unlike :mod:`repro.util.dag` (dense integer posets), this module handles
+the *derived* graphs of the paper — reduction graphs R(A'), serialization
+digraphs D(S), interaction graphs G(A) — whose nodes are labelled objects
+and which may legitimately contain cycles (finding those cycles is the
+whole point).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import TypeVar
+
+__all__ = [
+    "Digraph",
+    "find_cycle",
+    "has_cycle",
+    "simple_cycles_undirected",
+    "strongly_connected_components",
+    "topological_sort",
+]
+
+N = TypeVar("N", bound=Hashable)
+
+
+class Digraph:
+    """A small adjacency-map digraph with labelled arcs.
+
+    Arcs carry an optional label (the paper labels serialization arcs with
+    the entity that induced them); parallel arcs with different labels are
+    kept, parallel arcs with identical labels are merged.
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        self._pred: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Ensure ``node`` exists (no-op if already present)."""
+        self._succ.setdefault(node, {})
+        self._pred.setdefault(node, {})
+
+    def add_arc(
+        self, u: Hashable, v: Hashable, label: Hashable = None
+    ) -> None:
+        """Add the arc ``u -> v`` with an optional ``label``."""
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].setdefault(v, set()).add(label)
+        self._pred[v].setdefault(u, set()).add(label)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        return list(self._succ)
+
+    def arcs(self) -> Iterator[tuple[Hashable, Hashable, Hashable]]:
+        """Yield ``(u, v, label)`` triples."""
+        for u, targets in self._succ.items():
+            for v, labels in targets.items():
+                for label in labels:
+                    yield u, v, label
+
+    def arc_count(self) -> int:
+        return sum(
+            len(labels)
+            for targets in self._succ.values()
+            for labels in targets.values()
+        )
+
+    def has_arc(self, u: Hashable, v: Hashable) -> bool:
+        return v in self._succ.get(u, {})
+
+    def successors(self, u: Hashable) -> list[Hashable]:
+        return list(self._succ.get(u, {}))
+
+    def predecessors(self, u: Hashable) -> list[Hashable]:
+        return list(self._pred.get(u, {}))
+
+    def arc_labels(self, u: Hashable, v: Hashable) -> set[Hashable]:
+        return set(self._succ.get(u, {}).get(v, set()))
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # cycle analysis (delegates to module-level functions)
+    # ------------------------------------------------------------------
+
+    def find_cycle(self) -> list[Hashable] | None:
+        """Return one directed cycle as a node list, or None if acyclic."""
+        return find_cycle(self.nodes, self.successors)
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+
+def find_cycle(
+    nodes: Iterable[N], successors
+) -> list[N] | None:
+    """Find one directed cycle via iterative DFS.
+
+    Args:
+        nodes: iterable of all start nodes.
+        successors: callable mapping a node to an iterable of successors.
+
+    Returns:
+        The cycle as a list ``[v0, v1, ..., vk]`` with ``vk == v0`` hidden
+        (i.e. the list contains each cycle node once, in order), or None.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[N, int] = {}
+    parent: dict[N, N] = {}
+
+    for start in nodes:
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack: list[tuple[N, Iterator[N]]] = [(start, iter(successors(start)))]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                c = color.get(nxt, WHITE)
+                if c == GRAY:
+                    # unwind the gray path from node back to nxt
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+                if c == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(successors(nxt))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def has_cycle(nodes: Iterable[N], successors) -> bool:
+    """Return True if the digraph contains a directed cycle."""
+    return find_cycle(nodes, successors) is not None
+
+
+def topological_sort(nodes: Sequence[N], successors) -> list[N]:
+    """Topologically sort an acyclic digraph.
+
+    Raises:
+        ValueError: if the graph has a cycle.
+    """
+    indegree: dict[N, int] = {node: 0 for node in nodes}
+    for node in nodes:
+        for nxt in successors(node):
+            indegree[nxt] = indegree.get(nxt, 0) + 1
+    ready = [node for node in nodes if indegree[node] == 0]
+    order: list[N] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for nxt in successors(node):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(indegree):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order
+
+
+def strongly_connected_components(
+    nodes: Sequence[N], successors
+) -> list[list[N]]:
+    """Tarjan's SCC algorithm (iterative), in reverse topological order."""
+    index_counter = 0
+    index: dict[N, int] = {}
+    lowlink: dict[N, int] = {}
+    on_stack: set[N] = set()
+    stack: list[N] = []
+    components: list[list[N]] = []
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[N, Iterator[N]]] = [(root, iter(successors(root)))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = index_counter
+                    index_counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(successors(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+    return components
+
+
+def simple_cycles_undirected(
+    nodes: Sequence[N],
+    neighbors,
+    min_length: int = 3,
+    max_cycles: int | None = None,
+) -> Iterator[list[N]]:
+    """Enumerate simple cycles of an undirected graph, each exactly once.
+
+    A cycle is reported as a node list ``[v0, ..., vk-1]`` (closing arc
+    implicit). Each undirected cycle appears once: we canonicalize by
+    requiring ``v0`` to be the minimum node (by enumeration order) and the
+    second node to be smaller than the last.
+
+    Used for the interaction-graph enumeration of Theorem 4; the count is
+    exponential for dense graphs, so ``max_cycles`` bounds the output.
+
+    Args:
+        nodes: all graph nodes; their order defines the canonical ranking.
+        neighbors: callable mapping a node to its adjacent nodes.
+        min_length: shortest cycle length reported (3 = triangles).
+        max_cycles: stop after this many cycles (None = unlimited).
+    """
+    rank = {node: i for i, node in enumerate(nodes)}
+    emitted = 0
+
+    for root in nodes:
+        # Only search cycles whose minimum-rank node is `root`.
+        path = [root]
+        on_path = {root}
+
+        def dfs(node: N) -> Iterator[list[N]]:
+            for nxt in neighbors(node):
+                if rank[nxt] < rank[root]:
+                    continue
+                if nxt == root:
+                    if len(path) >= min_length and rank[path[1]] < rank[path[-1]]:
+                        yield list(path)
+                elif nxt not in on_path:
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    yield from dfs(nxt)
+                    on_path.discard(nxt)
+                    path.pop()
+
+        for cycle in dfs(root):
+            yield cycle
+            emitted += 1
+            if max_cycles is not None and emitted >= max_cycles:
+                return

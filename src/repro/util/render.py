@@ -1,0 +1,54 @@
+"""Plain-text rendering helpers for reports, examples and the CLI."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "indent_block", "bullet_list"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: Sequence[bool] | None = None,
+) -> str:
+    """Render a simple aligned ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: row cell values (stringified with ``str``).
+        align_right: per-column right-alignment flags; defaults to
+            left-aligned text everywhere.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if align_right is None:
+        align_right = [False] * ncols
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if align_right[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    rule = "  ".join("-" * w for w in widths)
+    lines = [fmt_row(list(headers)), rule]
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def indent_block(text: str, prefix: str = "    ") -> str:
+    """Indent every line of ``text`` with ``prefix``."""
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def bullet_list(items: Sequence[object], bullet: str = "  - ") -> str:
+    """Render items one per line with a bullet prefix."""
+    return "\n".join(f"{bullet}{item}" for item in items)

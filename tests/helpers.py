@@ -1,0 +1,56 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+from repro.sim.workload import WorkloadSpec, random_system
+
+TWO_SITES = DatabaseSchema.from_groups({"s1": ["x", "y"], "s2": ["z", "w"]})
+
+
+def seq(name: str, ops: list[str], schema: DatabaseSchema | None = None) -> (
+        Transaction):
+    """Shorthand for a sequential transaction from op labels."""
+    return Transaction.sequential(name, ops, schema)
+
+
+def pair_system(
+    ops1: list[str],
+    ops2: list[str],
+    schema: DatabaseSchema | None = None,
+) -> TransactionSystem:
+    """A two-transaction system of sequential transactions."""
+    if schema is None:
+        entities = {
+            label.split(".")[-1] if label.startswith("A.") else label[1:]
+            for label in ops1 + ops2
+        }
+        schema = DatabaseSchema.single_site(entities)
+    return TransactionSystem(
+        [seq("T1", ops1, schema), seq("T2", ops2, schema)]
+    )
+
+
+def small_random_system(
+    seed: int,
+    n_transactions: int = 2,
+    n_entities: int = 4,
+    n_sites: int = 2,
+    shape: str = "random",
+) -> TransactionSystem:
+    """A small random system for oracle-vs-algorithm comparisons."""
+    rng = random.Random(seed)
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        n_entities=n_entities,
+        n_sites=n_sites,
+        entities_per_txn=(2, 3),
+        actions_per_entity=(0, 0),
+        cross_arc_p=0.3,
+        shape=shape,
+    )
+    return random_system(rng, spec)

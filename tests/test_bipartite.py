@@ -1,0 +1,93 @@
+"""Tests for repro.analysis.bipartite (lock-only prefix scan)."""
+
+import pytest
+
+from repro.analysis.bipartite import (
+    find_lock_only_deadlock_prefix,
+    is_deadlock_free_lock_minimal,
+    is_lock_minimal,
+)
+from repro.analysis.exhaustive import find_deadlock
+from repro.core.entity import DatabaseSchema
+from repro.core.reduction import is_deadlock_prefix
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction, TransactionBuilder
+
+from tests.helpers import seq
+
+
+def lock_minimal_pair(deadlocking: bool) -> TransactionSystem:
+    """Two lock-minimal transactions over x, y (one site each)."""
+    schema = DatabaseSchema.site_per_entity(["x", "y"])
+
+    def build(name: str, cross: list[tuple[str, str]]) -> Transaction:
+        b = TransactionBuilder(name, schema)
+        nodes = {}
+        for e in ("x", "y"):
+            nodes[f"L{e}"] = b.lock(e)
+            nodes[f"U{e}"] = b.unlock(e)
+            b.arc(nodes[f"L{e}"], nodes[f"U{e}"])
+        for a, c in cross:
+            b.arc(nodes[a], nodes[c])
+        return b.build()
+
+    if deadlocking:
+        # Each holds one entity while its other unlock waits on the
+        # other's lock: Lx -> Uy in T1, Ly -> Ux in T2.
+        t1 = build("T1", [("Lx", "Uy")])
+        t2 = build("T2", [("Ly", "Ux")])
+    else:
+        t1 = build("T1", [])
+        t2 = build("T2", [])
+    return TransactionSystem([t1, t2])
+
+
+class TestIsLockMinimal:
+    def test_true_for_bipartite(self):
+        assert is_lock_minimal(lock_minimal_pair(False))
+
+    def test_false_for_sequential(self):
+        system = TransactionSystem([seq("T1", ["Lx", "Ly", "Ux", "Uy"])])
+        assert not is_lock_minimal(system)
+
+    def test_figure2_is_lock_minimal(self):
+        from repro.paper.figures import figure2
+
+        assert is_lock_minimal(figure2())
+
+
+class TestScan:
+    def test_rejects_non_lock_minimal(self):
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"]),
+                seq("T2", ["Lx", "Ly", "Ux", "Uy"]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            find_lock_only_deadlock_prefix(system)
+
+    def test_finds_deadlock(self):
+        system = lock_minimal_pair(True)
+        witness = find_lock_only_deadlock_prefix(system)
+        assert witness is not None
+        assert is_deadlock_prefix(witness.prefix)
+
+    def test_agrees_with_general_search(self):
+        for deadlocking in (True, False):
+            system = lock_minimal_pair(deadlocking)
+            scan = find_lock_only_deadlock_prefix(system) is not None
+            general = find_deadlock(system) is not None
+            assert scan == general == deadlocking
+
+    def test_figure2(self):
+        from repro.paper.figures import figure2
+
+        witness = find_lock_only_deadlock_prefix(figure2())
+        assert witness is not None
+        # 4-entity cycle: 8 nodes
+        assert len(witness.cycle) == 8
+
+    def test_verdict(self):
+        assert is_deadlock_free_lock_minimal(lock_minimal_pair(False))
+        assert not is_deadlock_free_lock_minimal(lock_minimal_pair(True))

@@ -1,0 +1,87 @@
+"""Unit tests for repro.util.bitset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    bit,
+    bits_of,
+    first_bit,
+    from_indices,
+    is_subset,
+    popcount,
+)
+
+
+class TestBit:
+    def test_bit_zero(self):
+        assert bit(0) == 1
+
+    def test_bit_positions(self):
+        assert bit(3) == 8
+        assert bit(10) == 1024
+
+    def test_bits_disjoint(self):
+        assert bit(2) & bit(5) == 0
+
+
+class TestFromIndices:
+    def test_empty(self):
+        assert from_indices([]) == 0
+
+    def test_roundtrip_small(self):
+        assert from_indices([0, 2, 3]) == 0b1101
+
+    def test_duplicates_ignored(self):
+        assert from_indices([1, 1, 1]) == 2
+
+
+class TestBitsOf:
+    def test_empty(self):
+        assert list(bits_of(0)) == []
+
+    def test_increasing_order(self):
+        assert list(bits_of(0b101101)) == [0, 2, 3, 5]
+
+    def test_single(self):
+        assert list(bits_of(1 << 40)) == [40]
+
+
+class TestPopcountFirstBit:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_first_bit(self):
+        assert first_bit(0b1000) == 3
+        assert first_bit(1) == 0
+
+    def test_first_bit_empty_raises(self):
+        with pytest.raises(ValueError):
+            first_bit(0)
+
+
+class TestIsSubset:
+    def test_empty_subset_of_everything(self):
+        assert is_subset(0, 0)
+        assert is_subset(0, 0b111)
+
+    def test_proper_subset(self):
+        assert is_subset(0b101, 0b111)
+        assert not is_subset(0b1000, 0b111)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200)))
+def test_roundtrip_property(indices):
+    mask = from_indices(indices)
+    assert set(bits_of(mask)) == indices
+    assert popcount(mask) == len(indices)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=100)),
+    st.sets(st.integers(min_value=0, max_value=100)),
+)
+def test_subset_matches_set_semantics(a, b):
+    assert is_subset(from_indices(a), from_indices(b)) == a.issubset(b)

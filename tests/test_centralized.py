@@ -1,0 +1,98 @@
+"""Unit tests for repro.analysis.centralized (Lemma 2)."""
+
+import pytest
+
+from repro.analysis.centralized import (
+    check_centralized_pair,
+    sequence_l_set,
+    sequence_r_set,
+)
+from repro.analysis.pairs import check_pair
+from repro.core.entity import DatabaseSchema
+from repro.core.operations import Operation
+from repro.core.transaction import Transaction
+
+from tests.helpers import seq
+
+
+class TestSequenceSets:
+    def test_r_set_scan(self):
+        ops = [Operation.parse(s) for s in ["Lx", "Ly", "Ux", "Lz"]]
+        assert sequence_r_set(ops, 3) == {"x", "y"}
+        assert sequence_r_set(ops, 0) == set()
+
+    def test_l_set_scan(self):
+        ops = [Operation.parse(s) for s in ["Lx", "Ly", "Ux", "Lz"]]
+        assert sequence_l_set(ops, 3) == {"y"}
+        assert sequence_l_set(ops, 2) == {"x", "y"}
+
+
+class TestCheckCentralizedPair:
+    def test_requires_total_order(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        ops = [
+            Operation.lock("x"), Operation.unlock("x"),
+            Operation.lock("y"), Operation.unlock("y"),
+        ]
+        partial = Transaction("T1", ops, [(0, 1), (2, 3)], schema)
+        with pytest.raises(ValueError):
+            check_centralized_pair(partial, partial.renamed("T2"))
+
+    def test_no_common(self):
+        assert check_centralized_pair(
+            seq("T1", ["Lx", "Ux"]), seq("T2", ["Ly", "Uy"])
+        )
+
+    def test_condition1_violation(self):
+        verdict = check_centralized_pair(
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"]),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"]),
+        )
+        assert not verdict
+        assert verdict.witness.condition == 1
+        assert set(verdict.witness.entities) == {"x", "y"}
+
+    def test_condition2_violation(self):
+        verdict = check_centralized_pair(
+            seq("T1", ["Lx", "Ux", "Ly", "Uy"]),
+            seq("T2", ["Lx", "Ux", "Ly", "Uy"]),
+        )
+        assert not verdict
+        assert verdict.witness.condition == 2
+
+    def test_two_phase_ordered_passes(self):
+        verdict = check_centralized_pair(
+            seq("T1", ["Lx", "Ly", "Uy", "Ux"]),
+            seq("T2", ["Lx", "Ly", "Ux", "Uy"]),
+        )
+        assert verdict
+        assert verdict.details["x"] == "x"
+
+    def test_actions_ignored(self):
+        verdict = check_centralized_pair(
+            seq("T1", ["Lx", "A.x", "Ly", "Uy", "Ux"]),
+            seq("T2", ["Lx", "Ly", "A.y", "Ux", "Uy"]),
+        )
+        assert verdict
+
+
+class TestAgreementWithTheorem3:
+    """Theorem 3 restricted to total orders must agree with Lemma 2."""
+
+    CASES = [
+        (["Lx", "Ly", "Ux", "Uy"], ["Lx", "Ly", "Uy", "Ux"]),
+        (["Lx", "Ly", "Ux", "Uy"], ["Ly", "Lx", "Uy", "Ux"]),
+        (["Lx", "Ux", "Ly", "Uy"], ["Lx", "Ux", "Ly", "Uy"]),
+        (["Lx", "Ly", "Lz", "Ux", "Uy", "Uz"],
+         ["Lx", "Lz", "Ly", "Uz", "Ux", "Uy"]),
+        (["La", "Lx", "Ua", "Ux"], ["Lx", "Lb", "Ub", "Ux"]),
+        (["Lx", "Ly", "Uy", "Lz", "Ux", "Uz"],
+         ["Lx", "Lz", "Ly", "Ux", "Uy", "Uz"]),
+    ]
+
+    @pytest.mark.parametrize("ops1,ops2", CASES)
+    def test_agreement(self, ops1, ops2):
+        t1, t2 = seq("T1", ops1), seq("T2", ops2)
+        assert bool(check_centralized_pair(t1, t2)) == bool(
+            check_pair(t1, t2)
+        )

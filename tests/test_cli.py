@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.textfmt import format_system
+from repro.paper import figures
+
+SAFE_SYSTEM = """
+schema s1: x y
+
+txn T1
+  seq Lx Ly Uy Ux
+end
+
+txn T2
+  seq Lx Ly Ux Uy
+end
+"""
+
+UNSAFE_SYSTEM = """
+schema s1: x y
+
+txn T1
+  seq Lx Ly Ux Uy
+end
+
+txn T2
+  seq Ly Lx Uy Ux
+end
+"""
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.txn"
+    path.write_text(SAFE_SYSTEM)
+    return str(path)
+
+
+@pytest.fixture
+def unsafe_file(tmp_path):
+    path = tmp_path / "unsafe.txn"
+    path.write_text(UNSAFE_SYSTEM)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_safe(self, safe_file, capsys):
+        assert main(["analyze", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE AND DEADLOCK-FREE" in out
+
+    def test_unsafe(self, unsafe_file, capsys):
+        assert main(["analyze", unsafe_file]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+
+class TestDeadlock:
+    def test_deadlock_found(self, unsafe_file, capsys):
+        assert main(["deadlock", unsafe_file]) == 1
+        out = capsys.readouterr().out
+        assert "DEADLOCK" in out
+        assert "cycle" in out
+
+    def test_deadlock_free(self, safe_file, capsys):
+        assert main(["deadlock", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-free" in out
+        assert "Theorem 1 agrees" in out
+
+
+class TestSimulate:
+    def test_table_printed(self, unsafe_file, capsys):
+        code = main(
+            [
+                "simulate", unsafe_file,
+                "--policies", "wound-wait", "wait-die",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wound-wait" in out and "wait-die" in out
+
+
+class TestSat:
+    def test_satisfiable_formula(self, capsys):
+        code = main(["sat", "x1 x2, x1 ~x2, ~x1 x2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAT" in out
+        assert "deadlock prefix" in out
+        assert "decoded back" in out
+
+    def test_unsat_formula(self, capsys):
+        code = main(["sat", "a, a, ~a"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UNSAT" in out
+
+
+class TestFigures:
+    def test_runs(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Tirri" in out
+        assert "Figure 6" in out
+
+
+class TestRoundTripThroughCli:
+    def test_figure_file_analyzable(self, tmp_path, capsys):
+        path = tmp_path / "fig1.txn"
+        path.write_text(format_system(figures.figure1()))
+        main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert "T3" in out

@@ -1,0 +1,86 @@
+"""Tests for the show/repair CLI subcommands and simulator options."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.textfmt import parse_system
+
+BROKEN = """
+schema s1: x y
+
+txn T1
+  seq Lx Ly Ux Uy
+end
+
+txn T2
+  seq Ly Lx Uy Ux
+end
+"""
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.txn"
+    path.write_text(BROKEN)
+    return str(path)
+
+
+class TestShow:
+    def test_text(self, broken_file, capsys):
+        assert main(["show", broken_file]) == 0
+        out = capsys.readouterr().out
+        assert "txn T1" in out
+        parse_system(out)  # output is valid input
+
+    def test_json(self, broken_file, capsys):
+        assert main(["show", broken_file, "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert '"transactions"' in out
+
+    def test_dot(self, broken_file, capsys):
+        assert main(["show", broken_file, "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+
+class TestRepair:
+    def test_repair_output_is_certified(self, broken_file, capsys):
+        assert main(["repair", broken_file]) == 0
+        out = capsys.readouterr().out
+        assert "# repaired" in out
+        body = "\n".join(
+            line for line in out.splitlines()
+            if not line.startswith("#")
+        )
+        repaired = parse_system(body)
+        from repro.analysis.fixed_k import check_system
+
+        assert check_system(repaired)
+
+    def test_repair_with_optimize(self, broken_file, capsys):
+        assert main(["repair", broken_file, "--optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "early-unlock" in out
+
+    def test_repair_noop_when_safe(self, tmp_path, capsys):
+        path = tmp_path / "safe.txn"
+        path.write_text(
+            "txn T1\n  seq Lx Ly Uy Ux\nend\n"
+            "txn T2\n  seq Lx Ly Ux Uy\nend\n"
+        )
+        assert main(["repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no repair needed" in out
+
+
+class TestSimulateNetworkDelay:
+    def test_flag_accepted(self, broken_file, capsys):
+        code = main(
+            [
+                "simulate", broken_file,
+                "--policies", "wound-wait",
+                "--network-delay", "2.5",
+            ]
+        )
+        assert code == 0
+        assert "wound-wait" in capsys.readouterr().out

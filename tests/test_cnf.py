@@ -1,0 +1,134 @@
+"""Unit tests for repro.reductions.cnf."""
+
+import random
+
+import pytest
+
+from repro.reductions.cnf import (
+    CnfFormula,
+    Literal,
+    NotThreeSatPrimeError,
+    random_three_sat_prime,
+)
+
+
+class TestLiteral:
+    def test_parse_positive(self):
+        assert Literal.parse("x1") == Literal("x1", True)
+
+    def test_parse_negations(self):
+        for text in ("~x", "!x", "-x", "~ x"):
+            assert Literal.parse(text) == Literal("x", False)
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            Literal.parse("~")
+
+    def test_negated(self):
+        assert Literal("x").negated() == Literal("x", False)
+
+    def test_value_under(self):
+        assert Literal("x").value_under({"x": True})
+        assert Literal("x", False).value_under({"x": False})
+
+    def test_str(self):
+        assert str(Literal("x")) == "x"
+        assert str(Literal("x", False)) == "~x"
+
+
+class TestCnfFormula:
+    def test_from_lists(self):
+        f = CnfFormula.from_lists([["x", "~y"], ["y"]])
+        assert f.clause_count == 2
+        assert f.variables == ["x", "y"]
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CnfFormula.from_lists([[]])
+
+    def test_duplicate_variable_in_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CnfFormula.from_lists([["x", "~x"]])
+
+    def test_evaluate(self):
+        f = CnfFormula.from_lists([["x", "y"], ["~x"]])
+        assert f.evaluate({"x": False, "y": True})
+        assert not f.evaluate({"x": False, "y": False})
+
+    def test_evaluate_missing_variable_raises(self):
+        f = CnfFormula.from_lists([["x"]])
+        with pytest.raises(KeyError):
+            f.evaluate({})
+
+    def test_satisfying_literals(self):
+        f = CnfFormula.from_lists([["x", "y"], ["~x", "y"]])
+        chosen = f.satisfying_literals({"x": True, "y": True})
+        assert len(chosen) == 2
+        assert str(chosen[0]) == "x"
+
+    def test_satisfying_literals_raises_when_unsatisfied(self):
+        f = CnfFormula.from_lists([["x"]])
+        with pytest.raises(ValueError):
+            f.satisfying_literals({"x": False})
+
+    def test_str(self):
+        f = CnfFormula.from_lists([["x", "~y"]])
+        assert str(f) == "(x | ~y)"
+
+    def test_equality(self):
+        a = CnfFormula.from_lists([["x"]])
+        b = CnfFormula.from_lists([["x"]])
+        assert a == b and len({a, b}) == 1
+
+
+class TestThreeSatPrime:
+    def test_figure5_valid(self):
+        f = CnfFormula.from_lists(
+            [["x1", "x2"], ["x1", "~x2"], ["~x1", "x2"]]
+        )
+        assert f.is_three_sat_prime()
+        table = f.occurrence_table()
+        assert table["x1"].first_positive == 1
+        assert table["x1"].second_positive == 2
+        assert table["x1"].negative == 3
+
+    def test_wrong_counts_invalid(self):
+        f = CnfFormula.from_lists([["x"], ["~x"]])
+        assert not f.is_three_sat_prime()
+        with pytest.raises(NotThreeSatPrimeError):
+            f.occurrence_table()
+
+    def test_oversize_clause_invalid(self):
+        f = CnfFormula.from_lists(
+            [["a", "b", "c", "d"], ["a"], ["~a"],
+             ["b"], ["~b"], ["c"], ["~c"], ["d"], ["~d"],
+             ["a", "b"], ["c", "d"]]
+        )
+        assert not f.is_three_sat_prime()
+
+    def test_unsat_instance_valid_shape(self):
+        f = CnfFormula.from_lists([["a"], ["a"], ["~a"]])
+        assert f.is_three_sat_prime()
+
+
+class TestGenerator:
+    def test_generates_valid_instances(self):
+        rng = random.Random(0)
+        for n in (3, 4, 6):
+            f = random_three_sat_prime(n, rng)
+            assert f.is_three_sat_prime()
+            assert len(f.variables) == n
+            assert f.clause_count == n
+
+    def test_deterministic_under_seed(self):
+        a = random_three_sat_prime(4, random.Random(9))
+        b = random_three_sat_prime(4, random.Random(9))
+        assert a == b
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_three_sat_prime(2, random.Random(0))
+
+    def test_indivisible_clause_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_three_sat_prime(4, random.Random(0), clause_size=5)

@@ -1,0 +1,55 @@
+"""Tests for Graphviz export (repro.io.dot)."""
+
+from repro.core.schedule import Schedule
+from repro.io.dot import (
+    d_graph_to_dot,
+    digraph_to_dot,
+    system_to_dot,
+    transaction_to_dot,
+)
+from repro.paper import figures
+from repro.util.graphs import Digraph
+
+from tests.helpers import seq
+
+
+class TestTransactionToDot:
+    def test_contains_nodes_and_sites(self):
+        system = figures.figure1()
+        dot = transaction_to_dot(system[0])
+        assert dot.startswith('digraph "T1"')
+        assert '"Lx"' in dot and '"Uz"' in dot
+        assert '"site1"' in dot and '"site2"' in dot
+
+    def test_quoting(self):
+        t = seq("T", ['La"b', 'Ua"b'])
+        dot = transaction_to_dot(t)
+        assert '\\"' in dot
+
+
+class TestSystemToDot:
+    def test_clusters_per_transaction(self):
+        dot = system_to_dot(figures.figure3())
+        assert dot.count("subgraph") == 2
+        assert '"T1"' in dot and '"T2"' in dot
+
+
+class TestDigraphToDot:
+    def test_labels(self):
+        g = Digraph()
+        g.add_arc("a", "b", label="x")
+        dot = digraph_to_dot(g)
+        assert '[label="x"]' in dot
+
+    def test_unlabelled(self):
+        g = Digraph()
+        g.add_arc("a", "b")
+        dot = digraph_to_dot(g)
+        assert "->" in dot
+
+
+class TestDGraphToDot:
+    def test_serialization_graph(self):
+        system = figures.figure3()
+        dot = d_graph_to_dot(Schedule.serial(system))
+        assert '"T1"' in dot and '"T2"' in dot

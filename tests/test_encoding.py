@@ -1,0 +1,186 @@
+"""Tests for the Theorem 2 construction (repro.reductions.encoding)."""
+
+import random
+
+import pytest
+
+from repro.analysis.bipartite import (
+    find_lock_only_deadlock_prefix,
+    is_lock_minimal,
+)
+from repro.core.operations import OpKind
+from repro.core.reduction import (
+    is_deadlock_prefix,
+    prefix_has_schedule,
+    reduction_graph,
+)
+from repro.paper.figures import figure5_formula
+from repro.reductions.cnf import CnfFormula, random_three_sat_prime
+from repro.reductions.encoding import (
+    assignment_to_prefix,
+    decode_assignment,
+    encode_formula,
+    expected_cycle,
+    verify_cycle,
+)
+from repro.reductions.solvers import brute_force_satisfiable
+
+
+def fig5_system():
+    formula = figure5_formula()
+    return formula, encode_formula(formula)
+
+
+class TestEncodeFormula:
+    def test_structure(self):
+        formula, system = fig5_system()
+        r, n = formula.clause_count, len(formula.variables)
+        expected_entities = 2 * r + 3 * n
+        assert len(system.entities) == expected_entities
+        for t in system.transactions:
+            assert t.node_count == 2 * expected_entities
+        # one entity per site
+        assert len(system.schema.sites) == expected_entities
+
+    def test_lock_minimal(self):
+        _, system = fig5_system()
+        assert is_lock_minimal(system)
+
+    def test_arcs_are_lock_to_unlock(self):
+        _, system = fig5_system()
+        for t in system.transactions:
+            for u, v in t.dag.arcs:
+                assert t.ops[u].kind is OpKind.LOCK
+                assert t.ops[v].kind is OpKind.UNLOCK
+
+    def test_t1_arc_families(self):
+        formula, system = fig5_system()
+        t1 = system[0]
+        # x1 occurs positively in c1 (h) and c2 (k), negatively in c3 (l)
+        assert t1.dag.precedes(t1.lock_node("c1"), t1.unlock_node("x1"))
+        assert t1.dag.precedes(t1.lock_node("c2"), t1.unlock_node("x1'"))
+        assert t1.dag.precedes(t1.lock_node("x1"), t1.unlock_node("x1''"))
+        # l = 3, l+1 wraps to 1
+        assert t1.dag.precedes(t1.lock_node("x1'"), t1.unlock_node("c1"))
+        assert t1.dag.precedes(t1.lock_node("x1'"), t1.unlock_node("c1'"))
+        # common arcs
+        assert t1.dag.precedes(t1.lock_node("c2'"), t1.unlock_node("c2"))
+
+    def test_t2_arc_families(self):
+        formula, system = fig5_system()
+        t2 = system[1]
+        assert t2.dag.precedes(t2.lock_node("c3"), t2.unlock_node("x1"))
+        assert t2.dag.precedes(
+            t2.lock_node("x1''"), t2.unlock_node("x1'")
+        )
+        # h = 1 -> arcs into c2 unlocks
+        assert t2.dag.precedes(t2.lock_node("x1"), t2.unlock_node("c2"))
+        assert t2.dag.precedes(t2.lock_node("x1"), t2.unlock_node("c2'"))
+        # k = 2 -> arcs into c3 unlocks
+        assert t2.dag.precedes(t2.lock_node("x1'"), t2.unlock_node("c3"))
+        assert t2.dag.precedes(
+            t2.lock_node("x1'"), t2.unlock_node("c3'")
+        )
+
+    def test_not_three_sat_prime_rejected(self):
+        f = CnfFormula.from_lists([["x"], ["~x"]])
+        with pytest.raises(Exception):
+            encode_formula(f)
+
+    def test_reserved_names_rejected(self):
+        f = CnfFormula.from_lists([["c1"], ["c1"], ["~c1"]])
+        with pytest.raises(ValueError):
+            encode_formula(f)
+
+
+class TestForwardCertificate:
+    """Satisfiable => the constructed prefix is a deadlock prefix with
+    the constructed cycle."""
+
+    def test_figure5(self):
+        formula, system = fig5_system()
+        assignment = brute_force_satisfiable(formula)
+        prefix = assignment_to_prefix(formula, system, assignment)
+        cycle = expected_cycle(formula, system, assignment)
+        graph = reduction_graph(prefix)
+        assert verify_cycle(graph, cycle)
+        assert is_deadlock_prefix(prefix)
+        assert prefix_has_schedule(prefix) is not None
+
+    def test_prefix_is_lock_only(self):
+        formula, system = fig5_system()
+        assignment = brute_force_satisfiable(formula)
+        prefix = assignment_to_prefix(formula, system, assignment)
+        for i, t in enumerate(system.transactions):
+            for node in prefix.executed_nodes(i):
+                assert t.ops[node].kind is OpKind.LOCK
+
+    def test_unsatisfying_assignment_rejected(self):
+        formula, system = fig5_system()
+        with pytest.raises(ValueError):
+            assignment_to_prefix(
+                formula, system, {"x1": False, "x2": False}
+            )
+
+    def test_random_sat_instances(self):
+        rng = random.Random(23)
+        tested = 0
+        for _ in range(12):
+            formula = random_three_sat_prime(rng.randint(3, 5), rng)
+            assignment = brute_force_satisfiable(formula)
+            if assignment is None:
+                continue
+            tested += 1
+            system = encode_formula(formula)
+            prefix = assignment_to_prefix(formula, system, assignment)
+            cycle = expected_cycle(formula, system, assignment)
+            graph = reduction_graph(prefix)
+            assert verify_cycle(graph, cycle), f"formula {formula}"
+            decoded = decode_assignment(formula, system, cycle)
+            assert formula.evaluate(decoded)
+        assert tested >= 5  # random 3SAT' is usually satisfiable
+
+
+class TestBackwardCertificate:
+    """Deadlock prefix => satisfying assignment (the converse proof)."""
+
+    def test_decode_from_independent_search(self):
+        formula, system = fig5_system()
+        witness = find_lock_only_deadlock_prefix(system)
+        assert witness is not None
+        decoded = decode_assignment(formula, system, witness.cycle)
+        assert formula.evaluate(decoded)
+
+    def test_unsat_implies_deadlock_free(self):
+        """The coNP direction on the smallest UNSAT 3SAT' instance."""
+        formula = CnfFormula.from_lists([["a"], ["a"], ["~a"]])
+        assert brute_force_satisfiable(formula) is None
+        system = encode_formula(formula)
+        assert find_lock_only_deadlock_prefix(system) is None
+
+    def test_sat_iff_deadlock_small_sweep(self):
+        """SAT <=> deadlock on all 1-variable 3SAT' instances we can
+        build by hand plus the figure 5 instance."""
+        cases = [
+            (CnfFormula.from_lists([["a"], ["a"], ["~a"]]), False),
+            (figure5_formula(), True),
+        ]
+        for formula, expect_sat in cases:
+            assert (
+                brute_force_satisfiable(formula) is not None
+            ) == expect_sat
+            system = encode_formula(formula)
+            assert (
+                find_lock_only_deadlock_prefix(system) is not None
+            ) == expect_sat
+
+
+class TestVerifyCycle:
+    def test_rejects_broken_cycle(self):
+        formula, system = fig5_system()
+        assignment = brute_force_satisfiable(formula)
+        prefix = assignment_to_prefix(formula, system, assignment)
+        cycle = expected_cycle(formula, system, assignment)
+        graph = reduction_graph(prefix)
+        assert not verify_cycle(graph, cycle[:-1])
+        assert not verify_cycle(graph, [])

@@ -1,0 +1,145 @@
+"""Structural properties of the Theorem 2 construction that the
+converse proof (Claims 1-2) relies on, verified over random formulas.
+
+These are the load-bearing facts of the proof: if the encoder drifted
+from the paper's arc families, the certificate tests might still pass
+by luck, but these invariants would break.
+"""
+
+import random
+
+import pytest
+
+from repro.core.operations import OpKind
+from repro.reductions.cnf import random_three_sat_prime
+from repro.reductions.encoding import encode_formula
+from repro.util.bitset import bits_of
+
+
+@pytest.fixture(scope="module")
+def instances():
+    rng = random.Random(1234)
+    result = []
+    for n in (3, 4, 5):
+        formula = random_three_sat_prime(n, rng)
+        result.append((formula, encode_formula(formula)))
+    return result
+
+
+def _outgoing_labels(t, node):
+    return sorted(
+        str(t.ops[v]) for v in bits_of(t.dag.successors(node))
+    )
+
+
+class TestProofConstraints:
+    def test_every_lock_reaches_its_unlock_directly(self, instances):
+        for _formula, system in instances:
+            for t in system.transactions:
+                for entity in t.entities:
+                    assert (
+                        t.lock_node(entity),
+                        t.unlock_node(entity),
+                    ) in t.dag.arcs
+
+    def test_l1_xpp_has_only_its_unlock(self, instances):
+        """Claim 1 uses: 'the cycle cannot contain a node L¹x″ because
+        such a node has an arc only to its matching Unlock node'."""
+        for formula, system in instances:
+            t1 = system[0]
+            for variable in formula.variables:
+                node = t1.lock_node(f"{variable}''")
+                assert _outgoing_labels(t1, node) == [f"U{variable}''"]
+
+    def test_l1_x_forced_successor(self, instances):
+        """'a node L¹x_j must be succeeded by U¹x″_j' — besides its own
+        unlock, L¹x_j has exactly the arc to U¹x″_j."""
+        for formula, system in instances:
+            t1 = system[0]
+            for variable in formula.variables:
+                node = t1.lock_node(variable)
+                assert _outgoing_labels(t1, node) == sorted(
+                    [f"U{variable}", f"U{variable}''"]
+                )
+
+    def test_l2_xpp_forced_successor(self, instances):
+        """'node L²x″_j (must be succeeded) by U²x′_j'."""
+        for formula, system in instances:
+            t2 = system[1]
+            for variable in formula.variables:
+                node = t2.lock_node(f"{variable}''")
+                assert _outgoing_labels(t2, node) == sorted(
+                    [f"U{variable}''", f"U{variable}'"]
+                )
+
+    def test_lc_prime_forced_successor(self, instances):
+        """'a node Lc′_i for p = 1,2 must be succeeded by U^p c_i'."""
+        for formula, system in instances:
+            for t in system.transactions:
+                for i in range(1, formula.clause_count + 1):
+                    node = t.lock_node(f"c{i}'")
+                    assert _outgoing_labels(t, node) == sorted(
+                        [f"Uc{i}'", f"Uc{i}"]
+                    )
+
+    def test_u2_x_unique_predecessor(self, instances):
+        """'the only node that can precede U²x_j is L²c_l' (besides the
+        matching lock)."""
+        for formula, system in instances:
+            t2 = system[1]
+            table = formula.occurrence_table()
+            for variable, occ in table.items():
+                unlock = t2.unlock_node(variable)
+                preds = sorted(
+                    str(t2.ops[u])
+                    for u in bits_of(t2.dag.predecessors(unlock))
+                )
+                assert preds == sorted(
+                    [f"L{variable}", f"Lc{occ.negative}"]
+                )
+
+    def test_t1_clause_locks_point_at_positive_occurrences(
+        self, instances
+    ):
+        """Claim 2: L¹c_i's successors are U¹c_i plus U¹y_j for the
+        positive literals of c_i (y = x on first occurrence, x' on
+        second)."""
+        for formula, system in instances:
+            t1 = system[0]
+            table = formula.occurrence_table()
+            for i, clause in enumerate(formula.clauses, start=1):
+                expected = {f"Uc{i}"}
+                for lit in clause:
+                    if not lit.positive:
+                        continue
+                    occ = table[lit.variable]
+                    if occ.first_positive == i:
+                        expected.add(f"U{lit.variable}")
+                    if occ.second_positive == i:
+                        expected.add(f"U{lit.variable}'")
+                node = t1.lock_node(f"c{i}")
+                assert set(_outgoing_labels(t1, node)) == expected
+
+    def test_t2_clause_locks_point_at_negative_occurrences(
+        self, instances
+    ):
+        """Claim 2: L²c_i's successors are U²c_i plus U²x_j for the
+        negative literals of c_i."""
+        for formula, system in instances:
+            t2 = system[1]
+            for i, clause in enumerate(formula.clauses, start=1):
+                expected = {f"Uc{i}"}
+                for lit in clause:
+                    if not lit.positive:
+                        expected.add(f"U{lit.variable}")
+                node = t2.lock_node(f"c{i}")
+                assert set(_outgoing_labels(t2, node)) == expected
+
+    def test_all_locks_minimal_all_unlocks_maximal(self, instances):
+        for _formula, system in instances:
+            for t in system.transactions:
+                for node, op in enumerate(t.ops):
+                    if op.kind is OpKind.LOCK:
+                        assert t.dag.ancestors(node) == 0
+                    else:
+                        assert t.dag.descendants(node) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.entity."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = DatabaseSchema({"x": "s1", "y": "s1", "z": "s2"})
+        assert schema.site_of("x") == "s1"
+        assert schema.site_of("z") == "s2"
+
+    def test_empty_entity_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema({"": "s1"})
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema({"x": ""})
+
+
+class TestConstructors:
+    def test_single_site(self):
+        schema = DatabaseSchema.single_site(["a", "b"])
+        assert schema.is_centralized()
+        assert schema.site_of("a") == schema.site_of("b")
+
+    def test_site_per_entity(self):
+        schema = DatabaseSchema.site_per_entity(["a", "b"])
+        assert schema.site_of("a") != schema.site_of("b")
+        assert not schema.is_centralized()
+
+    def test_from_groups(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x", "y"], "s2": ["z"]})
+        assert schema.entities_at("s1") == {"x", "y"}
+        assert schema.colocated("x", "y")
+        assert not schema.colocated("x", "z")
+
+    def test_from_groups_rejects_conflict(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema.from_groups({"s1": ["x"], "s2": ["x"]})
+
+
+class TestQueries:
+    def test_entities_and_sites(self):
+        schema = DatabaseSchema({"x": "s1", "y": "s2"})
+        assert schema.entities == {"x", "y"}
+        assert schema.sites == {"s1", "s2"}
+
+    def test_contains(self):
+        schema = DatabaseSchema({"x": "s1"})
+        assert "x" in schema
+        assert "y" not in schema
+
+    def test_unknown_site_empty(self):
+        schema = DatabaseSchema({"x": "s1"})
+        assert schema.entities_at("nowhere") == frozenset()
+
+    def test_site_of_unknown_raises(self):
+        schema = DatabaseSchema({"x": "s1"})
+        with pytest.raises(KeyError):
+            schema.site_of("y")
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        a = DatabaseSchema({"x": "s1"})
+        b = DatabaseSchema({"y": "s2"})
+        merged = a.merged_with(b)
+        assert merged.entities == {"x", "y"}
+
+    def test_merge_overlapping_consistent(self):
+        a = DatabaseSchema({"x": "s1"})
+        b = DatabaseSchema({"x": "s1", "y": "s2"})
+        assert a.merged_with(b).entities == {"x", "y"}
+
+    def test_merge_conflict_raises(self):
+        a = DatabaseSchema({"x": "s1"})
+        b = DatabaseSchema({"x": "s2"})
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestEquality:
+    def test_equal(self):
+        assert DatabaseSchema({"x": "s"}) == DatabaseSchema({"x": "s"})
+
+    def test_not_equal(self):
+        assert DatabaseSchema({"x": "s"}) != DatabaseSchema({"x": "t"})
+
+    def test_hashable(self):
+        assert len({DatabaseSchema({"x": "s"}), DatabaseSchema({"x": "s"})}) == 1

@@ -1,0 +1,48 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, "late")
+        q.push(1.0, "early")
+        assert q.pop() == (1.0, "early")
+        assert q.pop() == (5.0, "late")
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(2.0, "x")
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, "x")
+
+    def test_nan_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), "x")

@@ -1,0 +1,165 @@
+"""Unit tests for repro.analysis.exhaustive (the oracles)."""
+
+import pytest
+
+from repro.analysis.exhaustive import (
+    SearchBudgetExceeded,
+    enumerate_complete_schedules,
+    find_deadlock,
+    find_lemma1_violation,
+    find_unserializable_schedule,
+    is_deadlock_free,
+    is_safe,
+    is_safe_and_deadlock_free,
+)
+from repro.core.entity import DatabaseSchema
+from repro.core.reduction import is_deadlock_partial_schedule
+from repro.core.serialization import is_serializable
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq
+
+
+def deadlock_pair() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+def unsafe_but_deadlock_free_pair() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ux", "Ly", "Uy"], schema),
+            seq("T2", ["Lx", "Ux", "Ly", "Uy"], schema),
+        ]
+    )
+
+
+def safe_pair() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Uy", "Ux"], schema),
+            seq("T2", ["Lx", "Ly", "Ux", "Uy"], schema),
+        ]
+    )
+
+
+class TestFindDeadlock:
+    def test_deadlock_found_and_certified(self):
+        witness = find_deadlock(deadlock_pair())
+        assert witness is not None
+        assert is_deadlock_partial_schedule(witness)
+
+    def test_deadlock_free(self):
+        assert find_deadlock(safe_pair()) is None
+        assert find_deadlock(unsafe_but_deadlock_free_pair()) is None
+
+    def test_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            find_deadlock(deadlock_pair(), max_states=2)
+
+    def test_verdict_wrapper(self):
+        assert is_deadlock_free(safe_pair())
+        verdict = is_deadlock_free(deadlock_pair())
+        assert not verdict
+        assert witness_replayable(verdict.witness)
+
+
+def witness_replayable(schedule) -> bool:
+    """Re-validate a witness schedule through the constructor."""
+    from repro.core.schedule import Schedule
+
+    Schedule(schedule.system, schedule.steps)
+    return True
+
+
+class TestFindUnserializable:
+    def test_unsafe_pair(self):
+        violation = find_unserializable_schedule(
+            unsafe_but_deadlock_free_pair()
+        )
+        assert violation is not None
+        assert violation.schedule.is_complete()
+        assert not is_serializable(violation.schedule)
+        assert len(violation.cycle) >= 2
+
+    def test_safe_pair(self):
+        assert find_unserializable_schedule(safe_pair()) is None
+
+    def test_deadlock_pair_is_safe(self):
+        """The classic 2PL deadlock pair is SAFE (all complete schedules
+        serializable) though not deadlock-free."""
+        assert find_unserializable_schedule(deadlock_pair()) is None
+
+
+class TestLemma1:
+    def test_detects_deadlock_only(self):
+        violation = find_lemma1_violation(deadlock_pair())
+        assert violation is not None
+        # the partial schedule need not be complete
+        assert not is_serializable(violation.schedule) or True
+
+    def test_detects_unsafety_only(self):
+        assert find_lemma1_violation(
+            unsafe_but_deadlock_free_pair()
+        ) is not None
+
+    def test_passes_safe_system(self):
+        assert find_lemma1_violation(safe_pair()) is None
+
+    def test_lemma1_equals_conjunction(self):
+        """Lemma 1: safe ∧ DF  ⇔  no partial schedule with cyclic D."""
+        for system in (
+            deadlock_pair(),
+            unsafe_but_deadlock_free_pair(),
+            safe_pair(),
+        ):
+            lhs = (
+                find_unserializable_schedule(system) is None
+                and find_deadlock(system) is None
+            )
+            rhs = find_lemma1_violation(system) is None
+            assert lhs == rhs
+
+    def test_verdicts(self):
+        assert is_safe(safe_pair())
+        assert not is_safe(unsafe_but_deadlock_free_pair())
+        assert is_safe_and_deadlock_free(safe_pair())
+        assert not is_safe_and_deadlock_free(deadlock_pair())
+
+
+class TestEnumerateSchedules:
+    def test_counts_tiny(self):
+        schema = DatabaseSchema.single_site(["x"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ux"], schema),
+                seq("T2", ["Lx", "Ux"], schema),
+            ]
+        )
+        schedules = list(enumerate_complete_schedules(system))
+        # T1 then T2 or T2 then T1: locks forbid interleaving.
+        assert len(schedules) == 2
+        for s in schedules:
+            assert s.is_complete()
+
+    def test_limit(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ux"], schema),
+                seq("T2", ["Ly", "Uy"], schema),
+            ]
+        )
+        assert len(list(enumerate_complete_schedules(system, limit=3))) == 3
+
+    def test_all_legal(self):
+        system = unsafe_but_deadlock_free_pair()
+        for s in enumerate_complete_schedules(system, limit=50):
+            assert s.is_complete()

@@ -1,0 +1,60 @@
+"""Tests for repro.analysis.extensions (Corollary 1 baseline)."""
+
+import pytest
+
+from repro.analysis.extensions import (
+    check_pair_by_extensions,
+    extension_pair_count,
+)
+from repro.analysis.pairs import check_pair
+
+from tests.helpers import seq, small_random_system
+
+
+class TestExtensionPairCount:
+    def test_total_orders(self):
+        t1 = seq("T1", ["Lx", "Ux"])
+        t2 = seq("T2", ["Lx", "Ux"])
+        assert extension_pair_count(t1, t2) == 1
+
+    def test_partial_orders_multiply(self):
+        from repro.paper.figures import figure3
+
+        system = figure3()
+        # each Figure 3 dag has 3 extensions: 3 * 3 = 9
+        count = extension_pair_count(system[0], system[1])
+        assert count == 9
+
+
+class TestCorollary1Baseline:
+    def test_agrees_with_theorem3_sequential(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Ly", "Lx", "Uy", "Ux"])
+        assert bool(check_pair_by_extensions(t1, t2)) == bool(
+            check_pair(t1, t2)
+        )
+
+    def test_agrees_with_theorem3_random(self):
+        for seed in range(40):
+            system = small_random_system(
+                seed + 4_000, n_transactions=2, n_entities=3
+            )
+            t1, t2 = system[0], system[1]
+            naive = bool(check_pair_by_extensions(t1, t2, limit=None))
+            fast = bool(check_pair(t1, t2))
+            assert naive == fast, f"seed {seed + 4_000}"
+
+    def test_failure_carries_extension_pair(self):
+        from repro.paper.figures import figure3
+
+        system = figure3()
+        verdict = check_pair_by_extensions(system[0], system[1])
+        assert not verdict
+        assert "t1" in verdict.details and "t2" in verdict.details
+
+    def test_limit_enforced(self):
+        from repro.paper.figures import figure3
+
+        system = figure3()
+        with pytest.raises(RuntimeError):
+            check_pair_by_extensions(system[0], system[1], limit=2)

@@ -1,0 +1,130 @@
+"""Every property the paper asserts about Figures 1, 2, 3, 5 and 6,
+checked against the library and the exhaustive oracle."""
+
+from repro.analysis.exhaustive import find_deadlock
+from repro.analysis.pairs import check_pair
+from repro.analysis.theorem1 import find_deadlock_prefix
+from repro.analysis.tirri import find_two_entity_pattern
+from repro.core.reduction import (
+    is_deadlock_prefix,
+    prefix_has_schedule,
+    reduction_graph,
+)
+from repro.core.system import TransactionSystem
+from repro.paper import figures
+
+
+class TestFigure1:
+    def test_sites(self):
+        system = figures.figure1()
+        assert system.schema.site_of("x") == system.schema.site_of("y")
+        assert system.schema.site_of("z") != system.schema.site_of("x")
+
+    def test_prefix_is_deadlock_prefix(self):
+        system = figures.figure1()
+        prefix = figures.figure1_prefix(system)
+        assert prefix_has_schedule(prefix) is not None
+        assert is_deadlock_prefix(prefix)
+
+    def test_quoted_cycle_nodes_present(self):
+        """The paper's cycle L1z U1y L2y U2x L3x U3z appears (as a cycle
+        through those nodes; Hasse transitivity may add intermediates)."""
+        system = figures.figure1()
+        prefix = figures.figure1_prefix(system)
+        cycle = reduction_graph(prefix).find_cycle()
+        labels = {system.describe_node(g) for g in cycle}
+        assert {"L1z", "U1y", "L2y", "L3x", "U3z"} <= labels
+
+    def test_paper_arc_u1x_l2x(self):
+        """Figure 1d: T1 locks and unlocks x before T2 locks it."""
+        prefix = figures.figure1_prefix()
+        schedule = prefix_has_schedule(prefix)
+        assert schedule.lock_sequence("x") == [0, 1]
+
+    def test_system_deadlocks(self):
+        system = figures.figure1()
+        assert find_deadlock(system) is not None
+
+
+class TestFigure2:
+    def test_identical_syntax(self):
+        system = figures.figure2()
+        t1, t2 = system[0], system[1]
+        assert t1.ops == t2.ops
+        assert t1.dag == t2.dag
+
+    def test_tirri_premise_absent(self):
+        system = figures.figure2()
+        assert find_two_entity_pattern(system[0], system[1]) is None
+
+    def test_prefix_deadlocks_through_four_entities(self):
+        system = figures.figure2()
+        prefix = figures.figure2_prefix(system)
+        assert is_deadlock_prefix(prefix)
+        cycle = reduction_graph(prefix).find_cycle()
+        entities = {
+            system[g.txn].ops[g.node].entity for g in cycle
+        }
+        assert entities == {"v", "t", "z", "w"}
+
+    def test_system_deadlocks(self):
+        assert find_deadlock(figures.figure2()) is not None
+
+
+class TestFigure3:
+    def test_partial_orders_deadlock_free(self):
+        assert find_deadlock(figures.figure3()) is None
+        assert find_deadlock_prefix(figures.figure3()) is None
+
+    def test_extensions_deadlock(self):
+        assert find_deadlock(figures.figure3_extensions()) is not None
+
+    def test_extensions_are_extensions(self):
+        """t1, t2 really are linear extensions of the Figure 3 dag."""
+        system = figures.figure3()
+        extensions = figures.figure3_extensions()
+        for i in (0, 1):
+            target = [str(op) for op in _sequence(extensions[i])]
+            found = [
+                [str(ext.ops[n]) for n in ext.dag.topological_order()]
+                for ext in system[i].linear_extensions()
+            ]
+            assert target in found
+
+
+def _sequence(transaction):
+    return [
+        transaction.ops[n] for n in transaction.dag.topological_order()
+    ]
+
+
+class TestFigure5:
+    def test_formula_shape(self):
+        formula = figures.figure5_formula()
+        assert formula.clause_count == 3
+        assert formula.is_three_sat_prime()
+        assert str(formula) == "(x1 | x2) & (x1 | ~x2) & (~x1 | x2)"
+
+
+class TestFigure6:
+    def test_two_copies_deadlock_free(self):
+        t = figures.figure6()
+        assert find_deadlock(TransactionSystem.of_copies(t, 2)) is None
+
+    def test_three_copies_deadlock(self):
+        t = figures.figure6()
+        witness = find_deadlock(TransactionSystem.of_copies(t, 3))
+        assert witness is not None
+
+    def test_four_copies_deadlock_too(self):
+        t = figures.figure6()
+        assert (
+            find_deadlock(TransactionSystem.of_copies(t, 4)) is not None
+        )
+
+    def test_pair_check_consistently_fails(self):
+        """Safe+DF already fails for 2 copies (no common first lock), so
+        Theorem 5 is not contradicted by the figure."""
+        t = figures.figure6()
+        pair = TransactionSystem.of_copies(t, 2)
+        assert not check_pair(pair[0], pair[1])

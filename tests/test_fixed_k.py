@@ -1,0 +1,128 @@
+"""Unit tests for repro.analysis.fixed_k (Theorem 4)."""
+
+from repro.analysis.exhaustive import is_safe_and_deadlock_free
+from repro.analysis.fixed_k import (
+    check_system,
+    normal_form_witness,
+    oriented_rooted_cycles,
+)
+from repro.analysis.witnesses import SerializationViolation
+from repro.core.entity import DatabaseSchema
+from repro.core.schedule import Schedule
+from repro.core.serialization import d_graph
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq, small_random_system
+
+
+def three_cycle_system() -> TransactionSystem:
+    """Three 2PL transactions on a triangle of entities; each pair is
+    safe+DF but the triple admits a cyclic partial schedule."""
+    schema = DatabaseSchema.single_site(["x", "y", "z"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lz", "Uy", "Uz"], schema),
+            seq("T3", ["Lz", "Lx", "Uz", "Ux"], schema),
+        ]
+    )
+
+
+def safe_triple() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y", "z"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Uy", "Ux"], schema),
+            seq("T2", ["Ly", "Lz", "Uz", "Uy"], schema),
+            seq("T3", ["Lx", "Lz", "Uz", "Ux"], schema),
+        ]
+    )
+
+
+class TestOrientedRootedCycles:
+    def test_triangle_count(self):
+        system = three_cycle_system()
+        cycles = list(oriented_rooted_cycles(system))
+        # one undirected triangle, 2 directions x 3 rotations
+        assert len(cycles) == 6
+        assert len(set(cycles)) == 6
+        for cycle in cycles:
+            assert sorted(cycle) == [0, 1, 2]
+
+    def test_no_cycles_in_path_interaction(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ux"], schema),
+                seq("T2", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T3", ["Ly", "Uy"], schema),
+            ]
+        )
+        assert not list(oriented_rooted_cycles(system))
+
+
+class TestNormalFormWitness:
+    def test_triangle_witness_exists(self):
+        system = three_cycle_system()
+        found = None
+        for cycle in oriented_rooted_cycles(system):
+            prefix = normal_form_witness(system, cycle)
+            if prefix is not None:
+                found = (cycle, prefix)
+                break
+        assert found is not None
+        cycle, prefix = found
+        # The normal-form serial schedule is legal and has cyclic D.
+        schedule = Schedule.serial_prefixes(prefix, list(cycle))
+        assert d_graph(schedule).find_cycle() is not None
+
+    def test_safe_triple_no_witness(self):
+        system = safe_triple()
+        for cycle in oriented_rooted_cycles(system):
+            assert normal_form_witness(system, cycle) is None
+
+
+class TestCheckSystem:
+    def test_failing_pair_detected_first(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+            ]
+        )
+        verdict = check_system(system)
+        assert not verdict
+        assert "Theorem 3" in verdict.reason
+
+    def test_triangle_detected(self):
+        verdict = check_system(three_cycle_system())
+        assert not verdict
+        assert isinstance(verdict.witness, SerializationViolation)
+        # witness schedule must be replayable and have a cyclic D
+        schedule = verdict.witness.schedule
+        assert d_graph(schedule).find_cycle() is not None
+
+    def test_safe_triple_passes(self):
+        assert check_system(safe_triple())
+
+    def test_agrees_with_oracle_on_fixtures(self):
+        for system in (three_cycle_system(), safe_triple()):
+            assert bool(check_system(system)) == bool(
+                is_safe_and_deadlock_free(system)
+            )
+
+    def test_random_sweep_k3(self):
+        """Theorem 4 vs exhaustive Lemma 1 oracle on 40 random triples."""
+        for seed in range(40):
+            system = small_random_system(seed + 1000, n_transactions=3)
+            expected = bool(
+                is_safe_and_deadlock_free(system, max_states=400_000)
+            )
+            assert bool(check_system(system)) == expected, (
+                f"disagreement at seed {seed + 1000}"
+            )
+
+    def test_single_transaction(self):
+        system = TransactionSystem([seq("T1", ["Lx", "Ux"])])
+        assert check_system(system)

@@ -1,0 +1,196 @@
+"""Unit tests for repro.util.graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.graphs import (
+    Digraph,
+    find_cycle,
+    has_cycle,
+    simple_cycles_undirected,
+    strongly_connected_components,
+    topological_sort,
+)
+
+
+class TestDigraph:
+    def test_add_and_query(self):
+        g = Digraph()
+        g.add_arc("a", "b", label="x")
+        assert g.has_arc("a", "b")
+        assert not g.has_arc("b", "a")
+        assert g.arc_labels("a", "b") == {"x"}
+
+    def test_parallel_labels_kept(self):
+        g = Digraph()
+        g.add_arc("a", "b", label="x")
+        g.add_arc("a", "b", label="y")
+        assert g.arc_labels("a", "b") == {"x", "y"}
+        assert g.arc_count() == 2
+
+    def test_same_label_merged(self):
+        g = Digraph()
+        g.add_arc("a", "b", label="x")
+        g.add_arc("a", "b", label="x")
+        assert g.arc_count() == 1
+
+    def test_nodes_and_len(self):
+        g = Digraph()
+        g.add_node("solo")
+        g.add_arc("a", "b")
+        assert set(g.nodes) == {"solo", "a", "b"}
+        assert len(g) == 3
+
+    def test_predecessors(self):
+        g = Digraph()
+        g.add_arc("a", "c")
+        g.add_arc("b", "c")
+        assert set(g.predecessors("c")) == {"a", "b"}
+
+    def test_acyclic(self):
+        g = Digraph()
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        assert g.is_acyclic()
+
+    def test_cycle_found(self):
+        g = Digraph()
+        g.add_arc("a", "b")
+        g.add_arc("b", "c")
+        g.add_arc("c", "a")
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"a", "b", "c"}
+
+
+class TestFindCycle:
+    def test_no_cycle_in_dag(self):
+        succ = {1: [2, 3], 2: [3], 3: []}
+        assert find_cycle([1, 2, 3], lambda u: succ[u]) is None
+
+    def test_self_loop(self):
+        succ = {1: [1]}
+        assert find_cycle([1], lambda u: succ[u]) == [1]
+
+    def test_cycle_order(self):
+        succ = {1: [2], 2: [3], 3: [2]}
+        cycle = find_cycle([1, 2, 3], lambda u: succ[u])
+        assert cycle == [2, 3]
+
+    def test_cycle_is_closed(self):
+        succ = {0: [1], 1: [2], 2: [0], 3: []}
+        cycle = find_cycle([3, 0], lambda u: succ.get(u, []))
+        assert cycle is not None
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert b in succ[a]
+
+    def test_has_cycle(self):
+        succ = {1: [2], 2: [1]}
+        assert has_cycle([1, 2], lambda u: succ[u])
+
+
+class TestTopologicalSort:
+    def test_sorts(self):
+        succ = {1: [2], 2: [3], 3: []}
+        order = topological_sort([3, 2, 1], lambda u: succ[u])
+        assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_raises_on_cycle(self):
+        succ = {1: [2], 2: [1]}
+        with pytest.raises(ValueError):
+            topological_sort([1, 2], lambda u: succ[u])
+
+
+class TestStronglyConnectedComponents:
+    def test_dag_singletons(self):
+        succ = {1: [2], 2: []}
+        sccs = strongly_connected_components([1, 2], lambda u: succ[u])
+        assert sorted(map(sorted, sccs)) == [[1], [2]]
+
+    def test_one_component(self):
+        succ = {1: [2], 2: [3], 3: [1]}
+        sccs = strongly_connected_components([1, 2, 3], lambda u: succ[u])
+        assert sorted(map(sorted, sccs)) == [[1, 2, 3]]
+
+    def test_mixed(self):
+        succ = {1: [2], 2: [1], 3: [1]}
+        sccs = strongly_connected_components([1, 2, 3], lambda u: succ[u])
+        assert sorted(sorted(c) for c in sccs) == [[1, 2], [3]]
+
+
+def _neighbors_from_edges(edges):
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    return adj
+
+
+class TestSimpleCyclesUndirected:
+    def test_triangle(self):
+        adj = _neighbors_from_edges([(0, 1), (1, 2), (0, 2)])
+        cycles = list(
+            simple_cycles_undirected(
+                sorted(adj), lambda u: sorted(adj[u])
+            )
+        )
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == [0, 1, 2]
+
+    def test_square_with_diagonal(self):
+        # 4-cycle + diagonal: cycles {0,1,2}, {0,2,3}, {0,1,2,3}
+        adj = _neighbors_from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )
+        cycles = list(
+            simple_cycles_undirected(
+                sorted(adj), lambda u: sorted(adj[u])
+            )
+        )
+        assert len(cycles) == 3
+
+    def test_tree_has_no_cycles(self):
+        adj = _neighbors_from_edges([(0, 1), (0, 2), (1, 3)])
+        assert not list(
+            simple_cycles_undirected(sorted(adj), lambda u: sorted(adj[u]))
+        )
+
+    def test_max_cycles_cap(self):
+        adj = _neighbors_from_edges(
+            [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        )
+        cycles = list(
+            simple_cycles_undirected(
+                sorted(adj), lambda u: sorted(adj[u]), max_cycles=4
+            )
+        )
+        assert len(cycles) == 4
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40)
+    def test_cycles_unique_and_valid(self, edges):
+        edges = [(a, b) for a, b in edges if a != b]
+        adj = _neighbors_from_edges(edges)
+        if not adj:
+            return
+        seen = set()
+        for cycle in simple_cycles_undirected(
+            sorted(adj), lambda u: sorted(adj[u])
+        ):
+            assert len(cycle) >= 3
+            assert len(set(cycle)) == len(cycle)
+            for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                assert b in adj[a]
+            key = frozenset(cycle)
+            canonical = tuple(cycle)
+            assert canonical not in seen
+            seen.add(canonical)

@@ -1,0 +1,49 @@
+"""Tests for JSON serialization (repro.io.jsonfmt)."""
+
+import json
+
+import pytest
+
+from repro.io.jsonfmt import system_from_json, system_to_json
+from repro.paper import figures
+
+from tests.helpers import small_random_system
+
+
+class TestRoundTrip:
+    def test_figures(self):
+        for system in (
+            figures.figure1(),
+            figures.figure2(),
+            figures.figure3(),
+        ):
+            restored = system_from_json(system_to_json(system))
+            assert len(restored) == len(system)
+            for a, b in zip(system.transactions, restored.transactions):
+                assert a.name == b.name
+                assert a.ops == b.ops
+                assert a.dag == b.dag
+                assert a.schema == b.schema
+
+    def test_random(self):
+        for seed in range(10):
+            system = small_random_system(seed, n_transactions=3)
+            restored = system_from_json(system_to_json(system))
+            for a, b in zip(system.transactions, restored.transactions):
+                assert a.ops == b.ops and a.dag == b.dag
+
+
+class TestValidation:
+    def test_version_mismatch(self):
+        payload = json.loads(system_to_json(figures.figure3()))
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            system_from_json(json.dumps(payload))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            system_from_json("[1, 2, 3]")
+
+    def test_compact_output(self):
+        text = system_to_json(figures.figure3(), indent=None)
+        assert "\n" not in text

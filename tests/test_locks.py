@@ -1,0 +1,82 @@
+"""Unit tests for repro.sim.locks."""
+
+import pytest
+
+from repro.sim.locks import SiteLockManager
+
+
+class TestRequestRelease:
+    def test_grant_free(self):
+        mgr = SiteLockManager("s1")
+        assert mgr.request(0, "x")
+        assert mgr.holder("x") == 0
+
+    def test_queue_when_held(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        assert not mgr.request(1, "x")
+        assert mgr.waiters("x") == [1]
+
+    def test_release_grants_fifo(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        mgr.request(1, "x")
+        mgr.request(2, "x")
+        assert mgr.release(0, "x") == 1
+        assert mgr.holder("x") == 1
+        assert mgr.waiters("x") == [2]
+
+    def test_release_empty_queue(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        assert mgr.release(0, "x") is None
+        assert mgr.holder("x") is None
+
+    def test_double_request_rejected(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        with pytest.raises(ValueError):
+            mgr.request(0, "x")
+
+    def test_double_wait_rejected(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        mgr.request(1, "x")
+        with pytest.raises(ValueError):
+            mgr.request(1, "x")
+
+    def test_release_not_held_rejected(self):
+        mgr = SiteLockManager("s1")
+        with pytest.raises(ValueError):
+            mgr.release(0, "x")
+
+
+class TestCancelAndBulk:
+    def test_cancel_wait(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        mgr.request(1, "x")
+        mgr.cancel_wait(1, "x")
+        assert mgr.waiters("x") == []
+        assert mgr.release(0, "x") is None
+
+    def test_cancel_wait_noop(self):
+        mgr = SiteLockManager("s1")
+        mgr.cancel_wait(1, "x")  # no error
+
+    def test_release_all(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        mgr.request(0, "y")
+        mgr.request(1, "x")
+        released = dict(mgr.release_all(0))
+        assert released == {"x": 1, "y": None}
+        assert mgr.holder("x") == 1
+
+    def test_held_by_and_waiting_for(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x")
+        mgr.request(0, "y")
+        mgr.request(1, "y")
+        assert mgr.held_by(0) == ["x", "y"]
+        assert mgr.waiting_for(1) == ["y"]

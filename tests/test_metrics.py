@@ -1,0 +1,56 @@
+"""Tests for repro.sim.metrics and repro.util.render."""
+
+from repro.sim.metrics import SimulationResult
+from repro.util.render import bullet_list, format_table, indent_block
+
+
+class TestSimulationResult:
+    def test_throughput(self):
+        r = SimulationResult(policy="blocking", committed=4, end_time=2.0)
+        assert r.throughput == 2.0
+
+    def test_throughput_zero_time(self):
+        r = SimulationResult(policy="blocking")
+        assert r.throughput == 0.0
+
+    def test_mean_latency_ignores_uncommitted(self):
+        r = SimulationResult(
+            policy="blocking", latencies=[2.0, -1.0, 4.0]
+        )
+        assert r.mean_latency == 3.0
+
+    def test_mean_latency_empty(self):
+        assert SimulationResult(policy="x").mean_latency == 0.0
+
+    def test_summary_table(self):
+        rows = [
+            SimulationResult(
+                policy="blocking", committed=1, total=2, deadlocked=True
+            ),
+            SimulationResult(
+                policy="wound-wait", committed=2, total=2,
+                serializable=True,
+            ),
+        ]
+        table = SimulationResult.summary_table(rows)
+        assert "blocking" in table
+        assert "wound-wait" in table
+        assert "yes" in table
+
+
+class TestRender:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "n"], [["a", 1], ["bbb", 22]],
+            align_right=[False, True],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert lines[2].endswith("1")
+
+    def test_indent_block(self):
+        assert indent_block("a\nb", "  ") == "  a\n  b"
+
+    def test_bullet_list(self):
+        assert bullet_list(["x", "y"]) == "  - x\n  - y"

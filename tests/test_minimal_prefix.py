@@ -1,0 +1,66 @@
+"""Unit tests for repro.analysis.minimal_prefix."""
+
+from repro.analysis.minimal_prefix import (
+    check_pair_minimal_prefix,
+    minimal_prefix_mask,
+)
+from repro.analysis.pairs import check_pair
+from repro.util.bitset import bits_of
+
+from tests.helpers import seq, small_random_system
+
+
+class TestMinimalPrefixMask:
+    def test_predecessors_always_included(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"])
+        mask = minimal_prefix_mask(t1, t2, "y")
+        # predecessors of L1y: Lx
+        assert mask >> t1.lock_node("x") & 1
+
+    def test_blocker_closure(self):
+        """x ∈ R_{T2}(Ly) and T1 holds x before Ly: the loop must pull
+        Ux (hence everything before it) into the prefix, reaching Ly."""
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"])
+        mask = minimal_prefix_mask(t1, t2, "y")
+        assert mask >> t1.lock_node("y") & 1  # Ly forced in
+
+    def test_no_blockers_prefix_stays_small(self):
+        t1 = seq("T1", ["Lx", "Ux", "Ly", "Uy"])
+        t2 = seq("T2", ["Lx", "Ux", "Ly", "Uy"])
+        mask = minimal_prefix_mask(t1, t2, "y")
+        # T1 releases x before Ly: prefix = {Lx, Ux}; Ly not forced.
+        assert set(bits_of(mask)) == {
+            t1.lock_node("x"), t1.unlock_node("x")
+        }
+
+
+class TestVerdictAgreement:
+    def test_classic_cases(self):
+        cases = [
+            (["Lx", "Ly", "Ux", "Uy"], ["Lx", "Ly", "Uy", "Ux"]),
+            (["Lx", "Ly", "Ux", "Uy"], ["Ly", "Lx", "Uy", "Ux"]),
+            (["Lx", "Ux", "Ly", "Uy"], ["Lx", "Ux", "Ly", "Uy"]),
+            (["Lx", "Ly", "Uy", "Lz", "Ux", "Uz"],
+             ["Lx", "Lz", "Ly", "Ux", "Uy", "Uz"]),
+        ]
+        for ops1, ops2 in cases:
+            t1, t2 = seq("T1", ops1), seq("T2", ops2)
+            assert bool(check_pair_minimal_prefix(t1, t2)) == bool(
+                check_pair(t1, t2)
+            )
+
+    def test_random_sweep_agreement(self):
+        """The O(n³) and O(n²) algorithms agree on 120 random pairs."""
+        for seed in range(120):
+            system = small_random_system(seed, n_transactions=2)
+            t1, t2 = system[0], system[1]
+            assert bool(check_pair_minimal_prefix(t1, t2)) == bool(
+                check_pair(t1, t2)
+            ), f"disagreement at seed {seed}"
+
+    def test_no_common_entities(self):
+        assert check_pair_minimal_prefix(
+            seq("T1", ["Lx", "Ux"]), seq("T2", ["Ly", "Uy"])
+        )

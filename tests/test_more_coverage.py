@@ -1,0 +1,120 @@
+"""Edge cases and API corners not covered elsewhere."""
+
+import pytest
+
+from repro.analysis.exhaustive import SearchBudgetExceeded
+from repro.analysis.theorem1 import find_deadlock_prefix
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+from repro.sim.runtime import (
+    SimulationConfig,
+    find_deadlocking_seed,
+    simulate,
+)
+
+from tests.helpers import seq
+
+
+def deadlock_pair() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+class TestFindDeadlockingSeed:
+    def test_finds_seed_for_refuted_system(self):
+        found = find_deadlocking_seed(deadlock_pair(), max_seeds=100)
+        assert found is not None
+        seed, result = found
+        assert result.deadlocked
+        # reproducible
+        again = simulate(
+            deadlock_pair(), "blocking", SimulationConfig(seed=seed)
+        )
+        assert again.deadlocked
+
+    def test_none_for_certified_system(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Uy", "Ux"], schema),
+                seq("T2", ["Lx", "Ly", "Ux", "Uy"], schema),
+            ]
+        )
+        assert find_deadlocking_seed(system, max_seeds=30) is None
+
+    def test_respects_base_config(self):
+        found = find_deadlocking_seed(
+            deadlock_pair(),
+            max_seeds=100,
+            config=SimulationConfig(network_delay=1.0),
+        )
+        assert found is not None
+
+
+class TestSearchBudgets:
+    def test_theorem1_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            find_deadlock_prefix(deadlock_pair(), max_states=2)
+
+    def test_lemma1_budget(self):
+        from repro.analysis.exhaustive import find_lemma1_violation
+
+        with pytest.raises(SearchBudgetExceeded):
+            find_lemma1_violation(deadlock_pair(), max_states=2)
+
+
+class TestSystemOfCopiesEdges:
+    def test_zero_copies(self):
+        t = seq("T", ["Lx", "Ux"])
+        system = TransactionSystem.of_copies(t, 0)
+        assert len(system) == 0
+
+    def test_one_copy_deadlock_free(self):
+        from repro.analysis.exhaustive import find_deadlock
+
+        t = seq("T", ["Lx", "Ly", "Ux", "Uy"])
+        system = TransactionSystem.of_copies(t, 1)
+        assert find_deadlock(system) is None
+
+
+class TestEmptySystem:
+    def test_empty_system_trivially_fine(self):
+        from repro.analysis.exhaustive import (
+            find_deadlock,
+            find_lemma1_violation,
+        )
+        from repro.analysis.fixed_k import check_system
+
+        system = TransactionSystem([])
+        assert find_deadlock(system) is None
+        assert find_lemma1_violation(system) is None
+        assert check_system(system)
+
+
+class TestSingleSiteReducesToCentralized:
+    def test_identical_sequential_copies_never_deadlock(self):
+        """§3's remark: in a centralized DB any set of identical
+        transactions is deadlock-free."""
+        from repro.analysis.exhaustive import find_deadlock
+
+        schema = DatabaseSchema.single_site(["x", "y", "z"])
+        t = seq("T", ["Lx", "Ly", "Ux", "Lz", "Uy", "Uz"], schema)
+        for copies in (2, 3):
+            system = TransactionSystem.of_copies(t, copies)
+            assert find_deadlock(system) is None
+
+
+class TestVerdictDetails:
+    def test_theorem3_reports_first_lock(self):
+        from repro.analysis.pairs import check_pair
+
+        t1 = seq("T1", ["Lq", "Lx", "Ly", "Uy", "Ux", "Uq"])
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"])
+        verdict = check_pair(t1, t2)
+        assert verdict
+        assert verdict.details["x"] == "x"

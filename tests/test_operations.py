@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.operations."""
+
+import pytest
+
+from repro.core.operations import Operation, OpKind
+
+
+class TestConstruction:
+    def test_lock(self):
+        op = Operation.lock("x")
+        assert op.kind is OpKind.LOCK
+        assert op.entity == "x"
+        assert op.is_lock and not op.is_unlock and not op.is_action
+
+    def test_unlock(self):
+        op = Operation.unlock("y")
+        assert op.is_unlock
+
+    def test_action(self):
+        op = Operation.action("z")
+        assert op.is_action
+
+
+class TestParsing:
+    def test_parse_lock(self):
+        assert Operation.parse("Lx") == Operation.lock("x")
+
+    def test_parse_unlock(self):
+        assert Operation.parse("Uabc") == Operation.unlock("abc")
+
+    def test_parse_action(self):
+        assert Operation.parse("A.x") == Operation.action("x")
+
+    def test_parse_strips_whitespace(self):
+        assert Operation.parse("  Lx ") == Operation.lock("x")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Operation.parse("Qx")
+
+    def test_parse_rejects_empty_entity(self):
+        with pytest.raises(ValueError):
+            Operation.parse("L")
+        with pytest.raises(ValueError):
+            Operation.parse("A.")
+
+    def test_roundtrip(self):
+        for text in ["Lx", "Ux", "A.x", "Lfoo", "A.account-7"]:
+            assert str(Operation.parse(text)) == text
+
+
+class TestDunder:
+    def test_str(self):
+        assert str(Operation.lock("x")) == "Lx"
+        assert str(Operation.action("x")) == "A.x"
+
+    def test_frozen(self):
+        op = Operation.lock("x")
+        with pytest.raises(AttributeError):
+            op.entity = "y"
+
+    def test_hashable(self):
+        assert len({Operation.lock("x"), Operation.lock("x")}) == 1

@@ -1,0 +1,105 @@
+"""Tests for repro.analysis.optimize (early unlocking, [W2] idea)."""
+
+import random
+
+import pytest
+
+from repro.analysis.exhaustive import is_safe_and_deadlock_free
+from repro.analysis.fixed_k import check_system
+from repro.analysis.optimize import (
+    OptimizationReport,
+    early_unlock,
+    holding_span,
+)
+from repro.analysis.policies import repair_system
+from repro.core.system import TransactionSystem
+from repro.sim.workload import WorkloadSpec, random_system
+
+from tests.helpers import seq
+
+
+def certified_pair() -> TransactionSystem:
+    t1 = seq("T1", ["Lx", "A.x", "Ly", "A.y", "Uy", "Ux"])
+    t2 = seq("T2", ["Lx", "Ly", "A.y", "Uy", "Ux"])
+    return TransactionSystem([t1, t2])
+
+
+class TestHoldingSpan:
+    def test_simple(self):
+        t = seq("T", ["Lx", "A.x", "Ux"])
+        assert holding_span(t) == 2
+
+    def test_two_entities(self):
+        t = seq("T", ["Lx", "Ly", "Uy", "Ux"])
+        assert holding_span(t) == 3 + 1
+
+    def test_rejects_partial_orders(self):
+        from repro.paper.figures import figure3
+
+        with pytest.raises(ValueError):
+            holding_span(figure3()[0])
+
+
+class TestEarlyUnlock:
+    def test_reduces_span_and_stays_certified(self):
+        report = early_unlock(certified_pair())
+        assert report.after < report.before
+        assert report.moves > 0
+        assert check_system(report.system)
+        assert is_safe_and_deadlock_free(report.system)
+
+    def test_discovers_guard_pattern(self):
+        """The optimizer should release x right after Ly (the
+        Corollary 3 guard), not keep it until the end."""
+        report = early_unlock(certified_pair())
+        t1 = report.system[0]
+        order = t1.dag.topological_order()
+        pos = {node: i for i, node in enumerate(order)}
+        assert pos[t1.unlock_node("x")] < pos[t1.unlock_node("y")]
+
+    def test_rejects_uncertified_input(self):
+        bad = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"]),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            early_unlock(bad)
+
+    def test_rejects_partial_orders(self):
+        from repro.paper.figures import figure3
+
+        with pytest.raises(ValueError):
+            early_unlock(figure3())
+
+    def test_idempotent_at_fixpoint(self):
+        report = early_unlock(certified_pair())
+        again = early_unlock(report.system)
+        assert again.moves == 0
+        assert again.after == report.after
+
+    def test_report_improvement(self):
+        report = OptimizationReport(certified_pair(), 10, 5, 3)
+        assert report.improvement == 0.5
+        empty = OptimizationReport(certified_pair(), 0, 0, 0)
+        assert empty.improvement == 0.0
+
+    def test_on_repaired_random_workloads(self):
+        for seed in (3, 11, 29):
+            system = random_system(
+                random.Random(seed),
+                WorkloadSpec(
+                    n_transactions=3,
+                    n_entities=4,
+                    entities_per_txn=(2, 3),
+                    actions_per_entity=(1, 2),
+                ),
+            )
+            repaired, _ = repair_system(system)
+            report = early_unlock(repaired)
+            assert report.after <= report.before
+            assert check_system(report.system), f"seed {seed}"
+            assert is_safe_and_deadlock_free(
+                report.system, max_states=400_000
+            ), f"seed {seed}"

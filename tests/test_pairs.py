@@ -1,0 +1,94 @@
+"""Unit tests for repro.analysis.pairs (Theorem 3)."""
+
+from repro.analysis.pairs import (
+    check_pair,
+    common_first_locked_entity,
+    is_pair_safe_deadlock_free,
+)
+from repro.analysis.witnesses import PairViolation
+from repro.core.entity import DatabaseSchema
+
+from tests.helpers import seq
+
+
+class TestCommonFirstLockedEntity:
+    def test_simple_agreement(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"])
+        assert common_first_locked_entity(t1, t2) == "x"
+
+    def test_disagreement(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Ly", "Lx", "Uy", "Ux"])
+        assert common_first_locked_entity(t1, t2) is None
+
+    def test_private_entities_ignored(self):
+        t1 = seq("T1", ["Lp", "Up", "Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"])
+        assert common_first_locked_entity(t1, t2) == "x"
+
+
+class TestCheckPair:
+    def test_no_common_entities(self):
+        t1 = seq("T1", ["Lx", "Ux"])
+        t2 = seq("T2", ["Ly", "Uy"])
+        assert check_pair(t1, t2)
+
+    def test_classic_deadlock_pair_fails_condition_1(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Ly", "Lx", "Uy", "Ux"])
+        verdict = check_pair(t1, t2)
+        assert not verdict
+        assert isinstance(verdict.witness, PairViolation)
+        assert verdict.witness.condition == 1
+
+    def test_early_unlock_fails_condition_2(self):
+        """Lock order agrees (condition 1 holds via x) but T1 releases x
+        before taking y — nothing guards y."""
+        t1 = seq("T1", ["Lx", "Ux", "Ly", "Uy"])
+        t2 = seq("T2", ["Lx", "Ux", "Ly", "Uy"])
+        verdict = check_pair(t1, t2)
+        assert not verdict
+        assert verdict.witness.condition == 2
+        assert verdict.witness.entities == ("y",)
+
+    def test_two_phase_same_order_passes(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"])
+        verdict = check_pair(t1, t2)
+        assert verdict
+        assert verdict.details["x"] == "x"
+
+    def test_single_common_entity_passes(self):
+        t1 = seq("T1", ["Lx", "Ux", "La", "Ua"])
+        t2 = seq("T2", ["Lb", "Lx", "Ub", "Ux"])
+        assert check_pair(t1, t2)
+
+    def test_actions_ignored(self):
+        t1 = seq("T1", ["Lx", "A.x", "Ly", "Ux", "A.y", "Uy"])
+        t2 = seq("T2", ["Lx", "Ly", "A.y", "Ux", "Uy"])
+        assert bool(check_pair(t1, t2)) == bool(
+            check_pair(t1.lock_skeleton(), t2.lock_skeleton())
+        )
+
+    def test_boolean_wrapper(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Ly", "Lx", "Uy", "Ux"])
+        assert not is_pair_safe_deadlock_free(t1, t2)
+
+    def test_figure3_pair_fails(self):
+        """The Figure 3 pair is deadlock-free but NOT safe+DF (no common
+        first lock: Lx, Ly incomparable in both)."""
+        from repro.paper.figures import figure3
+
+        system = figure3()
+        assert not check_pair(system[0], system[1])
+
+    def test_distributed_pair_passes(self):
+        schema = DatabaseSchema.from_groups(
+            {"s1": ["x"], "s2": ["y"]}
+        )
+        # Both lock x first, hold x across Ly (condition 2 witness z=x).
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema)
+        t2 = seq("T2", ["Lx", "Ly", "Uy", "Ux"], schema)
+        assert check_pair(t1, t2)

@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.policies (lock ordering, repairs)."""
+
+from repro.analysis.exhaustive import is_safe_and_deadlock_free
+from repro.analysis.fixed_k import check_system
+from repro.analysis.policies import (
+    certify_prevention,
+    find_global_lock_order,
+    follows_lock_order,
+    relock_two_phase_ordered,
+    repair_system,
+)
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq, small_random_system
+
+
+class TestFollowsLockOrder:
+    def test_follows(self):
+        t = seq("T", ["Lx", "Ly", "Ux", "Uy"])
+        assert follows_lock_order(t, ["x", "y"])
+        assert not follows_lock_order(t, ["y", "x"])
+
+    def test_unranked_entities_ignored(self):
+        t = seq("T", ["Lq", "Lx", "Uq", "Ux"])
+        assert follows_lock_order(t, ["x"])
+
+    def test_incomparable_locks_fail(self):
+        from repro.paper.figures import figure3
+
+        t = figure3()[0]
+        assert not follows_lock_order(t, ["x", "y"])
+
+
+class TestFindGlobalLockOrder:
+    def test_consistent_workload(self):
+        schema = DatabaseSchema.single_site(["x", "y", "z"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T2", ["Ly", "Lz", "Uy", "Uz"], schema),
+            ]
+        )
+        order = find_global_lock_order(system)
+        assert order is not None
+        assert order.index("x") < order.index("y") < order.index("z")
+
+    def test_conflicting_workload(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+            ]
+        )
+        assert find_global_lock_order(system) is None
+        assert not certify_prevention(system)
+
+    def test_certify_prevention_positive(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T2", ["Lx", "Ly", "Uy", "Ux"], schema),
+            ]
+        )
+        verdict = certify_prevention(system)
+        assert verdict
+        assert verdict.details["order"]
+
+
+class TestRelockAndRepair:
+    def test_relock_preserves_entities_and_actions(self):
+        t = seq("T", ["Ly", "A.y", "Uy", "Lx", "A.x", "A.x", "Ux"])
+        fixed = relock_two_phase_ordered(t, ["x", "y"])
+        assert fixed.entities == {"x", "y"}
+        assert len(fixed.action_nodes("x")) == 2
+        assert len(fixed.action_nodes("y")) == 1
+        assert fixed.is_two_phase()
+        assert follows_lock_order(fixed, ["x", "y"])
+
+    def test_repair_makes_system_safe(self):
+        """Repairing the classic deadlock pair yields a certified
+        system (Theorem 4 and the oracle agree)."""
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+            ]
+        )
+        assert not check_system(system)
+        repaired, order = repair_system(system)
+        assert check_system(repaired)
+        assert is_safe_and_deadlock_free(repaired)
+        assert sorted(order) == ["x", "y"]
+
+    def test_repair_random_workloads(self):
+        for seed in range(15):
+            system = small_random_system(seed + 300, n_transactions=3)
+            repaired, _order = repair_system(system)
+            assert check_system(repaired), f"seed {seed + 300}"

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.prefix."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.prefix import SystemPrefix, prefix_mask_from_labels
+from repro.core.system import GlobalNode, TransactionSystem
+
+from tests.helpers import seq
+
+
+def system2() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ux", "Ly", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+class TestMaskFromLabels:
+    def test_basic(self):
+        t = seq("T", ["Lx", "Ux"])
+        assert prefix_mask_from_labels(t, ["Lx"]) == 0b01
+        assert prefix_mask_from_labels(t, ["Lx", "Ux"]) == 0b11
+
+    def test_unknown_label(self):
+        t = seq("T", ["Lx", "Ux"])
+        with pytest.raises(KeyError):
+            prefix_mask_from_labels(t, ["Lz"])
+
+    def test_ambiguous_label(self):
+        t = seq("T", ["Lx", "A.x", "A.x", "Ux"])
+        with pytest.raises(KeyError):
+            prefix_mask_from_labels(t, ["A.x"])
+
+
+class TestConstruction:
+    def test_empty_and_complete(self):
+        system = system2()
+        empty = SystemPrefix.empty(system)
+        assert empty.step_count() == 0
+        complete = SystemPrefix.complete(system)
+        assert complete.is_complete()
+
+    def test_non_down_set_rejected(self):
+        system = system2()
+        with pytest.raises(ValueError):
+            SystemPrefix(system, [0b10, 0])  # Ux without Lx
+
+    def test_wrong_mask_count(self):
+        with pytest.raises(ValueError):
+            SystemPrefix(system2(), [0])
+
+    def test_out_of_range_mask(self):
+        with pytest.raises(ValueError):
+            SystemPrefix(system2(), [1 << 10, 0])
+
+    def test_from_labels_down_closes(self):
+        system = system2()
+        prefix = SystemPrefix.from_labels(system, [["Ly"], []])
+        # Ly is node 2 of T1; requires Lx, Ux first
+        assert prefix.masks[0] == 0b0111
+
+
+class TestQueries:
+    def test_executed(self):
+        prefix = SystemPrefix(system2(), [0b0001, 0])
+        assert prefix.executed(GlobalNode(0, 0))
+        assert not prefix.executed(GlobalNode(0, 1))
+
+    def test_remaining_mask(self):
+        prefix = SystemPrefix(system2(), [0b0001, 0])
+        assert prefix.remaining_mask(0) == 0b1110
+
+    def test_locked_not_unlocked(self):
+        system = system2()
+        prefix = SystemPrefix(system, [0b0111, 0b0001])
+        assert prefix.locked_not_unlocked(0) == {"y"}
+        assert prefix.locked_not_unlocked(1) == {"y"}
+
+    def test_holders_conflict(self):
+        system = system2()
+        prefix = SystemPrefix(system, [0b0111, 0b0001])
+        with pytest.raises(ValueError):
+            prefix.holders()
+        assert not prefix.is_lock_consistent()
+
+    def test_holders_ok(self):
+        system = system2()
+        prefix = SystemPrefix(system, [0b0001, 0b0001])
+        assert prefix.holders() == {"x": 0, "y": 1}
+        assert prefix.is_lock_consistent()
+
+    def test_transaction_done(self):
+        system = system2()
+        prefix = SystemPrefix(system, [0b1111, 0])
+        assert prefix.is_transaction_done(0)
+        assert not prefix.is_transaction_done(1)
+        assert not prefix.is_complete()
+
+    def test_describe_mentions_labels(self):
+        system = system2()
+        prefix = SystemPrefix(system, [0b0001, 0])
+        text = prefix.describe()
+        assert "T1" in text and "Lx" in text
+
+    def test_equality_and_hash(self):
+        system = system2()
+        a = SystemPrefix(system, [0b0001, 0])
+        b = SystemPrefix(system, [0b0001, 0])
+        assert a == b
+        assert len({a, b}) == 1

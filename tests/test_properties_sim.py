@@ -1,0 +1,106 @@
+"""Property tests linking the simulator to the static theory.
+
+The two headline invariants:
+
+* **soundness of certification** — a system the paper's static test
+  certifies safe-and-deadlock-free never deadlocks under the pure
+  blocking scheduler, for any arrival order, and every trace it produces
+  is serializable;
+* **witness realism** — when the simulator does wedge, the static
+  machinery must agree a deadlock is reachable.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exhaustive import find_deadlock
+from repro.analysis.fixed_k import check_system
+from repro.analysis.policies import repair_system
+from repro.core.schedule import Schedule
+from repro.sim.runtime import SimulationConfig, Simulator, simulate
+from repro.sim.workload import WorkloadSpec, random_system
+
+from tests.helpers import small_random_system
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+def contended_system(seed: int):
+    rng = random.Random(seed)
+    spec = WorkloadSpec(
+        n_transactions=4,
+        n_entities=4,
+        n_sites=2,
+        entities_per_txn=(2, 3),
+        actions_per_entity=(0, 1),
+        hotspot_skew=1.5,
+    )
+    return random_system(rng, spec)
+
+
+class TestCertifiedSystemsNeverDeadlock:
+    @given(seeds, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_certified_blocking_run(self, workload_seed, sim_seed):
+        system = contended_system(workload_seed)
+        if not check_system(system):
+            repaired, _ = repair_system(system)
+            system = repaired
+        assert check_system(system)
+        result = simulate(
+            system, "blocking", SimulationConfig(seed=sim_seed)
+        )
+        assert not result.deadlocked
+        assert result.committed == len(system)
+        assert result.serializable is True
+
+
+class TestSimulatorDeadlocksAreReal:
+    @given(seeds, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_runtime_deadlock_implies_static_deadlock(
+        self, workload_seed, sim_seed
+    ):
+        system = small_random_system(
+            workload_seed, n_transactions=3, n_entities=4
+        )
+        result = simulate(
+            system, "blocking", SimulationConfig(seed=sim_seed)
+        )
+        if result.deadlocked:
+            assert find_deadlock(system, max_states=400_000) is not None
+
+
+class TestTraceReplayInvariant:
+    @given(seeds, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_committed_trace_is_legal_schedule(
+        self, workload_seed, sim_seed
+    ):
+        system = contended_system(workload_seed)
+        sim = Simulator(
+            system, "wound-wait", SimulationConfig(seed=sim_seed)
+        )
+        result = sim.run()
+        schedule = sim.committed_schedule()
+        # replays through full validation
+        Schedule(system, schedule.steps)
+        if result.committed == len(system):
+            assert schedule.is_complete()
+
+
+class TestPreventionPoliciesAlwaysFinish:
+    @given(seeds, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_wound_wait_and_wait_die_commit_everything(
+        self, workload_seed, sim_seed
+    ):
+        system = contended_system(workload_seed)
+        for policy in ("wound-wait", "wait-die"):
+            result = simulate(
+                system, policy, SimulationConfig(seed=sim_seed)
+            )
+            assert not result.deadlocked
+            assert result.committed == len(system)

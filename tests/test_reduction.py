@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.reduction (reduction graphs, Theorem 1
+machinery)."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.prefix import SystemPrefix
+from repro.core.reduction import (
+    is_deadlock_partial_schedule,
+    is_deadlock_prefix,
+    prefix_has_schedule,
+    reduction_graph,
+)
+from repro.core.schedule import Schedule
+from repro.core.system import GlobalNode, TransactionSystem
+
+from tests.helpers import seq
+
+
+def deadlocking_pair() -> TransactionSystem:
+    """Classic 2PL pair that can deadlock: opposite lock orders."""
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+class TestReductionGraph:
+    def test_empty_prefix_graph_is_transactions(self):
+        system = deadlocking_pair()
+        graph = reduction_graph(SystemPrefix.empty(system))
+        assert len(graph) == system.total_nodes()
+        assert graph.is_acyclic()
+
+    def test_cross_arcs_present(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], []])
+        graph = reduction_graph(prefix)
+        u1x = GlobalNode(0, system[0].unlock_node("x"))
+        l2x = GlobalNode(1, system[1].lock_node("x"))
+        assert graph.has_arc(u1x, l2x)
+        assert "x" in graph.arc_labels(u1x, l2x)
+
+    def test_classic_deadlock_prefix_cycle(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Ly"]])
+        graph = reduction_graph(prefix)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        labels = {system.describe_node(g) for g in cycle}
+        assert {"L1y", "U2y", "L2x", "U1x"} <= labels
+
+    def test_inconsistent_prefix_raises(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Lx"]])
+        with pytest.raises(ValueError):
+            reduction_graph(prefix)
+
+    def test_executed_nodes_excluded(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], []])
+        graph = reduction_graph(prefix)
+        assert GlobalNode(0, 0) not in graph
+
+
+class TestPrefixHasSchedule:
+    def test_empty_prefix(self):
+        system = deadlocking_pair()
+        schedule = prefix_has_schedule(SystemPrefix.empty(system))
+        assert schedule is not None
+        assert len(schedule) == 0
+
+    def test_reachable_prefix(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Ly"]])
+        schedule = prefix_has_schedule(prefix)
+        assert schedule is not None
+        assert schedule.prefix() == prefix
+
+    def test_unreachable_prefix(self):
+        """T1 done, T2 holds x: impossible — T1 needed x after T2 locked
+        it but T2 never released, and T2 locking x before T1 ran would
+        block T1's Lx, yet T1 finished."""
+        schema = DatabaseSchema.single_site(["x"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ux"], schema),
+                seq("T2", ["Lx", "Ux"], schema),
+            ]
+        )
+        # Both locked x, neither unlocked: lock-inconsistent.
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Lx"]])
+        assert prefix_has_schedule(prefix) is None
+
+
+class TestIsDeadlockPrefix:
+    def test_classic(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Ly"]])
+        assert is_deadlock_prefix(prefix)
+
+    def test_empty_is_not(self):
+        system = deadlocking_pair()
+        assert not is_deadlock_prefix(SystemPrefix.empty(system))
+
+    def test_inconsistent_is_not(self):
+        system = deadlocking_pair()
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Lx"]])
+        assert not is_deadlock_prefix(prefix)
+
+
+class TestIsDeadlockPartialSchedule:
+    def test_classic_blocked_state(self):
+        system = deadlocking_pair()
+        s = Schedule(system, [(0, 0), (1, 0)])  # L1x, L2y
+        assert is_deadlock_partial_schedule(s)
+
+    def test_progressable_state(self):
+        system = deadlocking_pair()
+        s = Schedule(system, [(0, 0)])
+        assert not is_deadlock_partial_schedule(s)
+
+    def test_complete_schedule_is_not_deadlock(self):
+        system = deadlocking_pair()
+        s = Schedule.serial(system)
+        assert not is_deadlock_partial_schedule(s)

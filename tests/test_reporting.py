@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.reporting."""
+
+from repro.analysis.reporting import AuditReport, audit_system
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq
+
+
+def broken_system() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+def clean_system() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Uy", "Ux"], schema),
+            seq("T2", ["Lx", "Ly", "Ux", "Uy"], schema),
+        ]
+    )
+
+
+class TestAuditSystem:
+    def test_clean(self):
+        report = audit_system(clean_system())
+        assert report.ok
+        assert report.failing_pairs == []
+        assert report.lock_order is not None
+
+    def test_broken(self):
+        report = audit_system(broken_system())
+        assert not report.ok
+        assert report.failing_pairs == [(0, 1)]
+        assert report.lock_order is None
+
+    def test_disjoint_pairs_skipped(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [seq("T1", ["Lx", "Ux"], schema), seq("T2", ["Ly", "Uy"], schema)]
+        )
+        report = audit_system(system)
+        assert report.pair_verdicts == {}
+        assert report.ok
+
+
+class TestToText:
+    def test_clean_text(self):
+        text = audit_system(clean_system()).to_text()
+        assert "SAFE AND DEADLOCK-FREE" in text
+        assert "global lock order" in text
+
+    def test_broken_text(self):
+        text = audit_system(broken_system()).to_text()
+        assert "VIOLATION" in text
+        assert "repair_system" in text
+
+    def test_certified_without_order(self):
+        """A system certified by Theorem 4 but with no single global
+        lock order (incomparable orders on disjoint pairs are fine)."""
+        schema = DatabaseSchema.single_site(["x", "y", "z"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Uy", "Ux"], schema),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+            ]
+        )
+        report = audit_system(system)
+        if report.ok and report.lock_order is None:
+            assert "regardless" in report.to_text()

@@ -1,0 +1,163 @@
+"""Tests for the discrete-event simulator (repro.sim.runtime)."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+from repro.sim.runtime import SimulationConfig, Simulator, simulate
+
+from tests.helpers import seq
+
+
+def deadlock_pair() -> TransactionSystem:
+    schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+def disjoint_pair() -> TransactionSystem:
+    schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "A.x", "Ux"], schema),
+            seq("T2", ["Ly", "A.y", "Uy"], schema),
+        ]
+    )
+
+
+def _find_deadlock_seed(system, policy="blocking", tries=60) -> int | None:
+    """A seed whose arrival order actually triggers the deadlock."""
+    for seed in range(tries):
+        result = simulate(system, policy, SimulationConfig(seed=seed))
+        if result.deadlocked:
+            return seed
+    return None
+
+
+class TestBasicRuns:
+    def test_disjoint_commits(self):
+        result = simulate(disjoint_pair(), "blocking")
+        assert result.committed == 2
+        assert not result.deadlocked
+        assert result.aborts == 0
+        assert result.serializable is True
+        assert result.throughput > 0
+
+    def test_single_transaction(self):
+        system = TransactionSystem([seq("T", ["Lx", "A.x", "Ux"])])
+        result = simulate(system, "blocking")
+        assert result.committed == 1
+        assert result.latencies[0] >= 0
+
+    def test_deterministic_under_seed(self):
+        a = simulate(deadlock_pair(), "wound-wait", SimulationConfig(seed=4))
+        b = simulate(deadlock_pair(), "wound-wait", SimulationConfig(seed=4))
+        assert a.end_time == b.end_time
+        assert a.aborts == b.aborts
+
+
+class TestBlockingDeadlock:
+    def test_deadlock_reached_and_reported(self):
+        seed = _find_deadlock_seed(deadlock_pair())
+        assert seed is not None, "no seed triggered the deadlock"
+        result = simulate(
+            deadlock_pair(), "blocking", SimulationConfig(seed=seed)
+        )
+        assert result.deadlocked
+        assert set(result.deadlock_cycle) == {0, 1}
+        assert result.committed < 2
+
+    def test_trace_of_deadlocked_run_still_legal(self):
+        seed = _find_deadlock_seed(deadlock_pair())
+        sim = Simulator(
+            deadlock_pair(), "blocking", SimulationConfig(seed=seed)
+        )
+        result = sim.run()
+        assert result.deadlocked
+        # the partial progress must replay as a legal schedule
+        assert result.serializable is not None
+
+
+class TestPreventionPolicies:
+    @pytest.mark.parametrize("policy", ["wound-wait", "wait-die"])
+    def test_rsl_policies_always_commit(self, policy):
+        for seed in range(25):
+            result = simulate(
+                deadlock_pair(), policy, SimulationConfig(seed=seed)
+            )
+            assert not result.deadlocked, f"{policy} seed {seed}"
+            assert result.committed == 2, f"{policy} seed {seed}"
+            assert result.serializable is True
+
+    def test_wound_wait_counts_wounds(self):
+        total = sum(
+            simulate(
+                deadlock_pair(), "wound-wait", SimulationConfig(seed=s)
+            ).wounds
+            for s in range(25)
+        )
+        assert total > 0
+
+    def test_wait_die_counts_deaths(self):
+        total = sum(
+            simulate(
+                deadlock_pair(), "wait-die", SimulationConfig(seed=s)
+            ).deaths
+            for s in range(25)
+        )
+        assert total > 0
+
+
+class TestTimeoutAndDetection:
+    def test_timeout_resolves_deadlock(self):
+        seed = _find_deadlock_seed(deadlock_pair())
+        result = simulate(
+            deadlock_pair(), "timeout", SimulationConfig(seed=seed)
+        )
+        assert not result.deadlocked
+        assert result.committed == 2
+        assert result.timeouts > 0
+
+    def test_detection_resolves_deadlock(self):
+        seed = _find_deadlock_seed(deadlock_pair())
+        result = simulate(
+            deadlock_pair(), "detect", SimulationConfig(seed=seed)
+        )
+        assert not result.deadlocked
+        assert result.committed == 2
+        assert result.detected > 0
+
+
+class TestTraceReplay:
+    def test_committed_schedule_replays(self):
+        sim = Simulator(disjoint_pair(), "blocking")
+        sim.run()
+        schedule = sim.committed_schedule()
+        assert schedule.is_complete()
+
+    def test_committed_schedule_after_aborts(self):
+        seed = _find_deadlock_seed(deadlock_pair())
+        for policy in ("wound-wait", "wait-die", "timeout", "detect"):
+            sim = Simulator(
+                deadlock_pair(), policy, SimulationConfig(seed=seed)
+            )
+            result = sim.run()
+            assert result.committed == 2
+            schedule = sim.committed_schedule()
+            assert schedule.is_complete()
+
+
+class TestBudgets:
+    def test_max_events_truncates(self):
+        config = SimulationConfig(seed=0, max_events=3)
+        result = simulate(deadlock_pair(), "blocking", config)
+        assert result.truncated
+
+    def test_max_time_truncates(self):
+        config = SimulationConfig(seed=0, max_time=0.5)
+        result = simulate(deadlock_pair(), "blocking", config)
+        assert result.truncated or result.end_time <= 0.5

@@ -1,0 +1,71 @@
+"""Tests for the simulator's cross-site network latency model."""
+
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+from repro.core.transaction import TransactionBuilder
+from repro.sim.runtime import SimulationConfig, simulate
+
+from tests.helpers import seq
+
+
+def cross_site_transaction() -> TransactionSystem:
+    """Lx at site 1 must complete before Ly at site 2 (a cross-site
+    dependency that pays the network delay)."""
+    schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+    b = TransactionBuilder("T", schema)
+    lx, ux = b.lock("x"), b.unlock("x")
+    ly, uy = b.lock("y"), b.unlock("y")
+    b.chain(lx, ux)
+    b.chain(ly, uy)
+    b.arc(lx, ly)  # cross-site arc
+    return TransactionSystem([b.build()])
+
+
+class TestNetworkDelay:
+    def test_zero_delay_baseline(self):
+        system = cross_site_transaction()
+        config = SimulationConfig(seed=0, arrival_spread=0.0)
+        result = simulate(system, "blocking", config)
+        assert result.committed == 1
+        baseline = result.end_time
+
+        slow = SimulationConfig(
+            seed=0, arrival_spread=0.0, network_delay=5.0
+        )
+        delayed = simulate(system, "blocking", slow)
+        assert delayed.committed == 1
+        assert delayed.end_time >= baseline + 5.0
+
+    def test_single_site_unaffected(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [seq("T", ["Lx", "Ly", "Ux", "Uy"], schema)]
+        )
+        fast = simulate(
+            system, "blocking",
+            SimulationConfig(seed=0, arrival_spread=0.0),
+        )
+        slow = simulate(
+            system, "blocking",
+            SimulationConfig(
+                seed=0, arrival_spread=0.0, network_delay=9.0
+            ),
+        )
+        assert fast.end_time == slow.end_time
+
+    def test_delay_does_not_break_policies(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+            ]
+        )
+        for policy in ("wound-wait", "wait-die", "detect", "timeout"):
+            for s in range(8):
+                result = simulate(
+                    system, policy,
+                    SimulationConfig(seed=s, network_delay=1.5),
+                )
+                assert not result.deadlocked, f"{policy} seed {s}"
+                assert result.committed == 2, f"{policy} seed {s}"

@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.serialization (D(S) graphs)."""
+
+from repro.core.entity import DatabaseSchema
+from repro.core.schedule import Schedule
+from repro.core.serialization import (
+    d_graph,
+    equivalent_serial_order,
+    is_serializable,
+)
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq
+
+
+def nonserializable_system() -> TransactionSystem:
+    """Two transactions on x, y with early unlocks: an interleaving can
+    see T1 before T2 on x but T2 before T1 on y."""
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ux", "Ly", "Uy"], schema),
+            seq("T2", ["Lx", "Ux", "Ly", "Uy"], schema),
+        ]
+    )
+
+
+class TestDGraph:
+    def test_serial_schedule_acyclic(self):
+        system = nonserializable_system()
+        s = Schedule.serial(system)
+        graph = d_graph(s)
+        assert graph.is_acyclic()
+        assert graph.has_arc(0, 1)
+
+    def test_interleaving_cycle(self):
+        system = nonserializable_system()
+        # T1 first on x, T2 first on y: D(S) gets both arc directions.
+        s = Schedule(
+            system,
+            [
+                (0, 0), (0, 1),  # T1: Lx Ux
+                (1, 0), (1, 1),  # T2: Lx Ux
+                (1, 2), (1, 3),  # T2: Ly Uy
+                (0, 2), (0, 3),  # T1: Ly Uy
+            ],
+        )
+        graph = d_graph(s)
+        assert graph.has_arc(0, 1)  # via x
+        assert graph.has_arc(1, 0)  # via y
+        assert not graph.is_acyclic()
+        assert not is_serializable(s)
+
+    def test_labels(self):
+        system = nonserializable_system()
+        s = Schedule.serial(system)
+        graph = d_graph(s)
+        assert graph.arc_labels(0, 1) == {"x", "y"}
+
+    def test_partial_schedule_future_accessor_arc(self):
+        """Lemma 1 form: Ti locked x, Tj accesses x but has not locked
+        it yet in S' — the arc Ti -> Tj must already exist."""
+        system = nonserializable_system()
+        s = Schedule(system, [(0, 0)])  # only L1x
+        graph = d_graph(s)
+        assert graph.has_arc(0, 1)
+
+    def test_sparse_equals_full_on_acyclicity(self):
+        system = nonserializable_system()
+        for steps in (
+            [(0, 0), (0, 1), (1, 0)],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+        ):
+            s = Schedule(system, steps)
+            assert d_graph(s, full=True).is_acyclic() == d_graph(
+                s, full=False
+            ).is_acyclic()
+
+
+class TestSerializability:
+    def test_serial_is_serializable(self):
+        system = nonserializable_system()
+        assert is_serializable(Schedule.serial(system))
+
+    def test_equivalent_order_of_serial(self):
+        system = nonserializable_system()
+        order = equivalent_serial_order(Schedule.serial(system, [1, 0]))
+        assert order == [1, 0]
+
+    def test_equivalent_order_none_when_cyclic(self):
+        system = nonserializable_system()
+        s = Schedule(
+            system,
+            [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (1, 3), (0, 2), (0, 3)],
+        )
+        assert equivalent_serial_order(s) is None
+
+    def test_disjoint_transactions_any_order(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [seq("T1", ["Lx", "Ux"], schema), seq("T2", ["Ly", "Uy"], schema)]
+        )
+        s = Schedule(system, [(0, 0), (1, 0), (0, 1), (1, 1)])
+        assert is_serializable(s)
+        assert sorted(equivalent_serial_order(s)) == [0, 1]

@@ -1,0 +1,94 @@
+"""Unit tests for repro.analysis.sets (R_T(s), L_T(s))."""
+
+from repro.analysis.sets import l_set, r_set
+from repro.core.entity import DatabaseSchema
+from repro.core.operations import Operation
+from repro.core.transaction import Transaction
+
+from tests.helpers import seq
+
+
+class TestRSet:
+    def test_sequential(self):
+        t = seq("T", ["Lx", "Ly", "Ux", "Lz", "Uy", "Uz"])
+        assert r_set(t, t.lock_node("z")) == {"x", "y"}
+        assert r_set(t, t.lock_node("x")) == set()
+        assert r_set(t, t.unlock_node("z")) == {"x", "y", "z"}
+
+    def test_incomparable_lock_not_included(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        ops = [
+            Operation.lock("x"), Operation.unlock("x"),
+            Operation.lock("y"), Operation.unlock("y"),
+        ]
+        t = Transaction("T", ops, [(0, 1), (2, 3)], schema)
+        assert r_set(t, t.lock_node("y")) == set()
+
+
+class TestLSet:
+    def test_sequential_held(self):
+        t = seq("T", ["Lx", "Ly", "Ux", "Lz", "Uy", "Uz"])
+        # at Lz: x was unlocked already, y still held
+        assert l_set(t, t.lock_node("z")) - {"z"} == {"y"}
+
+    def test_own_entity_membership_is_harmless(self):
+        """The paper's literal definition puts y in L_T(Ly); it never
+        matters because R sets use strict precedence."""
+        t = seq("T", ["Lx", "Ly", "Ux", "Uy"])
+        assert "y" in l_set(t, t.lock_node("y"))
+        assert "y" not in r_set(t, t.lock_node("y"))
+
+    def test_incomparable_unlock_excluded(self):
+        """If Uz is incomparable with s, an extension may unlock z before
+        s, so z is not guaranteed held: the definition requires
+        s ≺ Uz."""
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["z"]})
+        ops = [
+            Operation.lock("x"), Operation.unlock("x"),
+            Operation.lock("z"), Operation.unlock("z"),
+        ]
+        t = Transaction("T", ops, [(0, 1), (2, 3)], schema)
+        assert "z" not in l_set(t, t.lock_node("x"))
+
+    def test_incomparable_lock_included(self):
+        """If Lz is incomparable with s but s ≺ Uz, the delaying
+        extension locks z before s: z ∈ L_T(s)."""
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["z"]})
+        ops = [
+            Operation.lock("x"), Operation.unlock("x"),
+            Operation.lock("z"), Operation.unlock("z"),
+        ]
+        # Lx -> Uz makes Uz after Lx; Lz stays incomparable with Lx.
+        t = Transaction("T", ops, [(0, 1), (2, 3), (0, 3)], schema)
+        assert "z" in l_set(t, t.lock_node("x"))
+
+    def test_l_not_subset_of_r_for_distributed(self):
+        """The paper remarks L_T(s) ⊆ R_T(s) can fail in the distributed
+        case."""
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["z"]})
+        ops = [
+            Operation.lock("x"), Operation.unlock("x"),
+            Operation.lock("z"), Operation.unlock("z"),
+        ]
+        t = Transaction("T", ops, [(0, 1), (2, 3), (0, 3)], schema)
+        step = t.lock_node("x")
+        assert not l_set(t, step) <= r_set(t, step)
+
+
+class TestConsistencyWithSequenceDefinitions:
+    def test_matches_centralized_scan(self):
+        from repro.analysis.centralized import (
+            sequence_l_set,
+            sequence_r_set,
+        )
+
+        t = seq("T", ["Lx", "Ly", "Ux", "Lz", "Uy", "Uz"])
+        ops = [t.ops[n] for n in t.dag.topological_order()]
+        for entity in t.entities:
+            node = t.lock_node(entity)
+            position = t.dag.topological_order().index(node)
+            assert r_set(t, node) == sequence_r_set(ops, position)
+            # modulo the harmless own-entity member:
+            assert l_set(t, node) - {entity} == sequence_l_set(
+                ops, position
+            ) - {entity}

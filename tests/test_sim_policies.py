@@ -1,0 +1,50 @@
+"""Unit tests for repro.sim.policies."""
+
+import pytest
+
+from repro.sim.policies import (
+    BlockingPolicy,
+    Decision,
+    DetectionPolicy,
+    TimeoutPolicy,
+    WaitDiePolicy,
+    WoundWaitPolicy,
+    make_policy,
+)
+
+
+class TestDecisions:
+    def test_blocking_always_waits(self):
+        policy = BlockingPolicy()
+        assert policy.on_conflict(1.0, 2.0) is Decision.WAIT
+        assert policy.on_conflict(2.0, 1.0) is Decision.WAIT
+
+    def test_wound_wait(self):
+        policy = WoundWaitPolicy()
+        # older requester (smaller ts) wounds the holder
+        assert policy.on_conflict(1.0, 2.0) is Decision.ABORT_HOLDER
+        # younger requester waits
+        assert policy.on_conflict(2.0, 1.0) is Decision.WAIT
+
+    def test_wait_die(self):
+        policy = WaitDiePolicy()
+        assert policy.on_conflict(1.0, 2.0) is Decision.WAIT
+        assert policy.on_conflict(2.0, 1.0) is Decision.ABORT_SELF
+
+    def test_flags(self):
+        assert TimeoutPolicy().uses_timeout
+        assert DetectionPolicy().uses_detection
+        assert not BlockingPolicy().uses_timeout
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in (
+            "blocking", "wound-wait", "wait-die", "timeout", "detect"
+        ):
+            assert make_policy(name).name == name
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError) as info:
+            make_policy("optimistic")
+        assert "blocking" in str(info.value)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.system."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.system import GlobalNode, TransactionSystem
+from repro.core.transaction import Transaction
+
+from tests.helpers import seq
+
+
+def two_txn_system() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y", "z"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lz", "Uy", "Uz"], schema),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        system = two_txn_system()
+        assert len(system) == 2
+        assert system.entities == {"x", "y", "z"}
+
+    def test_duplicate_names_rejected(self):
+        t = seq("T", ["Lx", "Ux"])
+        with pytest.raises(ValueError):
+            TransactionSystem([t, t])
+
+    def test_conflicting_schemas_rejected(self):
+        a = seq("T1", ["Lx", "Ux"], DatabaseSchema({"x": "s1"}))
+        b = seq("T2", ["Lx", "Ux"], DatabaseSchema({"x": "s2"}))
+        with pytest.raises(ValueError):
+            TransactionSystem([a, b])
+
+    def test_of_copies(self):
+        t = seq("T", ["Lx", "Ux"])
+        system = TransactionSystem.of_copies(t, 3)
+        assert len(system) == 3
+        assert {c.name for c in system} == {"T#1", "T#2", "T#3"}
+        # copies share entities
+        assert system.accessors("x") == (0, 1, 2)
+
+
+class TestQueries:
+    def test_accessors(self):
+        system = two_txn_system()
+        assert system.accessors("x") == (0,)
+        assert system.accessors("y") == (0, 1)
+        assert system.accessors("nothing") == ()
+
+    def test_common_entities(self):
+        system = two_txn_system()
+        assert system.common_entities(0, 1) == {"y"}
+
+    def test_interaction_edges(self):
+        system = two_txn_system()
+        assert system.interaction_edges() == {(0, 1)}
+
+    def test_interaction_neighbors(self):
+        system = two_txn_system()
+        assert system.interaction_neighbors() == {0: {1}, 1: {0}}
+
+    def test_no_shared_entity_no_edge(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [seq("T1", ["Lx", "Ux"], schema), seq("T2", ["Ly", "Uy"], schema)]
+        )
+        assert system.interaction_edges() == set()
+
+    def test_describe_node(self):
+        system = two_txn_system()
+        assert system.describe_node(GlobalNode(0, 0)) == "L1x"
+        assert system.describe_node(GlobalNode(1, 2)) == "U2y"
+
+    def test_total_nodes(self):
+        assert two_txn_system().total_nodes() == 8
+
+    def test_lock_skeleton(self):
+        schema = DatabaseSchema.single_site(["x"])
+        system = TransactionSystem(
+            [seq("T1", ["Lx", "A.x", "Ux"], schema)]
+        )
+        assert system.lock_skeleton().total_nodes() == 2
+
+    def test_iteration(self):
+        names = [t.name for t in two_txn_system()]
+        assert names == ["T1", "T2"]

@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.theorem1: the deadlock-prefix search and the
+Theorem 1 equivalence itself."""
+
+from repro.analysis.exhaustive import find_deadlock
+from repro.analysis.theorem1 import (
+    find_deadlock_prefix,
+    is_deadlock_free_theorem1,
+)
+from repro.core.entity import DatabaseSchema
+from repro.core.reduction import (
+    is_deadlock_prefix,
+    prefix_has_schedule,
+    reduction_graph,
+)
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq, small_random_system
+
+
+def deadlock_pair() -> TransactionSystem:
+    schema = DatabaseSchema.single_site(["x", "y"])
+    return TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], schema),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], schema),
+        ]
+    )
+
+
+class TestFindDeadlockPrefix:
+    def test_witness_fields_consistent(self):
+        witness = find_deadlock_prefix(deadlock_pair())
+        assert witness is not None
+        assert is_deadlock_prefix(witness.prefix)
+        graph = reduction_graph(witness.prefix)
+        cycle = list(witness.cycle)
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert graph.has_arc(a, b)
+        # the recorded schedule realizes the prefix
+        assert witness.schedule.prefix() == witness.prefix
+        assert prefix_has_schedule(witness.prefix) is not None
+
+    def test_none_for_safe(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Uy", "Ux"], schema),
+                seq("T2", ["Lx", "Ly", "Ux", "Uy"], schema),
+            ]
+        )
+        assert find_deadlock_prefix(system) is None
+
+    def test_verdict(self):
+        assert not is_deadlock_free_theorem1(deadlock_pair())
+        assert "Theorem 1" in is_deadlock_free_theorem1(
+            deadlock_pair()
+        ).reason
+
+
+class TestTheorem1Equivalence:
+    """Deadlock partial schedule reachable  ⇔  deadlock prefix exists."""
+
+    def test_figures(self):
+        from repro.paper.figures import figure1, figure2, figure3
+
+        for system in (figure1(), figure2(), figure3()):
+            direct = find_deadlock(system) is not None
+            prefix = find_deadlock_prefix(system) is not None
+            assert direct == prefix
+
+    def test_random_pairs(self):
+        for seed in range(60):
+            system = small_random_system(seed + 7_000, n_transactions=2)
+            direct = find_deadlock(system, max_states=300_000) is not None
+            prefix = (
+                find_deadlock_prefix(system, max_states=300_000) is not None
+            )
+            assert direct == prefix, f"seed {seed + 7_000}"
+
+    def test_random_triples(self):
+        for seed in range(25):
+            system = small_random_system(seed + 8_000, n_transactions=3)
+            direct = find_deadlock(system, max_states=300_000) is not None
+            prefix = (
+                find_deadlock_prefix(system, max_states=300_000) is not None
+            )
+            assert direct == prefix, f"seed {seed + 8_000}"

@@ -1,0 +1,59 @@
+"""Tests for repro.analysis.tirri — including the demonstration of the
+published algorithm's unsoundness (the paper's §3 refutation)."""
+
+from repro.analysis.exhaustive import find_deadlock
+from repro.analysis.tirri import find_two_entity_pattern, tirri_check_pair
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+
+from tests.helpers import seq
+
+
+class TestPattern:
+    def test_classic_pair_has_pattern(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Ly", "Lx", "Uy", "Ux"])
+        pattern = find_two_entity_pattern(t1, t2)
+        assert pattern is not None
+        assert set(pattern) == {"x", "y"}
+
+    def test_ordered_pair_no_pattern(self):
+        t1 = seq("T1", ["Lx", "Ly", "Uy", "Ux"])
+        t2 = seq("T2", ["Lx", "Ly", "Ux", "Uy"])
+        assert find_two_entity_pattern(t1, t2) is None
+
+    def test_verdicts(self):
+        t1 = seq("T1", ["Lx", "Ly", "Ux", "Uy"])
+        t2 = seq("T2", ["Ly", "Lx", "Uy", "Ux"])
+        assert not tirri_check_pair(t1, t2)
+        assert tirri_check_pair(t1, t1.renamed("T1b"))
+
+
+class TestFigure2Refutation:
+    """The heart of §3: Tirri's premise misses the Figure 2 deadlock."""
+
+    def test_tirri_wrongly_says_deadlock_free(self):
+        from repro.paper.figures import figure2
+
+        system = figure2()
+        verdict = tirri_check_pair(system[0], system[1])
+        assert verdict  # Tirri: "deadlock-free"
+        assert find_deadlock(system) is not None  # reality: deadlock
+
+    def test_pattern_absent_in_figure2(self):
+        from repro.paper.figures import figure2
+
+        system = figure2()
+        assert find_two_entity_pattern(system[0], system[1]) is None
+
+    def test_centralized_identical_syntax_never_deadlocks(self):
+        """For contrast: in a centralized DB, identical total orders are
+        always deadlock-free, so Tirri-style reasoning is safe there."""
+        schema = DatabaseSchema.single_site(["v", "t", "z", "w"])
+        t = seq(
+            "T1",
+            ["Lv", "Lt", "Lz", "Lw", "Uv", "Ut", "Uz", "Uw"],
+            schema,
+        )
+        system = TransactionSystem([t, t.renamed("T2")])
+        assert find_deadlock(system) is None

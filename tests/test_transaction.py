@@ -1,0 +1,227 @@
+"""Unit tests for repro.core.transaction."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.operations import Operation, OpKind
+from repro.core.transaction import (
+    MalformedTransactionError,
+    Transaction,
+    TransactionBuilder,
+)
+
+
+def simple_sequential() -> Transaction:
+    return Transaction.sequential(
+        "T", ["Lx", "A.x", "Ly", "Ux", "A.y", "Uy"]
+    )
+
+
+class TestWellFormedness:
+    def test_sequential_valid(self):
+        t = simple_sequential()
+        assert t.entities == {"x", "y"}
+        assert t.node_count == 6
+
+    def test_missing_unlock_rejected(self):
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["Lx", "A.x"])
+
+    def test_missing_lock_rejected(self):
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["A.x", "Ux"])
+
+    def test_double_lock_rejected(self):
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["Lx", "Lx", "Ux"])
+
+    def test_double_unlock_rejected(self):
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["Lx", "Ux", "Ux"])
+
+    def test_unlock_before_lock_rejected(self):
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["Ux", "Lx"])
+
+    def test_action_outside_lock_window_rejected(self):
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["Lx", "Ux", "A.x"])
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["A.x", "Lx", "Ux"])
+
+    def test_same_site_must_be_ordered(self):
+        schema = DatabaseSchema.single_site(["x", "y"])
+        ops = [
+            Operation.lock("x"),
+            Operation.unlock("x"),
+            Operation.lock("y"),
+            Operation.unlock("y"),
+        ]
+        # Only L->U arcs: x-nodes unordered against y-nodes at one site.
+        with pytest.raises(MalformedTransactionError):
+            Transaction("T", ops, [(0, 1), (2, 3)], schema)
+
+    def test_different_sites_may_be_unordered(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        ops = [
+            Operation.lock("x"),
+            Operation.unlock("x"),
+            Operation.lock("y"),
+            Operation.unlock("y"),
+        ]
+        t = Transaction("T", ops, [(0, 1), (2, 3)], schema)
+        assert not t.dag.comparable(0, 2)
+
+    def test_entity_missing_from_schema_rejected(self):
+        schema = DatabaseSchema({"x": "s1"})
+        with pytest.raises(MalformedTransactionError):
+            Transaction.sequential("T", ["Lx", "Ux", "Ly", "Uy"], schema)
+
+    def test_cyclic_arcs_rejected(self):
+        ops = [Operation.lock("x"), Operation.unlock("x")]
+        with pytest.raises(MalformedTransactionError):
+            Transaction("T", ops, [(0, 1), (1, 0)])
+
+
+class TestQueries:
+    def test_lock_unlock_nodes(self):
+        t = simple_sequential()
+        assert t.ops[t.lock_node("x")] == Operation.lock("x")
+        assert t.ops[t.unlock_node("y")] == Operation.unlock("y")
+
+    def test_action_nodes(self):
+        t = simple_sequential()
+        assert len(t.action_nodes("x")) == 1
+        assert len(t.action_nodes("y")) == 1
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(KeyError):
+            simple_sequential().lock_node("nope")
+
+    def test_precedes(self):
+        t = simple_sequential()
+        assert t.precedes(t.lock_node("x"), t.unlock_node("x"))
+
+    def test_describe_node(self):
+        t = simple_sequential()
+        assert t.describe_node(t.lock_node("x")) == "Lx"
+
+    def test_nodes_at_site_ordered(self):
+        t = simple_sequential()
+        site = t.schema.site_of("x")
+        nodes = t.nodes_at_site(site)
+        # chain order along the sequence
+        positions = [t.dag.ancestors(u).bit_count() for u in nodes]
+        assert positions == sorted(positions)
+
+
+class TestPredicates:
+    def test_sequential_is_sequential(self):
+        assert simple_sequential().is_sequential()
+
+    def test_partial_order_not_sequential(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        ops = [
+            Operation.lock("x"),
+            Operation.unlock("x"),
+            Operation.lock("y"),
+            Operation.unlock("y"),
+        ]
+        t = Transaction("T", ops, [(0, 1), (2, 3)], schema)
+        assert not t.is_sequential()
+
+    def test_two_phase_true(self):
+        t = Transaction.sequential("T", ["Lx", "Ly", "Ux", "Uy"])
+        assert t.is_two_phase()
+
+    def test_two_phase_false(self):
+        t = Transaction.sequential("T", ["Lx", "Ux", "Ly", "Uy"])
+        assert not t.is_two_phase()
+
+
+class TestDerived:
+    def test_lock_skeleton_strips_actions(self):
+        t = simple_sequential()
+        skeleton = t.lock_skeleton()
+        assert skeleton.node_count == 4
+        assert all(op.kind is not OpKind.ACTION for op in skeleton.ops)
+        # order induced: Lx before Ly before Ux before Uy
+        assert skeleton.precedes(
+            skeleton.lock_node("x"), skeleton.lock_node("y")
+        )
+        assert skeleton.precedes(
+            skeleton.lock_node("y"), skeleton.unlock_node("x")
+        )
+
+    def test_lock_skeleton_identity_when_no_actions(self):
+        t = Transaction.sequential("T", ["Lx", "Ux"])
+        assert t.lock_skeleton() is t
+
+    def test_renamed(self):
+        t = simple_sequential().renamed("T9")
+        assert t.name == "T9"
+        assert t.entities == {"x", "y"}
+
+    def test_relabeled(self):
+        t = simple_sequential().relabeled({"x": "a"})
+        assert t.entities == {"a", "y"}
+        assert t.schema.site_of("a") == simple_sequential().schema.site_of("x")
+
+    def test_linear_extensions_of_total_order(self):
+        t = Transaction.sequential("T", ["Lx", "Ux"])
+        assert len(list(t.linear_extensions())) == 1
+
+    def test_linear_extensions_of_partial_order(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        ops = [
+            Operation.lock("x"),
+            Operation.unlock("x"),
+            Operation.lock("y"),
+            Operation.unlock("y"),
+        ]
+        t = Transaction("T", ops, [(0, 1), (2, 3)], schema)
+        extensions = list(t.linear_extensions())
+        assert len(extensions) == 6  # interleavings of two 2-chains
+        for ext in extensions:
+            assert ext.is_sequential()
+
+
+class TestBuilder:
+    def test_builder_basic(self):
+        schema = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+        b = TransactionBuilder("T", schema)
+        lx, ux = b.lock("x"), b.unlock("x")
+        ly, uy = b.lock("y"), b.unlock("y")
+        b.chain(lx, ux)
+        b.chain(ly, uy)
+        t = b.build()
+        assert t.entities == {"x", "y"}
+
+    def test_builder_sequence(self):
+        b = TransactionBuilder("T")
+        nodes = b.sequence(["Lx", "A.x", "Ux"])
+        t = b.build()
+        assert len(nodes) == 3
+        assert t.precedes(nodes[0], nodes[2])
+
+    def test_auto_close(self):
+        b = TransactionBuilder("T")
+        b.lock("x")
+        b.action("x")
+        b.unlock("x")
+        b.chain(0, 1)
+        b.chain(1, 2)
+        b.auto_close()
+        t = b.build()
+        assert t.precedes(t.lock_node("x"), t.unlock_node("x"))
+
+
+class TestEquality:
+    def test_equal(self):
+        assert simple_sequential() == simple_sequential()
+
+    def test_name_matters(self):
+        assert simple_sequential() != simple_sequential().renamed("Z")
+
+    def test_repr(self):
+        assert "Lx" in repr(simple_sequential())

@@ -1,0 +1,74 @@
+"""Tests for repro.analysis.witnesses dataclasses."""
+
+from repro.analysis.witnesses import (
+    DeadlockWitness,
+    PairViolation,
+    SerializationViolation,
+    Verdict,
+)
+from repro.core.prefix import SystemPrefix
+from repro.core.schedule import Schedule
+from repro.core.system import GlobalNode, TransactionSystem
+
+from tests.helpers import seq
+
+
+class TestVerdict:
+    def test_truthiness(self):
+        assert Verdict(True, "fine")
+        assert not Verdict(False, "broken")
+
+    def test_describe_plain(self):
+        assert Verdict(True, "fine").describe() == "fine"
+
+    def test_describe_with_witness(self):
+        verdict = Verdict(
+            False, "bad", witness=PairViolation(1, ("x", "y"))
+        )
+        text = verdict.describe()
+        assert "bad" in text and "condition (1)" in text
+
+    def test_details_do_not_affect_equality(self):
+        assert Verdict(True, "r", details={"a": 1}) == Verdict(
+            True, "r", details={"b": 2}
+        )
+
+
+class TestPairViolation:
+    def test_condition_1_text(self):
+        text = PairViolation(1, ("x", "y")).describe()
+        assert "condition (1)" in text
+
+    def test_condition_2_text(self):
+        text = PairViolation(2, ("y",), side="Q1").describe()
+        assert "y" in text and "Q1" in text
+
+
+class TestDeadlockWitness:
+    def test_describe(self):
+        system = TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ly", "Ux", "Uy"]),
+                seq("T2", ["Ly", "Lx", "Uy", "Ux"]),
+            ]
+        )
+        prefix = SystemPrefix.from_labels(system, [["Lx"], ["Ly"]])
+        cycle = (
+            GlobalNode(0, system[0].lock_node("y")),
+            GlobalNode(1, system[1].unlock_node("y")),
+        )
+        witness = DeadlockWitness(prefix, cycle)
+        text = witness.describe()
+        assert "cycle" in text
+        assert "L1y" in text
+
+
+class TestSerializationViolation:
+    def test_describe(self):
+        system = TransactionSystem(
+            [seq("T1", ["Lx", "Ux"]), seq("T2", ["Lx", "Ux"])]
+        )
+        schedule = Schedule.serial(system)
+        violation = SerializationViolation(schedule, (0, 1))
+        text = violation.describe()
+        assert "T1 -> T2" in text

@@ -1,0 +1,117 @@
+"""Tests for repro.sim.workload (random generators)."""
+
+import random
+
+import pytest
+
+from repro.analysis.policies import follows_lock_order
+from repro.sim.workload import (
+    WorkloadSpec,
+    random_schema,
+    random_system,
+    random_transaction,
+)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(shape="mystery")
+
+
+class TestRandomSchema:
+    def test_all_entities_placed(self):
+        schema = random_schema(random.Random(0), 8, 3)
+        assert len(schema.entities) == 8
+        assert len(schema.sites) == 3
+
+    def test_more_sites_than_entities(self):
+        schema = random_schema(random.Random(0), 2, 5)
+        assert len(schema.sites) == 2
+
+
+class TestRandomTransaction:
+    def test_validity_across_seeds_and_shapes(self):
+        """Construction must always produce a well-formed transaction
+        (validation happens inside Transaction.__init__)."""
+        for shape in ("random", "two_phase", "sequential", "ordered_2pl"):
+            for seed in range(30):
+                rng = random.Random(seed)
+                schema = random_schema(rng, 6, 3)
+                spec = WorkloadSpec(shape=shape, actions_per_entity=(0, 2))
+                t = random_transaction("T", rng, schema, spec)
+                assert t.entities
+
+    def test_sequential_shape_is_total_order(self):
+        rng = random.Random(1)
+        schema = random_schema(rng, 5, 2)
+        spec = WorkloadSpec(shape="sequential")
+        t = random_transaction("T", rng, schema, spec)
+        assert t.is_sequential()
+
+    def test_two_phase_shape_is_two_phase(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            schema = random_schema(rng, 6, 3)
+            spec = WorkloadSpec(shape="two_phase")
+            t = random_transaction("T", rng, schema, spec)
+            assert t.is_two_phase(), f"seed {seed}"
+
+    def test_ordered_2pl_follows_global_order(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            schema = random_schema(rng, 6, 3)
+            spec = WorkloadSpec(shape="ordered_2pl")
+            t = random_transaction("T", rng, schema, spec)
+            assert t.is_two_phase()
+            assert follows_lock_order(t, sorted(schema.entities))
+
+    def test_fixed_entities(self):
+        rng = random.Random(2)
+        schema = random_schema(rng, 6, 2)
+        spec = WorkloadSpec()
+        t = random_transaction(
+            "T", rng, schema, spec, entities=["e0", "e1"]
+        )
+        assert t.entities == {"e0", "e1"}
+
+    def test_hotspot_skew_concentrates(self):
+        spec_uniform = WorkloadSpec(hotspot_skew=0.0, entities_per_txn=(2, 2))
+        spec_hot = WorkloadSpec(hotspot_skew=3.0, entities_per_txn=(2, 2))
+        hot_hits = uniform_hits = 0
+        for seed in range(120):
+            rng = random.Random(seed)
+            schema = random_schema(rng, 8, 2)
+            if "e0" in random_transaction(
+                "T", rng, schema, spec_hot
+            ).entities:
+                hot_hits += 1
+            rng = random.Random(seed)
+            schema = random_schema(rng, 8, 2)
+            if "e0" in random_transaction(
+                "T", rng, schema, spec_uniform
+            ).entities:
+                uniform_hits += 1
+        assert hot_hits > uniform_hits
+
+
+class TestRandomSystem:
+    def test_system_size(self):
+        system = random_system(
+            random.Random(0), WorkloadSpec(n_transactions=5)
+        )
+        assert len(system) == 5
+
+    def test_ordered_2pl_system_certified(self):
+        """ordered_2pl workloads pass the paper's static test."""
+        from repro.analysis.fixed_k import check_system
+
+        for seed in range(10):
+            system = random_system(
+                random.Random(seed),
+                WorkloadSpec(n_transactions=4, shape="ordered_2pl"),
+            )
+            assert check_system(system), f"seed {seed}"
