@@ -1,0 +1,164 @@
+"""EXP-COMMIT — atomic-commit protocols x policies x failure rates.
+
+Gray & Lamport frame atomic commit as the defining coordination
+problem of distributed transactions; this bench measures what the
+commit path costs on a contended distributed workload:
+
+* ``instant`` — the lock-conflict-only model: zero messages, zero
+  commit latency, and (at failure rate 0) bit-identical results to the
+  pre-subsystem simulator;
+* ``two-phase`` — commit costs one round trip of messages per
+  participant, and retained PREPARED locks convert contention into
+  blocked-on-coordinator time;
+* ``presumed-abort`` — same decisions at the same times, strictly
+  fewer messages whenever rounds abort (the abort path is silent).
+
+Crashes (failure injection) add abort cascades, blocked participants,
+and coordinator-recovery delays on top.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.runtime import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec, random_system
+
+POLICIES = ["wound-wait", "wait-die"]
+PROTOCOLS = ["instant", "two-phase", "presumed-abort"]
+FAILURE_RATES = [0.0, 0.02]
+SEEDS = range(6)
+
+
+def _workload(seed: int = 5):
+    return random_system(
+        random.Random(seed),
+        WorkloadSpec(
+            n_transactions=8,
+            n_entities=6,
+            n_sites=3,
+            entities_per_txn=(2, 4),
+            actions_per_entity=(0, 1),
+            hotspot_skew=1.2,
+            shape="random",
+        ),
+    )
+
+
+def _config(protocol: str, rate: float, seed: int) -> SimulationConfig:
+    return SimulationConfig(
+        seed=seed,
+        network_delay=0.5,
+        commit_protocol=protocol,
+        commit_timeout=6.0,
+        failure_rate=rate,
+        repair_time=8.0,
+    )
+
+
+def test_commit_report():
+    system = _workload()
+    total = len(system) * len(SEEDS)
+
+    rows = []
+    for protocol in PROTOCOLS:
+        for rate in FAILURE_RATES:
+            for policy in POLICIES:
+                agg = dict(
+                    committed=0, aborts=0, crashes=0, msgs=0,
+                    exec_lat=0.0, commit_lat=0.0, blocked=0.0,
+                )
+                for seed in SEEDS:
+                    r = simulate(
+                        system, policy, _config(protocol, rate, seed)
+                    )
+                    assert not r.truncated
+                    if r.committed == len(system):
+                        assert r.serializable is True
+                    agg["committed"] += r.committed
+                    agg["aborts"] += r.aborts
+                    agg["crashes"] += r.crashes
+                    agg["msgs"] += r.commit_messages
+                    agg["exec_lat"] += r.mean_exec_latency
+                    agg["commit_lat"] += r.mean_commit_latency
+                    agg["blocked"] += r.prepared_block_time
+                agg["exec_lat"] /= len(SEEDS)
+                agg["commit_lat"] /= len(SEEDS)
+                rows.append((protocol, rate, policy, agg))
+
+    print()
+    print(f"[EXP-COMMIT] protocol x failure-rate x policy "
+          f"({len(SEEDS)} seeds, committed out of {total}):")
+    print(f"  {'protocol':15s} {'f-rate':6s} {'policy':11s} "
+          f"{'commit':7s} {'aborts':6s} {'crash':5s} {'msgs':5s} "
+          f"{'x-lat':>6s} {'c-lat':>6s} {'blocked':>8s}")
+    for protocol, rate, policy, a in rows:
+        print(f"  {protocol:15s} {rate:<6g} {policy:11s} "
+              f"{a['committed']:3d}/{total:<3d} {a['aborts']:6d} "
+              f"{a['crashes']:5d} {a['msgs']:5d} {a['exec_lat']:6.1f} "
+              f"{a['commit_lat']:6.1f} {a['blocked']:8.1f}")
+
+    by_key = {(p, r, pol): a for p, r, pol, a in rows}
+
+    # Instant commit is free: no messages, no commit phase, no
+    # blocked-on-coordinator time — and reproduces the plain simulator.
+    for rate in FAILURE_RATES:
+        for policy in POLICIES:
+            a = by_key[("instant", rate, policy)]
+            assert a["msgs"] == 0
+            assert a["commit_lat"] == 0.0
+            assert a["blocked"] == 0.0
+    for policy in POLICIES:
+        for seed in SEEDS:
+            plain = simulate(
+                system, policy,
+                SimulationConfig(seed=seed, network_delay=0.5),
+            )
+            instant = simulate(
+                system, policy, _config("instant", 0.0, seed)
+            )
+            assert plain.latencies == instant.latencies
+            assert plain.end_time == instant.end_time
+
+    # Two-phase commit pays messages, a commit phase, and (with site
+    # crashes) nonzero prepared-blocked time.
+    for policy in POLICIES:
+        no_fail = by_key[("two-phase", 0.0, policy)]
+        crashed = by_key[("two-phase", 0.02, policy)]
+        assert no_fail["msgs"] > 0
+        assert no_fail["commit_lat"] > 0.0
+        assert crashed["crashes"] > 0
+        assert crashed["blocked"] > 0.0
+        assert crashed["commit_lat"] > 0.0
+
+    # Presumed-abort never sends more messages than presumed-nothing.
+    for rate in FAILURE_RATES:
+        for policy in POLICIES:
+            pa = by_key[("presumed-abort", rate, policy)]
+            tp = by_key[("two-phase", rate, policy)]
+            assert pa["msgs"] <= tp["msgs"]
+            assert pa["committed"] == tp["committed"]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_protocol_run_benchmark(benchmark, protocol):
+    system = _workload()
+
+    def run():
+        return simulate(system, "wound-wait", _config(protocol, 0.0, 3))
+
+    result = benchmark(run)
+    assert result.committed == len(system)
+
+
+@pytest.mark.parametrize("protocol", ["two-phase", "presumed-abort"])
+def test_protocol_crash_benchmark(benchmark, protocol):
+    system = _workload()
+
+    def run():
+        return simulate(
+            system, "wound-wait", _config(protocol, 0.02, 3)
+        )
+
+    result = benchmark(run)
+    assert result.committed == len(system)

@@ -1,0 +1,142 @@
+"""Atomic commit and fault injection: what the commit path costs.
+
+The scheduler-comparison example treats a transaction as committed the
+moment its last operation finishes. Real distributed databases cannot:
+the sites must *agree* to commit (Gray & Lamport, "Consensus on
+Transaction Commit"). This demo runs the same contended workload under
+the pluggable commit protocols of :mod:`repro.sim.commit`:
+
+* ``instant``       — the idealised model (free, and the default);
+* ``two-phase``     — PREPARE/VOTE/COMMIT/ACK per participant site,
+                      locks retained through the PREPARED window;
+* ``presumed-abort``— 2PC whose abort path sends no messages,
+
+first on a reliable network, then with sites crashing and recovering
+(``failure_rate > 0``), which surfaces abort cascades, blocked
+participants, and coordinator-recovery stalls.
+
+Run:  python examples/commit_protocols.py
+"""
+
+import random
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.runtime import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec, random_system
+
+PROTOCOLS = ["instant", "two-phase", "presumed-abort"]
+SEEDS = range(8)
+
+
+def build_workload():
+    return random_system(
+        random.Random(11),
+        WorkloadSpec(
+            n_transactions=6,
+            n_entities=5,
+            n_sites=3,
+            entities_per_txn=(2, 4),
+            actions_per_entity=(0, 1),
+            hotspot_skew=1.5,
+            shape="random",
+        ),
+    )
+
+
+def run_matrix(system, failure_rate: float) -> None:
+    from repro.util.render import format_table
+
+    rows = []
+    for protocol in PROTOCOLS:
+        committed = messages = 0
+        exec_lat = commit_lat = blocked = 0.0
+        crashes = 0
+        aborts_by_cause: dict[str, int] = {}
+        for seed in SEEDS:
+            result = simulate(
+                system,
+                "wound-wait",
+                SimulationConfig(
+                    seed=seed,
+                    network_delay=0.5,
+                    commit_protocol=protocol,
+                    failure_rate=failure_rate,
+                    repair_time=8.0,
+                ),
+            )
+            committed += result.committed
+            messages += result.commit_messages
+            exec_lat += result.mean_exec_latency
+            commit_lat += result.mean_commit_latency
+            blocked += result.prepared_block_time
+            crashes += result.crashes
+            for cause, count in result.aborts_by_cause.items():
+                if count:
+                    aborts_by_cause[cause] = (
+                        aborts_by_cause.get(cause, 0) + count
+                    )
+        runs = len(SEEDS)
+        causes = ", ".join(
+            f"{cause}={count}"
+            for cause, count in sorted(aborts_by_cause.items())
+        ) or "none"
+        rows.append(
+            [
+                protocol,
+                f"{committed}/{runs * len(system)}",
+                messages,
+                f"{exec_lat / runs:.1f}",
+                f"{commit_lat / runs:.1f}",
+                f"{blocked:.1f}",
+                crashes,
+                causes,
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "commits", "msgs", "exec-lat", "commit-lat",
+             "blocked", "crashes", "aborts by cause"],
+            rows,
+        )
+    )
+    print()
+
+
+def single_run_table(system) -> None:
+    results = []
+    for protocol in PROTOCOLS:
+        results.append(
+            simulate(
+                system,
+                "wound-wait",
+                SimulationConfig(
+                    seed=3, network_delay=0.5, commit_protocol=protocol
+                ),
+            )
+        )
+    print(SimulationResult.summary_table(results))
+    print()
+
+
+def main() -> None:
+    system = build_workload()
+    print("== one seeded run per protocol (summary table) ==")
+    single_run_table(system)
+
+    print("== reliable network (failure rate 0) ==")
+    run_matrix(system, failure_rate=0.0)
+
+    print("== crashing sites (failure rate 0.02, mean repair 8) ==")
+    run_matrix(system, failure_rate=0.02)
+
+    print(
+        "takeaways: instant commit is free but fictional; two-phase "
+        "commit\npays one message round trip per participant and turns "
+        "contention into\nblocked-on-coordinator time; presumed-abort "
+        "makes the same decisions\nwith never more messages; crashes "
+        "add abort cascades on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

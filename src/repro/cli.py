@@ -8,7 +8,9 @@ Subcommands:
 * ``deadlock FILE`` — exhaustive deadlock search and Theorem 1 deadlock-
   prefix search.
 * ``simulate FILE`` — run the discrete-event simulator under one or
-  more contention policies.
+  more contention policies, optionally with an atomic-commit protocol
+  (``--commit two-phase presumed-abort``) and fault injection
+  (``--failure-rate``).
 * ``sat DIMACS-LIKE`` — encode a 3SAT′ formula as two transactions and
   demonstrate the Theorem 2 equivalence.
 * ``figures`` — run the paper-figure demonstrations.
@@ -68,12 +70,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     system = _load_system(args.file)
     results = []
     for policy in args.policies:
-        config = SimulationConfig(
-            seed=args.seed,
-            max_time=args.max_time,
-            network_delay=args.network_delay,
-        )
-        results.append(simulate(system, policy, config))
+        for protocol in args.commit:
+            config = SimulationConfig(
+                seed=args.seed,
+                max_time=args.max_time,
+                network_delay=args.network_delay,
+                commit_protocol=protocol,
+                commit_timeout=args.commit_timeout,
+                failure_rate=args.failure_rate,
+                repair_time=args.repair_time,
+            )
+            results.append(simulate(system, policy, config))
     print(SimulationResult.summary_table(results))
     return 0
 
@@ -245,6 +252,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-time", type=float, default=100_000.0)
     p.add_argument("--network-delay", type=float, default=0.0)
+    p.add_argument(
+        "--commit",
+        nargs="+",
+        default=["instant"],
+        choices=["instant", "two-phase", "presumed-abort"],
+        help="atomic-commit protocol(s) to run each policy under",
+    )
+    p.add_argument(
+        "--commit-timeout",
+        type=float,
+        default=6.0,
+        help="vote-collection/retry period of the 2PC protocols",
+    )
+    p.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="per-site crash rate (crashes per unit time); 0 disables "
+        "fault injection",
+    )
+    p.add_argument(
+        "--repair-time",
+        type=float,
+        default=10.0,
+        help="mean downtime of a crashed site",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("show", help="render a system (text/json/dot)")

@@ -14,11 +14,29 @@ contention policy:
 * ``detect`` — periodic wait-for-graph cycle detection with youngest-
   victim abort.
 
+Orthogonally to the policy, an atomic-commit protocol
+(:mod:`repro.sim.commit`: ``instant``, ``two-phase``,
+``presumed-abort``) decides when a finished transaction is durably
+committed, and a fault injector (:mod:`repro.sim.failures`) can crash
+and repair sites — together they turn the lock-conflict model into a
+full distributed-transaction system with blocked participants,
+coordinator recovery, and abort cascades.
+
 Every run records a trace of committed operations which replays as a
 legal :class:`repro.core.Schedule`, so runtime serializability is
 checked with the same D(S) machinery the theory uses.
 """
 
+from repro.sim.commit import (
+    CommitProtocol,
+    InstantCommit,
+    PresumedAbortCommit,
+    TwoPhaseCommit,
+    make_protocol,
+    protocol_names,
+)
+from repro.sim.events import EventQueue, HandlerRegistry
+from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
 from repro.sim.metrics import SimulationResult
 from repro.sim.policies import (
@@ -45,18 +63,27 @@ from repro.sim.workload import (
 
 __all__ = [
     "BlockingPolicy",
+    "CommitProtocol",
     "DetectionPolicy",
+    "EventQueue",
+    "FailureInjector",
+    "HandlerRegistry",
+    "InstantCommit",
     "Policy",
+    "PresumedAbortCommit",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "SiteLockManager",
     "TimeoutPolicy",
+    "TwoPhaseCommit",
     "WaitDiePolicy",
     "WorkloadSpec",
     "WoundWaitPolicy",
     "find_deadlocking_seed",
     "make_policy",
+    "make_protocol",
+    "protocol_names",
     "random_schema",
     "random_system",
     "random_transaction",

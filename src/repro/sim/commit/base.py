@@ -1,0 +1,80 @@
+"""Commit-protocol interface and registry.
+
+A protocol is attached to exactly one :class:`repro.sim.runtime.
+Simulator`; during :meth:`CommitProtocol.attach` it may register event
+handlers for its own event kinds. The runtime then calls
+:meth:`on_execution_complete` when a transaction finishes the last
+operation of its partial order, and the protocol decides when (and
+whether) that transaction commits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runtime import Simulator, _Instance
+
+__all__ = [
+    "CommitProtocol",
+    "make_protocol",
+    "protocol_names",
+    "register_protocol",
+]
+
+
+class CommitProtocol:
+    """Base class for atomic-commit protocols.
+
+    Attributes:
+        name: registry key, also shown in results.
+        retains_locks: when True, Unlock operations do not physically
+            release their lock during execution; the lock is *retained*
+            and released by the protocol at decision time (strict
+            release-at-commit). Protocols that vote must retain, or a
+            conflicting transaction could observe effects of a
+            transaction that later aborts its commit round.
+    """
+
+    name: str = "?"
+    retains_locks: bool = False
+
+    def attach(self, sim: "Simulator") -> None:
+        """Bind to a simulator; register event handlers here."""
+        self.sim = sim
+
+    def on_execution_complete(self, inst: "_Instance") -> None:
+        """The transaction finished its last operation; decide commit."""
+        raise NotImplementedError
+
+    def on_abort(self, inst: "_Instance") -> None:
+        """The transaction aborted; drop any per-round state."""
+
+
+_PROTOCOLS: dict[str, type[CommitProtocol]] = {}
+
+
+def register_protocol(cls: type[CommitProtocol]) -> type[CommitProtocol]:
+    """Class decorator: add ``cls`` to the protocol registry."""
+    _PROTOCOLS[cls.name] = cls
+    return cls
+
+
+def protocol_names() -> list[str]:
+    """The registered protocol names, sorted."""
+    return sorted(_PROTOCOLS)
+
+
+def make_protocol(name: str) -> CommitProtocol:
+    """Instantiate a commit protocol by name.
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    try:
+        return _PROTOCOLS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown commit protocol {name!r}; "
+            f"choose from {protocol_names()}"
+        ) from None

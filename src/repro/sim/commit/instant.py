@@ -1,0 +1,26 @@
+"""The instant (local) commit protocol.
+
+Commits a transaction the moment its last operation finishes — no
+messages, no prepared window, locks released by each Unlock operation
+as it executes. This is the behaviour the simulator had before the
+commit subsystem existed, and stays the default: with
+``commit_protocol="instant"`` runs are bit-identical to the
+pre-subsystem simulator.
+"""
+
+from __future__ import annotations
+
+from repro.sim.commit.base import CommitProtocol, register_protocol
+
+__all__ = ["InstantCommit"]
+
+
+@register_protocol
+class InstantCommit(CommitProtocol):
+    """Commit locally and immediately on execution completion."""
+
+    name = "instant"
+    retains_locks = False
+
+    def on_execution_complete(self, inst) -> None:
+        self.sim.finish_commit(inst)

@@ -1,0 +1,212 @@
+"""Two-phase commit over the transaction's participant sites.
+
+When a transaction finishes executing, the site of its first operation
+becomes the *coordinator* and every site it touched a *participant*.
+The round then exchanges messages, each cross-site hop charged
+``config.network_delay`` (same-site delivery is free, matching the
+execution layer's cross-site model):
+
+1. coordinator -> participants: PREPARE (``cm_prepare``);
+2. participant -> coordinator: VOTE yes (``cm_vote``) — execution
+   already finished, so a reachable participant always votes yes;
+3. all votes in -> the transaction commits at the coordinator and the
+   decision travels back out (``cm_release``), releasing the locks the
+   participant retained; the participant ACKs (counted, not simulated).
+
+Failures make it interesting (see :mod:`repro.sim.failures`):
+
+* messages addressed to a down site are lost;
+* a retry timer (``cm_retry``, period ``config.commit_timeout``)
+  re-sends PREPARE to participants whose vote is missing — transient
+  losses delay the round rather than kill it;
+* if at retry time a missing voter is *down*, its unprepared state is
+  volatile and lost, so the coordinator decides ABORT (the transaction
+  releases everything and restarts — an abort cascade under
+  contention);
+* while the *coordinator* is down no decision can be taken: prepared
+  participants keep their locks and conflicting transactions block on
+  the coordinator's recovery (``prepared_block_time``);
+* a commit decision addressed to a down participant is retransmitted
+  until the site recovers, so retained locks outlive the crash — the
+  classic blocked-participant window of 2PC.
+
+The PREPARED window also bends the contention policies: a prepared
+holder can no longer be wounded (the runtime downgrades ABORT_HOLDER
+to WAIT_PREPARED), which is sound because a decision always arrives in
+finite time.
+"""
+
+from __future__ import annotations
+
+from repro.sim.commit.base import CommitProtocol, register_protocol
+
+__all__ = ["TwoPhaseCommit"]
+
+
+class _Round:
+    """Coordinator-side state of one commit round."""
+
+    __slots__ = ("attempt", "coordinator", "participants", "votes",
+                 "decided")
+
+    def __init__(self, attempt: int, coordinator: str,
+                 participants: frozenset[str]):
+        self.attempt = attempt
+        self.coordinator = coordinator
+        self.participants = participants
+        self.votes: set[str] = set()
+        self.decided = False
+
+
+@register_protocol
+class TwoPhaseCommit(CommitProtocol):
+    """Classic presumed-nothing 2PC: every decision is acknowledged."""
+
+    name = "two-phase"
+    retains_locks = True
+    #: presumed-abort flips this: aborts are silent (no ABORT round,
+    #: no acks), participants presume.
+    notify_on_abort = True
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        self._rounds: dict[int, _Round] = {}
+        sim.register_handler("cm_prepare", self._on_prepare)
+        sim.register_handler("cm_vote", self._on_vote)
+        sim.register_handler("cm_retry", self._on_retry)
+        sim.register_handler("cm_release", self._on_release)
+
+    # ------------------------------------------------------------------
+    # messaging helpers
+    # ------------------------------------------------------------------
+
+    def _delay(self, coordinator: str, site: str) -> float:
+        if site == coordinator:
+            return 0.0
+        return self.sim.config.network_delay
+
+    def _send(self, delay: float, payload: tuple) -> None:
+        """Count one protocol message and schedule its delivery."""
+        self.sim.result.commit_messages += 1
+        self.sim.schedule(delay, payload)
+
+    # ------------------------------------------------------------------
+    # coordinator side
+    # ------------------------------------------------------------------
+
+    def on_execution_complete(self, inst) -> None:
+        sim = self.sim
+        sim.mark_prepared(inst)
+        coordinator, sites = sim.transaction_sites(inst.index)
+        round = _Round(inst.attempt, coordinator, frozenset(sites))
+        self._rounds[inst.index] = round
+        self._broadcast_prepare(inst.index, round)
+        sim.schedule(
+            sim.config.commit_timeout,
+            ("cm_retry", inst.index, inst.attempt),
+        )
+
+    def _broadcast_prepare(
+        self, txn: int, round: _Round, only_missing: bool = False
+    ) -> None:
+        for site in sorted(round.participants):
+            if only_missing and site in round.votes:
+                continue
+            self._send(
+                self._delay(round.coordinator, site),
+                ("cm_prepare", txn, site, round.attempt),
+            )
+
+    def _on_vote(self, txn: int, site: str, attempt: int) -> None:
+        round = self._rounds.get(txn)
+        if round is None or round.attempt != attempt or round.decided:
+            return
+        if not self.sim.site_is_up(round.coordinator):
+            return  # vote lost; the retry loop re-collects it
+        round.votes.add(site)
+        if round.votes == round.participants:
+            self._decide_commit(txn, round)
+
+    def _decide_commit(self, txn: int, round: _Round) -> None:
+        sim = self.sim
+        round.decided = True
+        sim.finish_commit(sim.instance(txn))
+        for site in sorted(round.participants):
+            self._send(
+                self._delay(round.coordinator, site),
+                ("cm_release", txn, site, round.attempt),
+            )
+            sim.result.commit_messages += 1  # the participant's ACK
+
+    def _decide_abort(self, txn: int, round: _Round) -> None:
+        sim = self.sim
+        round.decided = True
+        if self.notify_on_abort:
+            # ABORT to every participant that voted, plus their acks.
+            sim.result.commit_messages += 2 * len(round.votes)
+        del self._rounds[txn]
+        sim.abort_from_commit(sim.instance(txn))
+
+    def _on_retry(self, txn: int, attempt: int) -> None:
+        sim = self.sim
+        round = self._rounds.get(txn)
+        if round is None or round.attempt != attempt or round.decided:
+            return
+        if not sim.site_is_up(round.coordinator):
+            # Coordinator down: no decision possible; prepared
+            # participants stay blocked until it recovers.
+            sim.schedule(
+                sim.config.commit_timeout, ("cm_retry", txn, attempt)
+            )
+            return
+        missing = round.participants - round.votes
+        if any(not sim.site_is_up(site) for site in missing):
+            # A missing voter is down: its unprepared execution state
+            # was volatile, so the round cannot complete.
+            self._decide_abort(txn, round)
+            return
+        # Transient loss: re-send PREPARE to the missing voters only.
+        self._broadcast_prepare(txn, round, only_missing=True)
+        sim.schedule(
+            sim.config.commit_timeout, ("cm_retry", txn, attempt)
+        )
+
+    # ------------------------------------------------------------------
+    # participant side
+    # ------------------------------------------------------------------
+
+    def _on_prepare(self, txn: int, site: str, attempt: int) -> None:
+        round = self._rounds.get(txn)
+        if round is None or round.attempt != attempt or round.decided:
+            return
+        if not self.sim.site_is_up(site):
+            return  # message lost: the participant is down
+        # Execution finished before the round began, so the vote is yes.
+        self._send(
+            self._delay(round.coordinator, site),
+            ("cm_vote", txn, site, attempt),
+        )
+
+    def _on_release(self, txn: int, site: str, attempt: int) -> None:
+        sim = self.sim
+        inst = sim.instance(txn)
+        if inst.attempt != attempt:
+            return  # stale: the round aborted and the txn moved on
+        if not sim.site_is_up(site):
+            # Participant down: retransmit the decision until it
+            # recovers — its retained locks stay blocked meanwhile.
+            self._send(
+                sim.config.commit_timeout,
+                ("cm_release", txn, site, attempt),
+            )
+            return
+        sim.release_retained(inst, site)
+        if not inst.retained:
+            self._rounds.pop(txn, None)
+
+    # ------------------------------------------------------------------
+    # runtime callbacks
+    # ------------------------------------------------------------------
+
+    def on_abort(self, inst) -> None:
+        self._rounds.pop(inst.index, None)

@@ -1,16 +1,21 @@
-"""A minimal discrete-event kernel: a time-ordered event queue.
+"""A minimal discrete-event kernel: queue plus handler registry.
 
 Events are opaque payloads ordered by (time, sequence number); the
 sequence number makes simulation runs deterministic under equal
 timestamps.
+
+Payloads are tuples whose first element is the event *kind*; a
+:class:`HandlerRegistry` maps kinds to typed handlers so subsystems
+(the commit protocols, the failure injector) can add their own event
+vocabulary without the core loop enumerating every kind.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["EventQueue"]
+__all__ = ["EventQueue", "HandlerRegistry"]
 
 
 class EventQueue:
@@ -51,3 +56,44 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+class HandlerRegistry:
+    """Dispatch table from event kinds to handlers.
+
+    A payload ``(kind, *args)`` is routed to the handler registered for
+    ``kind``, called as ``handler(*args)``. Kinds are claimed exactly
+    once, so two subsystems cannot silently shadow each other's events.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Callable[..., None]] = {}
+
+    def register(self, kind: str, handler: Callable[..., None]) -> None:
+        """Claim ``kind`` for ``handler``.
+
+        Raises:
+            ValueError: if the kind is already registered.
+        """
+        if kind in self._handlers:
+            raise ValueError(f"event kind {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def dispatch(self, payload: tuple) -> None:
+        """Route ``payload`` to its handler.
+
+        Raises:
+            RuntimeError: for payloads of unregistered kinds.
+        """
+        try:
+            handler = self._handlers[payload[0]]
+        except KeyError:
+            raise RuntimeError(f"unknown event {payload!r}") from None
+        handler(*payload[1:])
+
+    def kinds(self) -> list[str]:
+        """The registered event kinds, sorted."""
+        return sorted(self._handlers)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._handlers

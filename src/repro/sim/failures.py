@@ -1,0 +1,91 @@
+"""Fault injection: sites crash and recover during a run.
+
+A crash-recovery model in the style of Gray & Lamport's *Consensus on
+Transaction Commit*: each site fails independently with exponential
+interarrival times (rate ``config.failure_rate`` per site) and stays
+down for an exponential repair period (mean ``config.repair_time``).
+
+A crash wipes the site's volatile state:
+
+* every RUNNING transaction holding or waiting for a lock there
+  aborts (``crash_aborts``) and restarts later — under contention one
+  crash fans out into an abort cascade;
+* PREPARED transactions survive: their vote and retained locks are
+  (conceptually) on the write-ahead log, so their locks stay held
+  across the crash and they block until the commit decision arrives —
+  exactly the blocked-participant window atomic-commit protocols must
+  handle;
+* while down, the site receives no messages (the commit protocols see
+  lost PREPAREs/VOTEs/decisions and retry or abort) and accepts no new
+  operations — a transaction issuing work to a down site crash-aborts.
+
+The injector draws from its own RNG stream, so enabling failures never
+perturbs arrival or restart randomness, and ``failure_rate=0`` (the
+default) creates no injector at all — zero-rate runs are bit-identical
+to the pre-subsystem simulator. Crash scheduling stops once every
+transaction has committed, letting the event queue drain naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runtime import Simulator
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Crashes and repairs sites via registered simulator events."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        config = sim.config
+        if config.failure_rate <= 0:
+            raise ValueError("failure injection needs failure_rate > 0")
+        # A private stream: failures must not perturb the main RNG.
+        self._rng = random.Random((config.seed + 1) * 1_000_003 + 0x5EED)
+        self._down: set[str] = set()
+
+    def attach(self) -> None:
+        """Register event handlers and schedule the first crashes."""
+        sim = self.sim
+        sim.register_handler("site_crash", self._on_crash)
+        sim.register_handler("site_recover", self._on_recover)
+        for site in sim.site_names():
+            self._schedule_crash(site)
+
+    def site_up(self, site: str) -> bool:
+        """Whether ``site`` is currently up."""
+        return site not in self._down
+
+    @property
+    def down_sites(self) -> list[str]:
+        """The currently crashed sites, sorted."""
+        return sorted(self._down)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _schedule_crash(self, site: str) -> None:
+        gap = self._rng.expovariate(self.sim.config.failure_rate)
+        self.sim.schedule(gap, ("site_crash", site))
+
+    def _on_crash(self, site: str) -> None:
+        sim = self.sim
+        self._down.add(site)
+        sim.result.crashes += 1
+        sim.crash_site(site)
+        repair = max(self.sim.config.repair_time, 1e-9)
+        downtime = self._rng.expovariate(1.0 / repair)
+        sim.schedule(downtime, ("site_recover", site))
+
+    def _on_recover(self, site: str) -> None:
+        self._down.discard(site)
+        # Keep crashing only while there is work left; otherwise the
+        # crash chain would pad the queue to the time horizon.
+        if self.sim.has_uncommitted():
+            self._schedule_crash(site)

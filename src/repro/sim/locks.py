@@ -98,6 +98,17 @@ class SiteLockManager:
     def waiters(self, entity: Entity) -> list[int]:
         return list(self._queue.get(entity, ()))
 
+    def involved(self) -> list[int]:
+        """Every transaction holding or waiting for a lock at this site.
+
+        Used by the failure injector: a site crash touches exactly the
+        transactions with lock state here.
+        """
+        txns = set(self._holder.values())
+        for queue in self._queue.values():
+            txns.update(queue)
+        return sorted(txns)
+
     def held_by(self, txn: int) -> list[Entity]:
         return sorted(
             entity for entity, holder in self._holder.items()

@@ -15,6 +15,7 @@ class SimulationResult:
 
     Attributes:
         policy: policy name.
+        commit_protocol: atomic-commit protocol name.
         committed: number of transactions that committed.
         total: number of transactions in the system.
         end_time: simulated time at which the run ended.
@@ -23,14 +24,32 @@ class SimulationResult:
         deaths: self-aborts caused by wait-die.
         timeouts: aborts caused by lock-wait timeouts.
         detected: aborts issued by the deadlock detector.
+        crash_aborts: aborts caused by site crashes (failure injection).
+        commit_aborts: aborts decided by a failed atomic-commit round
+            (a participant crashed before voting).
+        crashes: site crashes injected during the run.
         deadlocked: True if the run ended in a permanent deadlock
             (blocking policy only).
         deadlock_cycle: the wait-for cycle at the deadlock, as
             transaction indices.
         waits: number of lock requests that had to wait.
         wait_time: total simulated time spent waiting for locks.
+        commit_messages: commit-protocol messages sent (PREPARE, VOTE,
+            COMMIT/ABORT, ACK, and retransmissions).
+        prepared_blocks: lock conflicts where a wound was downgraded to
+            a wait because the holder was PREPARED (or committed with
+            its release message still in flight).
+        prepared_block_time: total time waiters spent blocked behind a
+            PREPARED holder — the blocked-on-coordinator time. Overlaps
+            wait_time: it attributes a *portion* of the waiting to the
+            commit protocol.
         latencies: per-transaction commit latency (first start to
             commit), indexed like the system.
+        exec_latencies: execution-phase latency (first start to last
+            operation), -1 for uncommitted transactions.
+        commit_latencies: commit-phase latency (last operation to the
+            commit decision), -1 for uncommitted transactions. Zero
+            under the instant protocol.
         serializable: whether the committed trace is serializable
             (filled by the runtime via the D(S) test); None if the run
             did not commit everything.
@@ -38,6 +57,7 @@ class SimulationResult:
     """
 
     policy: str
+    commit_protocol: str = "instant"
     committed: int = 0
     total: int = 0
     end_time: float = 0.0
@@ -46,11 +66,19 @@ class SimulationResult:
     deaths: int = 0
     timeouts: int = 0
     detected: int = 0
+    crash_aborts: int = 0
+    commit_aborts: int = 0
+    crashes: int = 0
     deadlocked: bool = False
     deadlock_cycle: tuple[int, ...] = ()
     waits: int = 0
     wait_time: float = 0.0
+    commit_messages: int = 0
+    prepared_blocks: int = 0
+    prepared_block_time: float = 0.0
     latencies: list[float] = field(default_factory=list)
+    exec_latencies: list[float] = field(default_factory=list)
+    commit_latencies: list[float] = field(default_factory=list)
     serializable: bool | None = None
     truncated: bool = False
 
@@ -61,22 +89,51 @@ class SimulationResult:
             return 0.0
         return self.committed / self.end_time
 
-    @property
-    def mean_latency(self) -> float:
-        done = [lat for lat in self.latencies if lat >= 0]
+    @staticmethod
+    def _mean_done(latencies: list[float]) -> float:
+        done = [lat for lat in latencies if lat >= 0]
         if not done:
             return 0.0
         return sum(done) / len(done)
+
+    @property
+    def mean_latency(self) -> float:
+        return self._mean_done(self.latencies)
+
+    @property
+    def mean_exec_latency(self) -> float:
+        """Mean execution-phase latency of committed transactions."""
+        return self._mean_done(self.exec_latencies)
+
+    @property
+    def mean_commit_latency(self) -> float:
+        """Mean commit-phase latency of committed transactions."""
+        return self._mean_done(self.commit_latencies)
+
+    @property
+    def aborts_by_cause(self) -> dict[str, int]:
+        """Abort counts keyed by cause."""
+        return {
+            "wound": self.wounds,
+            "death": self.deaths,
+            "timeout": self.timeouts,
+            "detected": self.detected,
+            "crash": self.crash_aborts,
+            "commit": self.commit_aborts,
+        }
 
     def summary_row(self) -> list[object]:
         """One table row for multi-policy comparisons."""
         return [
             self.policy,
+            self.commit_protocol,
             f"{self.committed}/{self.total}",
             f"{self.end_time:.1f}",
             self.aborts,
             "yes" if self.deadlocked else "no",
             f"{self.mean_latency:.1f}",
+            f"{self.mean_commit_latency:.1f}",
+            self.commit_messages,
             "-" if self.serializable is None
             else ("yes" if self.serializable else "NO"),
         ]
@@ -85,8 +142,8 @@ class SimulationResult:
     def summary_table(results: list["SimulationResult"]) -> str:
         """Aligned comparison table across policies."""
         headers = [
-            "policy", "committed", "time", "aborts", "deadlock",
-            "latency", "serializable",
+            "policy", "commit", "committed", "time", "aborts", "deadlock",
+            "latency", "c-latency", "msgs", "serializable",
         ]
         return format_table(
             headers, [r.summary_row() for r in results]

@@ -12,6 +12,15 @@ holder — and each classical scheme is a different mapping from the
 * timeout: WAIT, but the runtime arms a timer that aborts the waiter;
 * detection: WAIT, and a periodic detector breaks wait-for cycles by
   aborting the youngest participant.
+
+Atomic commit adds a fourth decision: a holder that has *prepared*
+(voted in a commit round, :mod:`repro.sim.commit`) can no longer be
+unilaterally aborted, so the runtime downgrades ABORT_HOLDER to
+WAIT_PREPARED — the requester blocks on the commit coordinator's
+decision instead of wounding. The downgrade is safe for liveness
+because a prepared transaction always receives a decision in finite
+time (the coordinator retries through failures), so it cannot anchor a
+permanent wait-for cycle.
 """
 
 from __future__ import annotations
@@ -32,11 +41,18 @@ __all__ = [
 
 
 class Decision(enum.Enum):
-    """Outcome of a lock conflict."""
+    """Outcome of a lock conflict.
+
+    WAIT_PREPARED is never produced by a policy directly: the runtime
+    substitutes it for ABORT_HOLDER when the holder sits in the
+    PREPARED state of an atomic-commit round and therefore must keep
+    its locks until the commit decision.
+    """
 
     WAIT = "wait"
     ABORT_SELF = "abort-self"
     ABORT_HOLDER = "abort-holder"
+    WAIT_PREPARED = "wait-prepared"
 
 
 @dataclass(frozen=True)

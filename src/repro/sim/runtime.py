@@ -13,6 +13,19 @@ Lock conflicts are resolved by the configured policy
 and restart from scratch after a delay, keeping their original
 timestamp (so wound-wait and wait-die are livelock-free).
 
+Two pluggable subsystems extend the core loop:
+
+* atomic commit (:mod:`repro.sim.commit`) — decides when a transaction
+  that finished executing is durably committed; the two-phase
+  protocols retain locks through the PREPARED window and exchange
+  coordinator/participant messages;
+* fault injection (:mod:`repro.sim.failures`) — crashes and repairs
+  sites, aborting the transactions whose volatile state they held.
+
+Both register their own event kinds on the runtime's
+:class:`~repro.sim.events.HandlerRegistry`, so the main loop is a pure
+dispatcher and never enumerates event types.
+
 The committed operations form a trace that replays as a legal
 :class:`repro.core.Schedule`; the runtime closes the loop with the
 static theory by testing that trace for serializability with the same
@@ -21,6 +34,7 @@ D(S) machinery.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 
@@ -28,7 +42,9 @@ from repro.core.operations import OpKind
 from repro.core.schedule import Schedule
 from repro.core.serialization import is_serializable
 from repro.core.system import GlobalNode, TransactionSystem
-from repro.sim.events import EventQueue
+from repro.sim.commit import make_protocol
+from repro.sim.events import EventQueue, HandlerRegistry
+from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
 from repro.sim.metrics import SimulationResult
 from repro.sim.policies import Decision, Policy, make_policy
@@ -38,6 +54,7 @@ from repro.util.graphs import find_cycle
 __all__ = ["SimulationConfig", "Simulator", "simulate"]
 
 _RUNNING = "running"
+_PREPARED = "prepared"
 _COMMITTED = "committed"
 _ABORTED = "aborted"
 
@@ -50,7 +67,8 @@ class SimulationConfig:
         service_time: simulated duration of one operation at a site.
         network_delay: extra latency charged when an operation depends
             on a predecessor that completed at a *different* site (the
-            cross-site coordination message of the distributed model).
+            cross-site coordination message of the distributed model);
+            also the per-hop cost of commit-protocol messages.
         arrival_spread: transactions start uniformly in
             [0, arrival_spread].
         restart_delay: wait before an aborted transaction retries.
@@ -59,6 +77,13 @@ class SimulationConfig:
         timeout: lock-wait deadline for the timeout policy.
         detection_interval: period of the wait-for-graph scan for the
             detection policy.
+        commit_protocol: atomic-commit protocol name
+            (``instant``, ``two-phase``, ``presumed-abort``).
+        commit_timeout: retry/vote-collection period of the two-phase
+            protocols.
+        failure_rate: per-site crash rate (crashes per unit time);
+            0 disables fault injection entirely.
+        repair_time: mean downtime of a crashed site.
         max_time: hard stop for the simulated clock.
         max_events: hard stop on processed events.
         seed: RNG seed (arrivals and jitter).
@@ -71,6 +96,10 @@ class SimulationConfig:
     restart_jitter: float = 2.0
     timeout: float = 12.0
     detection_interval: float = 8.0
+    commit_protocol: str = "instant"
+    commit_timeout: float = 6.0
+    failure_rate: float = 0.0
+    repair_time: float = 10.0
     max_time: float = 100_000.0
     max_events: int = 1_000_000
     seed: int = 0
@@ -81,7 +110,8 @@ class _Instance:
 
     __slots__ = (
         "index", "status", "timestamp", "attempt", "done", "issued",
-        "waiting", "commit_time", "start_time",
+        "waiting", "commit_time", "start_time", "exec_done_time",
+        "prepared_since", "retained",
     )
 
     def __init__(self, index: int):
@@ -94,6 +124,9 @@ class _Instance:
         self.waiting: dict[str, float] = {}  # entity -> wait start time
         self.commit_time = -1.0
         self.start_time = 0.0
+        self.exec_done_time = -1.0  # last operation's completion time
+        self.prepared_since = -1.0  # entry into the PREPARED window
+        self.retained: set[str] = set()  # unlocked-but-held entities
 
 
 class Simulator:
@@ -112,6 +145,7 @@ class Simulator:
         self.config = config or SimulationConfig()
         self._rng = random.Random(self.config.seed)
         self._queue = EventQueue()
+        self._registry = HandlerRegistry()
         self._sites = {
             site: SiteLockManager(site) for site in system.schema.sites
         }
@@ -121,8 +155,139 @@ class Simulator:
         self._trace: list[tuple[float, int, int, int, int]] = []
         self._trace_seq = 0
         self.result = SimulationResult(
-            policy=self.policy.name, total=len(system)
+            policy=self.policy.name,
+            commit_protocol=self.config.commit_protocol,
+            total=len(system),
         )
+        self._register_core_handlers()
+        self.commit = make_protocol(self.config.commit_protocol)
+        self.commit.attach(self)
+        self.failures: FailureInjector | None = None
+        if self.config.failure_rate > 0:
+            self.failures = FailureInjector(self)
+            self.failures.attach()
+
+    def _register_core_handlers(self) -> None:
+        reg = self._registry
+        reg.register("begin", self._on_begin)
+        reg.register("issue", self._on_issue)
+        reg.register("op_done", self._on_op_done)
+        reg.register("restart", self._on_restart)
+        reg.register("timeout", self._on_timeout)
+        reg.register("detect", self._on_detect)
+
+    # ------------------------------------------------------------------
+    # subsystem surface (commit protocols, failure injection)
+    # ------------------------------------------------------------------
+
+    def register_handler(self, kind: str, handler) -> None:
+        """Claim an event kind for a subsystem handler."""
+        self._registry.register(kind, handler)
+
+    def schedule(self, delay: float, payload: tuple) -> None:
+        """Schedule ``payload`` at ``now + delay``."""
+        self._queue.push(self._now + delay, payload)
+
+    def instance(self, txn: int) -> _Instance:
+        """The mutable state of transaction ``txn``."""
+        return self._instances[txn]
+
+    def site_names(self) -> list[str]:
+        """All site names, sorted."""
+        return sorted(self._sites)
+
+    def site_is_up(self, site: str) -> bool:
+        """Whether ``site`` is up (always True without fault
+        injection)."""
+        return self.failures is None or self.failures.site_up(site)
+
+    def has_uncommitted(self) -> bool:
+        """Whether any transaction has not committed yet."""
+        return self.result.committed < len(self.system)
+
+    def transaction_sites(self, txn: int) -> tuple[str, list[str]]:
+        """``(coordinator, participants)`` of a commit round.
+
+        The coordinator is the site of the transaction's first
+        operation; the participants are every site it touched.
+        """
+        t = self.system[txn]
+        site_of = self.system.schema.site_of
+        coordinator = site_of(t.ops[0].entity)
+        participants = sorted({site_of(op.entity) for op in t.ops})
+        return coordinator, participants
+
+    def mark_prepared(self, inst: _Instance) -> None:
+        """Enter the PREPARED window: unabortable, locks retained."""
+        inst.status = _PREPARED
+        inst.exec_done_time = self._now
+        inst.prepared_since = self._now
+
+    def finish_commit(self, inst: _Instance) -> None:
+        """Commit the transaction at the current time."""
+        if inst.exec_done_time < 0:
+            inst.exec_done_time = self._now
+        inst.status = _COMMITTED
+        inst.commit_time = self._now
+        self.result.committed += 1
+
+    def abort_from_commit(self, inst: _Instance) -> None:
+        """Abort a PREPARED transaction whose commit round failed."""
+        if inst.status != _PREPARED:
+            return
+        self.result.commit_aborts += 1
+        self.release_retained(inst)
+        inst.status = _RUNNING  # re-enter the abortable state
+        inst.prepared_since = -1.0
+        self._abort(inst)
+
+    def release_retained(
+        self, inst: _Instance, site_name: str | None = None
+    ) -> None:
+        """Release locks retained past their Unlock operation.
+
+        Restricted to one site when ``site_name`` is given (a commit
+        decision arriving at that participant). Waiters blocked behind
+        the retained lock have the prepared portion of their wait
+        charged to ``prepared_block_time``.
+        """
+        site_of = self.system.schema.site_of
+        for entity in sorted(inst.retained):
+            if site_name is not None and site_of(entity) != site_name:
+                continue
+            inst.retained.discard(entity)
+            site = self._sites[site_of(entity)]
+            if site.holder(entity) != inst.index:
+                continue  # defensive: already force-released
+            if inst.prepared_since >= 0:
+                for waiter in site.waiters(entity):
+                    begun = self._instances[waiter].waiting.get(entity)
+                    if begun is not None:
+                        self.result.prepared_block_time += (
+                            self._now - max(begun, inst.prepared_since)
+                        )
+            granted = site.release(inst.index, entity)
+            if granted is not None:
+                self._on_grant(granted, entity)
+
+    def crash_site(self, site_name: str) -> None:
+        """Abort every RUNNING transaction with lock state at the site.
+
+        PREPARED transactions survive: their locks are conceptually on
+        the write-ahead log and stay retained across the crash.
+        Waiters go first so that releasing the holders' locks does not
+        grant work to a site that is down.
+        """
+        site = self._sites[site_name]
+        txns = site.involved()
+        waiters = [t for t in txns if site.waiting_for(t)]
+        waiter_set = set(waiters)
+        holders = [t for t in txns if t not in waiter_set]
+        for txn in waiters + holders:
+            inst = self._instances[txn]
+            if inst.status == _RUNNING:
+                self.result.crash_aborts += 1
+                self._abort(inst)
 
     # ------------------------------------------------------------------
     # helpers
@@ -130,9 +295,6 @@ class Simulator:
 
     def _site_for_entity(self, entity: str) -> SiteLockManager:
         return self._sites[self.system.schema.site_of(entity)]
-
-    def _push(self, delay: float, payload: tuple) -> None:
-        self._queue.push(self._now + delay, payload)
 
     def _ready_nodes(self, inst: _Instance) -> list[int]:
         t = self.system[inst.index]
@@ -167,7 +329,7 @@ class Simulator:
             inst.issued |= 1 << node
             delay = self._cross_site_delay(inst.index, node)
             if delay > 0:
-                self._push(
+                self.schedule(
                     delay, ("issue", inst.index, node, inst.attempt)
                 )
                 continue
@@ -177,13 +339,22 @@ class Simulator:
 
     def _issue_one(self, inst: _Instance, node: int) -> None:
         op = self.system[inst.index].ops[node]
+        if not self.site_is_up(self.system.schema.site_of(op.entity)):
+            # The operation's site is down; the transaction's volatile
+            # state is lost with it.
+            self.result.crash_aborts += 1
+            self._abort(inst)
+            return
         if op.kind is OpKind.LOCK:
             self._request_lock(inst, node)
         else:
-            self._push(
+            self.schedule(
                 self.config.service_time,
                 ("op_done", inst.index, node, inst.attempt),
             )
+
+    def _on_begin(self, txn: int) -> None:
+        self._issue_ready(self._instances[txn])
 
     def _on_issue(self, txn: int, node: int, attempt: int) -> None:
         """A cross-site coordination message arrived: issue the op."""
@@ -196,30 +367,42 @@ class Simulator:
         op = self.system[inst.index].ops[node]
         site = self._site_for_entity(op.entity)
         if site.request(inst.index, op.entity):
-            self._push(
+            self.schedule(
                 self.config.service_time,
                 ("op_done", inst.index, node, inst.attempt),
             )
             return
         holder = site.holder(op.entity)
         assert holder is not None and holder != inst.index
+        holder_inst = self._instances[holder]
         decision = self.policy.on_conflict(
-            inst.timestamp, self._instances[holder].timestamp
+            inst.timestamp, holder_inst.timestamp
         )
+        if (
+            decision is Decision.ABORT_HOLDER
+            and holder_inst.status in (_PREPARED, _COMMITTED)
+        ):
+            # A prepared holder cannot be wounded: it already voted in
+            # a commit round. A committed holder still has its release
+            # message in flight and is just as unabortable. Block on
+            # the decision's arrival instead.
+            decision = Decision.WAIT_PREPARED
+            self.result.prepared_blocks += 1
         if decision is Decision.ABORT_SELF:
             site.cancel_wait(inst.index, op.entity)
             self.result.deaths += 1
             self._abort(inst)
             return
-        # WAIT and ABORT_HOLDER both leave the requester in the queue.
+        # The waiting decisions and ABORT_HOLDER all leave the
+        # requester in the queue.
         inst.waiting[op.entity] = self._now
         self.result.waits += 1
         if decision is Decision.ABORT_HOLDER:
             self.result.wounds += 1
-            self._abort(self._instances[holder])
+            self._abort(holder_inst)
             return
         if self.policy.uses_timeout:
-            self._push(
+            self.schedule(
                 self.config.timeout,
                 ("timeout", inst.index, node, inst.attempt),
             )
@@ -251,7 +434,7 @@ class Simulator:
             return
         self.result.wait_time += self._now - inst.waiting.pop(entity)
         node = self.system[txn].lock_node(entity)
-        self._push(
+        self.schedule(
             self.config.service_time, ("op_done", txn, node, inst.attempt)
         )
         self._reevaluate_waiters(entity, inst)
@@ -283,14 +466,18 @@ class Simulator:
         self._trace.append((self._now, self._trace_seq, txn, node, attempt))
         self._trace_seq += 1
         if op.kind is OpKind.UNLOCK:
-            site = self._site_for_entity(op.entity)
-            granted = site.release(txn, op.entity)
-            if granted is not None:
-                self._on_grant(granted, op.entity)
+            if self.commit.retains_locks:
+                # Strict release-at-commit: the Unlock ends the lock's
+                # logical scope, but the physical release rides on the
+                # commit decision.
+                inst.retained.add(op.entity)
+            else:
+                site = self._site_for_entity(op.entity)
+                granted = site.release(txn, op.entity)
+                if granted is not None:
+                    self._on_grant(granted, op.entity)
         if inst.done == t.dag.all_nodes_mask():
-            inst.status = _COMMITTED
-            inst.commit_time = self._now
-            self.result.committed += 1
+            self.commit.on_execution_complete(inst)
         else:
             self._issue_ready(inst)
 
@@ -310,11 +497,15 @@ class Simulator:
                     self._on_grant(granted, entity)
         inst.done = 0
         inst.issued = 0
+        inst.retained.clear()
+        inst.exec_done_time = -1.0
+        inst.prepared_since = -1.0
         inst.attempt += 1
+        self.commit.on_abort(inst)
         delay = self.config.restart_delay + self._rng.uniform(
             0, self.config.restart_jitter
         )
-        self._push(delay, ("restart", txn, inst.attempt))
+        self.schedule(delay, ("restart", txn, inst.attempt))
 
     def _on_restart(self, txn: int, attempt: int) -> None:
         inst = self._instances[txn]
@@ -358,8 +549,20 @@ class Simulator:
             victim = max(cycle, key=lambda i: self._instances[i].timestamp)
             self.result.detected += 1
             self._abort(self._instances[victim])
-        if any(i.status != _COMMITTED for i in self._instances):
-            self._push(self.config.detection_interval, ("detect",))
+        # Reschedule only while another scan could matter. New cycles
+        # form only when other events run, so once every remaining
+        # event sits beyond max_time (or the queue is empty), further
+        # scans are provably useless — the old behaviour padded the
+        # queue with one no-op scan per interval up to the horizon.
+        next_event = self._queue.peek_time()
+        if (
+            next_event is not None
+            and next_event <= self.config.max_time
+            and self._now + self.config.detection_interval
+            <= self.config.max_time
+            and any(i.status != _COMMITTED for i in self._instances)
+        ):
+            self.schedule(self.config.detection_interval, ("detect",))
 
     # ------------------------------------------------------------------
     # main loop
@@ -386,32 +589,49 @@ class Simulator:
             if self._events_processed > config.max_events:
                 self.result.truncated = True
                 break
-            kind = payload[0]
-            if kind == "begin":
-                self._issue_ready(self._instances[payload[1]])
-            elif kind == "issue":
-                self._on_issue(payload[1], payload[2], payload[3])
-            elif kind == "op_done":
-                self._on_op_done(payload[1], payload[2], payload[3])
-            elif kind == "restart":
-                self._on_restart(payload[1], payload[2])
-            elif kind == "timeout":
-                self._on_timeout(payload[1], payload[2], payload[3])
-            elif kind == "detect":
-                self._on_detect()
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event {payload!r}")
+            self._registry.dispatch(payload)
+            if (
+                self.failures is not None
+                and not self.has_uncommitted()
+                and not any(i.retained for i in self._instances)
+            ):
+                # All work committed and every retained lock released:
+                # the only events left are future crash/recover pairs,
+                # which would inflate end_time and the crash count (or
+                # spuriously truncate the run at a tight horizon).
+                break
 
         self.result.end_time = self._now
         if self.result.committed < len(self.system):
             if not self._queue and not self.result.truncated:
-                self.result.deadlocked = True
-                edges = self._wait_for_edges()
-                cycle = find_cycle(list(edges), lambda u: edges.get(u, ()))
-                if cycle:
-                    self.result.deadlock_cycle = tuple(cycle)
+                if self.policy.uses_detection:
+                    # A detection run can only drain with work left
+                    # when the scan chain stopped at the time budget —
+                    # the next scan would have broken the wedge, so
+                    # this is a truncation, not a permanent deadlock.
+                    self.result.truncated = True
+                else:
+                    self.result.deadlocked = True
+                    edges = self._wait_for_edges()
+                    cycle = find_cycle(
+                        list(edges), lambda u: edges.get(u, ())
+                    )
+                    if cycle:
+                        self.result.deadlock_cycle = tuple(cycle)
         self.result.latencies = [
             (inst.commit_time - inst.start_time)
+            if inst.commit_time >= 0
+            else -1.0
+            for inst in self._instances
+        ]
+        self.result.exec_latencies = [
+            (inst.exec_done_time - inst.start_time)
+            if inst.commit_time >= 0
+            else -1.0
+            for inst in self._instances
+        ]
+        self.result.commit_latencies = [
+            (inst.commit_time - inst.exec_done_time)
             if inst.commit_time >= 0
             else -1.0
             for inst in self._instances
@@ -484,19 +704,9 @@ def find_deadlocking_seed(
     """
     base = config or SimulationConfig()
     for seed in range(max_seeds):
-        candidate = SimulationConfig(
-            service_time=base.service_time,
-            network_delay=base.network_delay,
-            arrival_spread=base.arrival_spread,
-            restart_delay=base.restart_delay,
-            restart_jitter=base.restart_jitter,
-            timeout=base.timeout,
-            detection_interval=base.detection_interval,
-            max_time=base.max_time,
-            max_events=base.max_events,
-            seed=seed,
+        result = simulate(
+            system, "blocking", dataclasses.replace(base, seed=seed)
         )
-        result = simulate(system, "blocking", candidate)
         if result.deadlocked:
             return seed, result
     return None

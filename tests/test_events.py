@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, HandlerRegistry
 
 
 class TestEventQueue:
@@ -46,3 +46,38 @@ class TestEventQueue:
         q = EventQueue()
         with pytest.raises(ValueError):
             q.push(float("nan"), "x")
+
+
+class TestHandlerRegistry:
+    def test_dispatch_unpacks_payload(self):
+        reg = HandlerRegistry()
+        seen = []
+        reg.register("ping", lambda a, b: seen.append((a, b)))
+        reg.dispatch(("ping", 1, "x"))
+        assert seen == [(1, "x")]
+
+    def test_zero_argument_events(self):
+        reg = HandlerRegistry()
+        seen = []
+        reg.register("tick", lambda: seen.append("t"))
+        reg.dispatch(("tick",))
+        assert seen == ["t"]
+
+    def test_duplicate_kind_rejected(self):
+        reg = HandlerRegistry()
+        reg.register("ping", lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("ping", lambda: None)
+
+    def test_unknown_kind_raises(self):
+        reg = HandlerRegistry()
+        with pytest.raises(RuntimeError, match="unknown event"):
+            reg.dispatch(("nope", 1))
+
+    def test_kinds_and_contains(self):
+        reg = HandlerRegistry()
+        reg.register("b", lambda: None)
+        reg.register("a", lambda: None)
+        assert reg.kinds() == ["a", "b"]
+        assert "a" in reg
+        assert "z" not in reg

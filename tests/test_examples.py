@@ -52,6 +52,15 @@ class TestSatReductionDemo:
         assert "decoded back from the cycle" in out
 
 
+class TestCommitProtocols:
+    def test_commit_cost_story(self, capsys):
+        out = run_example("commit_protocols", capsys)
+        assert "two-phase" in out
+        assert "presumed-abort" in out
+        assert "crashing sites" in out
+        assert "blocked-on-coordinator" in out
+
+
 @pytest.mark.slow
 class TestBankingAudit:
     def test_repair_story(self, capsys):

@@ -1,10 +1,19 @@
 """Tests for the discrete-event simulator (repro.sim.runtime)."""
 
+import dataclasses
+
 import pytest
 
+from repro.sim.runtime import (
+    _ABORTED,
+    _RUNNING,
+    SimulationConfig,
+    Simulator,
+    find_deadlocking_seed,
+    simulate,
+)
 from repro.core.entity import DatabaseSchema
 from repro.core.system import TransactionSystem
-from repro.sim.runtime import SimulationConfig, Simulator, simulate
 
 from tests.helpers import seq
 
@@ -149,6 +158,173 @@ class TestTraceReplay:
             assert result.committed == 2
             schedule = sim.committed_schedule()
             assert schedule.is_complete()
+
+
+class TestStaleGrants:
+    """The defensive path of Simulator._on_grant: a grant delivered to
+    a transaction that is not actually waiting must hand the lock back
+    instead of wedging the site."""
+
+    def test_stale_grant_to_non_waiter_returns_lock(self):
+        sim = Simulator(deadlock_pair(), "blocking")
+        site = sim._site_for_entity("x")
+        site.request(0, "x")  # T0 holds x but never recorded a wait
+        sim._on_grant(0, "x")
+        assert site.holder("x") is None
+        assert site.involved() == []
+
+    def test_stale_grant_to_aborted_transaction_returns_lock(self):
+        sim = Simulator(deadlock_pair(), "blocking")
+        site = sim._site_for_entity("x")
+        site.request(0, "x")
+        inst = sim.instance(0)
+        inst.status = _ABORTED
+        inst.waiting["x"] = 0.0  # even a recorded wait must not revive it
+        sim._on_grant(0, "x")
+        assert site.holder("x") is None
+
+    def test_stale_grant_passes_lock_to_real_waiter(self):
+        sim = Simulator(deadlock_pair(), "blocking")
+        site = sim._site_for_entity("x")
+        site.request(0, "x")
+        site.request(1, "x")  # T1 queues behind the phantom holder
+        sim.instance(1).waiting["x"] = 0.0
+        sim._on_grant(0, "x")  # stale for T0, re-granted to T1
+        assert site.holder("x") == 1
+        assert "x" not in sim.instance(1).waiting
+
+
+class TestReevaluateWaiters:
+    """Re-running the conflict rule after a grant: an old waiter must
+    wound the young transaction that just inherited the lock."""
+
+    def _three_on_x(self) -> TransactionSystem:
+        schema = DatabaseSchema.from_groups({"s1": ["x"]})
+        return TransactionSystem(
+            [
+                seq("T1", ["Lx", "Ux"], schema),
+                seq("T2", ["Lx", "Ux"], schema),
+                seq("T3", ["Lx", "Ux"], schema),
+            ]
+        )
+
+    def test_wound_wait_wounds_newly_granted_holder(self):
+        sim = Simulator(self._three_on_x(), "wound-wait")
+        old, young, holder = (
+            sim.instance(0), sim.instance(1), sim.instance(2)
+        )
+        old.timestamp, young.timestamp, holder.timestamp = 1.0, 9.0, 5.0
+        site = sim._site_for_entity("x")
+        site.request(2, "x")
+        site.request(1, "x")  # FIFO: the young transaction is first
+        site.request(0, "x")
+        young.waiting["x"] = 0.0
+        old.waiting["x"] = 0.0
+        granted = site.release(2, "x")
+        assert granted == 1
+        sim._on_grant(1, "x")
+        # The young grantee was wounded by the old waiter behind it and
+        # the lock moved on to the old transaction.
+        assert young.status == _ABORTED
+        assert sim.result.wounds == 1
+        assert site.holder("x") == 0
+        assert old.status == _RUNNING
+
+    def test_wait_die_kills_young_waiter_behind_new_holder(self):
+        sim = Simulator(self._three_on_x(), "wait-die")
+        old, young, holder = (
+            sim.instance(0), sim.instance(1), sim.instance(2)
+        )
+        old.timestamp, young.timestamp, holder.timestamp = 1.0, 9.0, 5.0
+        site = sim._site_for_entity("x")
+        site.request(2, "x")
+        site.request(0, "x")  # the old transaction is granted next
+        site.request(1, "x")
+        old.waiting["x"] = 0.0
+        young.waiting["x"] = 0.0
+        granted = site.release(2, "x")
+        assert granted == 0
+        sim._on_grant(0, "x")
+        assert young.status == _ABORTED
+        assert sim.result.deaths == 1
+        assert site.holder("x") == 0
+
+
+class TestFindDeadlockingSeed:
+    def test_base_config_fields_carry_over(self, monkeypatch):
+        """Every attempted config must be the base with only the seed
+        swapped — spied at the simulate() boundary so a regression to
+        field-by-field copying (dropping new fields) is caught."""
+        import repro.sim.runtime as runtime
+
+        base = SimulationConfig(
+            service_time=0.5, network_delay=0.3, commit_timeout=9.0
+        )
+        seen: list[SimulationConfig] = []
+        real_simulate = runtime.simulate
+
+        def spy(system, policy, config):
+            seen.append(config)
+            return real_simulate(system, policy, config)
+
+        monkeypatch.setattr(runtime, "simulate", spy)
+        found = find_deadlocking_seed(
+            deadlock_pair(), max_seeds=40, config=base
+        )
+        assert found is not None
+        _seed, result = found
+        assert result.deadlocked
+        assert seen
+        for i, config in enumerate(seen):
+            assert config == dataclasses.replace(base, seed=i)
+
+
+class TestDetectorRescheduling:
+    def test_detector_stops_when_no_progress_is_possible(self):
+        """Once every remaining event lies beyond max_time, further
+        scans are useless: the detector must stop instead of padding
+        the queue with one no-op scan per interval up to the horizon.
+
+        Here the deadlock victim's restart lands far past max_time, so
+        after the survivor commits nothing can happen any more — yet
+        one transaction stays uncommitted, which under the old rule
+        kept the scan chain alive for ~125 intervals.
+        """
+        seed = _find_deadlock_seed(deadlock_pair())
+        config = SimulationConfig(
+            seed=seed, max_time=1_000.0, detection_interval=8.0,
+            restart_delay=5_000.0,
+        )
+        sim = Simulator(deadlock_pair(), "detect", config)
+        result = sim.run()
+        assert result.committed == 1  # the victim can never restart
+        assert result.truncated  # the restart event breaches max_time
+        assert sim._events_processed < 30
+        assert result.end_time < 100.0
+
+    def test_detection_never_reports_permanent_deadlock(self):
+        """If the scan chain stops at a tight time budget and the
+        queue then drains with a cycle standing, the run is truncated
+        — deadlocked stays a blocking-policy-only verdict."""
+        for seed in range(40):
+            result = simulate(
+                deadlock_pair(),
+                "detect",
+                SimulationConfig(
+                    seed=seed, max_time=30.0, detection_interval=8.0
+                ),
+            )
+            assert not result.deadlocked, f"seed {seed}"
+            if result.committed < 2:
+                assert result.truncated
+
+    def test_detector_still_breaks_cycles(self):
+        seed = _find_deadlock_seed(deadlock_pair())
+        result = simulate(
+            deadlock_pair(), "detect", SimulationConfig(seed=seed)
+        )
+        assert result.committed == 2
+        assert result.detected > 0
 
 
 class TestBudgets:
