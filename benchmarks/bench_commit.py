@@ -15,12 +15,18 @@ commit path costs on a contended distributed workload:
 
 Crashes (failure injection) add abort cascades, blocked participants,
 and coordinator-recovery delays on top.
+
+The protocol x failure-rate x policy x seed matrix is declared as a
+:class:`repro.experiments.SweepSpec` and executed by the sweep runner —
+the same machinery `repro sweep` exposes on the command line.
 """
 
+import dataclasses
 import random
 
 import pytest
 
+from repro.experiments import SweepSpec, run_sweep
 from repro.sim.runtime import SimulationConfig, simulate
 from repro.sim.workload import WorkloadSpec, random_system
 
@@ -29,30 +35,40 @@ PROTOCOLS = ["instant", "two-phase", "presumed-abort"]
 FAILURE_RATES = [0.0, 0.02]
 SEEDS = range(6)
 
+WORKLOAD = WorkloadSpec(
+    n_transactions=8,
+    n_entities=6,
+    n_sites=3,
+    entities_per_txn=(2, 4),
+    actions_per_entity=(0, 1),
+    hotspot_skew=1.2,
+    shape="random",
+)
+
+SPEC = SweepSpec(
+    policies=tuple(POLICIES),
+    protocols=tuple(PROTOCOLS),
+    arrival_rates=(0.0,),  # closed batch: every cell drains WORKLOAD
+    failure_rates=tuple(FAILURE_RATES),
+    seeds=tuple(SEEDS),
+    workload=WORKLOAD,
+    base=SimulationConfig(
+        network_delay=0.5,
+        commit_timeout=6.0,
+        repair_time=8.0,
+        workload_seed=5,
+    ),
+)
+
 
 def _workload(seed: int = 5):
-    return random_system(
-        random.Random(seed),
-        WorkloadSpec(
-            n_transactions=8,
-            n_entities=6,
-            n_sites=3,
-            entities_per_txn=(2, 4),
-            actions_per_entity=(0, 1),
-            hotspot_skew=1.2,
-            shape="random",
-        ),
-    )
+    return random_system(random.Random(seed), WORKLOAD)
 
 
 def _config(protocol: str, rate: float, seed: int) -> SimulationConfig:
-    return SimulationConfig(
-        seed=seed,
-        network_delay=0.5,
-        commit_protocol=protocol,
-        commit_timeout=6.0,
-        failure_rate=rate,
-        repair_time=8.0,
+    """A single cell's config — same base the sweep runs under."""
+    return dataclasses.replace(
+        SPEC.base, seed=seed, commit_protocol=protocol, failure_rate=rate
     )
 
 
@@ -60,31 +76,33 @@ def test_commit_report():
     system = _workload()
     total = len(system) * len(SEEDS)
 
-    rows = []
-    for protocol in PROTOCOLS:
-        for rate in FAILURE_RATES:
-            for policy in POLICIES:
-                agg = dict(
-                    committed=0, aborts=0, crashes=0, msgs=0,
-                    exec_lat=0.0, commit_lat=0.0, blocked=0.0,
-                )
-                for seed in SEEDS:
-                    r = simulate(
-                        system, policy, _config(protocol, rate, seed)
-                    )
-                    assert not r.truncated
-                    if r.committed == len(system):
-                        assert r.serializable is True
-                    agg["committed"] += r.committed
-                    agg["aborts"] += r.aborts
-                    agg["crashes"] += r.crashes
-                    agg["msgs"] += r.commit_messages
-                    agg["exec_lat"] += r.mean_exec_latency
-                    agg["commit_lat"] += r.mean_commit_latency
-                    agg["blocked"] += r.prepared_block_time
-                agg["exec_lat"] /= len(SEEDS)
-                agg["commit_lat"] /= len(SEEDS)
-                rows.append((protocol, rate, policy, agg))
+    results = run_sweep(SPEC)  # parallel pool, deterministic per cell
+    aggregates: dict[tuple[str, float, str], dict] = {}
+    for cell, r in zip(SPEC.cells(), results):
+        assert not r.truncated
+        if r.committed == len(system):
+            assert r.serializable is True
+        agg = aggregates.setdefault(
+            (cell.protocol, cell.failure_rate, cell.policy),
+            dict(
+                committed=0, aborts=0, crashes=0, msgs=0,
+                exec_lat=0.0, commit_lat=0.0, blocked=0.0,
+            ),
+        )
+        agg["committed"] += r.committed
+        agg["aborts"] += r.aborts
+        agg["crashes"] += r.crashes
+        agg["msgs"] += r.commit_messages
+        agg["exec_lat"] += r.mean_exec_latency / len(SEEDS)
+        agg["commit_lat"] += r.mean_commit_latency / len(SEEDS)
+        agg["blocked"] += r.prepared_block_time
+
+    rows = [
+        (protocol, rate, policy, aggregates[(protocol, rate, policy)])
+        for protocol in PROTOCOLS
+        for rate in FAILURE_RATES
+        for policy in POLICIES
+    ]
 
     print()
     print(f"[EXP-COMMIT] protocol x failure-rate x policy "

@@ -1,0 +1,101 @@
+"""EXP-OPEN — throughput vs offered load in the open-system engine.
+
+The closed-batch experiments answer "how fast does this batch drain";
+an open system answers the capacity question instead: keep Poisson
+arrivals coming and watch steady-state throughput track the offered
+load until contention saturates the lock tables (cf. *Coordination
+Avoidance in Database Systems* on throughput collapse under
+contention). The curve per policy:
+
+* below saturation, throughput ~= arrival rate and p50 latency sits
+  near the uncontended service time;
+* past saturation, throughput flattens while latency and the abort
+  rate blow up — wound-wait and wait-die pay the overload in aborts
+  rather than deadlock.
+"""
+
+import pytest
+
+from repro.experiments import SweepSpec, run_sweep
+from repro.sim.runtime import SimulationConfig
+from repro.sim.workload import WorkloadSpec
+
+POLICIES = ("wound-wait", "wait-die")
+RATES = (0.2, 0.4, 1.6)  # stable, near-capacity, overloaded
+SEEDS = (0, 1)
+
+SPEC = SweepSpec(
+    policies=POLICIES,
+    protocols=("instant",),
+    arrival_rates=RATES,
+    failure_rates=(0.0,),
+    seeds=SEEDS,
+    workload=WorkloadSpec(
+        n_entities=24,
+        n_sites=4,
+        entities_per_txn=(2, 3),
+        actions_per_entity=(0, 1),
+        hotspot_skew=0.6,
+    ),
+    base=SimulationConfig(
+        max_transactions=250, warmup_time=60.0, workload_seed=7
+    ),
+)
+
+
+def test_open_system_report():
+    results = run_sweep(SPEC, parallel=False)
+    cells = SPEC.cells()
+
+    curve: dict[tuple[str, float], dict[str, float]] = {}
+    for cell, r in zip(cells, results):
+        # Every cell drains completely: arrivals stop at the budget and
+        # the backlog commits before the horizon.
+        assert not r.truncated
+        assert r.committed == r.total == 250
+        p = r.latency_percentiles("total")
+        assert p["p50"] <= p["p95"] <= p["p99"]
+        agg = curve.setdefault(
+            (cell.policy, cell.arrival_rate),
+            dict(thruput=0.0, p50=0.0, p95=0.0, aborts=0),
+        )
+        agg["thruput"] += r.steady_throughput / len(SEEDS)
+        agg["p50"] += p["p50"] / len(SEEDS)
+        agg["p95"] += p["p95"] / len(SEEDS)
+        agg["aborts"] += r.aborts
+
+    print()
+    print(f"[EXP-OPEN] throughput vs offered load "
+          f"({len(SEEDS)} seeds, 250 arrivals per cell):")
+    print(f"  {'policy':11s} {'rate':>5s} {'thruput':>8s} "
+          f"{'p50':>7s} {'p95':>7s} {'aborts':>7s}")
+    for (policy, rate), agg in curve.items():
+        print(f"  {policy:11s} {rate:5.1f} {agg['thruput']:8.3f} "
+              f"{agg['p50']:7.1f} {agg['p95']:7.1f} {agg['aborts']:7d}")
+
+    for policy in POLICIES:
+        low = curve[(policy, 0.2)]
+        mid = curve[(policy, 0.4)]
+        high = curve[(policy, 1.6)]
+        # Below saturation throughput tracks the offered load...
+        assert mid["thruput"] > low["thruput"]
+        # ...past saturation it cannot (the overloaded cell commits at
+        # well under half its offered rate)...
+        assert high["thruput"] < 0.5 * 1.6
+        # ...and the overload is paid in latency and aborts.
+        assert high["p50"] > 4 * low["p50"]
+        assert high["aborts"] > 10 * low["aborts"]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_open_system_benchmark(benchmark, policy):
+    from repro.experiments import run_cell
+    from repro.experiments.sweep import SweepCell
+
+    cell = SweepCell(policy, "instant", 0.8, 0.0, 0)
+
+    def run():
+        return run_cell(SPEC, cell)
+
+    result = benchmark(run)
+    assert result.committed == result.total == 250

@@ -1,0 +1,94 @@
+"""The open-system engine and the sweep runner, end to end.
+
+Every other demo replays a *closed batch*: a fixed set of transactions
+starts, drains, done. Production databases never get that luxury —
+traffic keeps arriving, and the interesting questions are steady-state
+ones: how much load can a contention policy sustain, and what latency
+does a client see at that load?
+
+Part 1 opens the system: Poisson arrivals (``arrival_rate``) draw
+fresh transactions from a :class:`~repro.sim.workload.WorkloadSpec`,
+a warm-up window excludes the initial transient, and the report shows
+steady-state throughput, mean in-flight concurrency, and p50/p95/p99
+latency.
+
+Part 2 sweeps the offered load: a declarative
+:class:`~repro.experiments.SweepSpec` grid (policy x arrival rate x
+seeds) runs on a multiprocessing pool — bit-identical to serial
+execution — and traces each policy's throughput curve up to and past
+saturation.
+
+Run:  python examples/open_system_sweep.py
+"""
+
+from repro.core.system import TransactionSystem
+from repro.experiments import SweepSpec, run_sweep, sweep_records
+from repro.sim.metrics import SimulationResult
+from repro.sim.runtime import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec
+
+WORKLOAD = WorkloadSpec(
+    n_entities=24,
+    n_sites=4,
+    entities_per_txn=(2, 3),
+    actions_per_entity=(0, 1),
+    hotspot_skew=0.6,
+)
+
+
+def open_run() -> None:
+    print("— one open-system run: 400 arrivals, warm-up excluded —")
+    results = []
+    for policy in ("wound-wait", "wait-die", "detect"):
+        config = SimulationConfig(
+            arrival_rate=0.5,
+            max_transactions=400,
+            warmup_time=80.0,
+            workload=WORKLOAD,
+            workload_seed=7,
+            seed=1,
+        )
+        results.append(simulate(TransactionSystem([]), policy, config))
+    print(SimulationResult.open_summary_table(results))
+
+
+def load_sweep() -> None:
+    print()
+    print("— sweeping offered load (parallel sweep runner) —")
+    spec = SweepSpec(
+        policies=("wound-wait", "wait-die"),
+        protocols=("instant",),
+        arrival_rates=(0.2, 0.4, 0.8, 1.6),
+        failure_rates=(0.0,),
+        seeds=(0, 1),
+        workload=WORKLOAD,
+        base=SimulationConfig(
+            max_transactions=200, warmup_time=60.0, workload_seed=7
+        ),
+    )
+    records = sweep_records(spec, run_sweep(spec))
+    print(f"{'policy':11s} {'offered':>8s} {'thruput':>8s} "
+          f"{'p95':>7s} {'aborts':>7s}")
+    for policy in spec.policies:
+        for rate in spec.arrival_rates:
+            rows = [
+                r for r in records
+                if r["policy"] == policy and r["arrival_rate"] == rate
+            ]
+            thruput = sum(r["steady_throughput"] for r in rows) / len(rows)
+            p95 = sum(r["p95"] for r in rows) / len(rows)
+            aborts = sum(r["aborts"] for r in rows)
+            print(f"{policy:11s} {rate:8.1f} {thruput:8.3f} "
+                  f"{p95:7.1f} {aborts:7d}")
+    print()
+    print("throughput tracks the offered load until the lock tables")
+    print("saturate; past that, extra load only buys aborts and latency.")
+
+
+def main() -> None:
+    open_run()
+    load_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,10 +7,16 @@ Subcommands:
   cycles), with certificates for refutations.
 * ``deadlock FILE`` — exhaustive deadlock search and Theorem 1 deadlock-
   prefix search.
-* ``simulate FILE`` — run the discrete-event simulator under one or
+* ``simulate [FILE]`` — run the discrete-event simulator under one or
   more contention policies, optionally with an atomic-commit protocol
   (``--commit two-phase presumed-abort``) and fault injection
-  (``--failure-rate``).
+  (``--failure-rate``). With ``--arrival-rate`` the run is an *open
+  system*: fresh transactions arrive on a Poisson clock (FILE becomes
+  optional and seeds the run as a closed batch if given) and the report
+  shows steady-state throughput and latency percentiles.
+* ``sweep`` — run a declarative grid (policy x commit protocol x
+  arrival rate x failure rate x seeds) on a multiprocessing pool, with
+  optional JSON/CSV output.
 * ``sat DIMACS-LIKE`` — encode a 3SAT′ formula as two transactions and
   demonstrate the Theorem 2 equivalence.
 * ``figures`` — run the paper-figure demonstrations.
@@ -63,11 +69,36 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
     return 1
 
 
+def _workload_spec(args: argparse.Namespace):
+    from repro.sim.workload import WorkloadSpec
+
+    return WorkloadSpec(
+        n_transactions=args.batch,
+        n_entities=args.entities,
+        n_sites=args.sites,
+        entities_per_txn=tuple(args.entities_per_txn),
+        actions_per_entity=tuple(args.actions_per_entity),
+        cross_arc_p=args.cross_arc_p,
+        shape=args.shape,
+        hotspot_skew=args.hotspot_skew,
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.system import TransactionSystem
     from repro.sim.metrics import SimulationResult
     from repro.sim.runtime import SimulationConfig, simulate
 
-    system = _load_system(args.file)
+    open_system = args.arrival_rate > 0
+    if args.file is None and not open_system:
+        print(
+            "simulate: FILE is required unless --arrival-rate is given",
+            file=sys.stderr,
+        )
+        return 2
+    system = (
+        _load_system(args.file) if args.file else TransactionSystem([])
+    )
     results = []
     for policy in args.policies:
         for protocol in args.commit:
@@ -79,9 +110,87 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 commit_timeout=args.commit_timeout,
                 failure_rate=args.failure_rate,
                 repair_time=args.repair_time,
+                arrival_rate=args.arrival_rate,
+                max_transactions=args.max_transactions,
+                warmup_time=args.warmup,
+                workload=_workload_spec(args) if open_system else None,
+                workload_seed=args.workload_seed,
             )
             results.append(simulate(system, policy, config))
-    print(SimulationResult.summary_table(results))
+    if open_system:
+        print(SimulationResult.open_summary_table(results))
+    else:
+        print(SimulationResult.summary_table(results))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        SweepSpec,
+        run_sweep,
+        sweep_records,
+        write_csv,
+        write_json,
+    )
+    from repro.sim.runtime import SimulationConfig
+    from repro.util.render import format_table
+
+    spec = SweepSpec(
+        policies=tuple(args.policies),
+        protocols=tuple(args.commit),
+        arrival_rates=tuple(args.arrival_rates),
+        failure_rates=tuple(args.failure_rates),
+        seeds=tuple(args.seeds),
+        workload=_workload_spec(args),
+        base=SimulationConfig(
+            network_delay=args.network_delay,
+            commit_timeout=args.commit_timeout,
+            repair_time=args.repair_time,
+            max_transactions=args.max_transactions,
+            warmup_time=args.warmup,
+            workload_seed=args.workload_seed,
+            max_time=args.max_time,
+        ),
+    )
+    cells = spec.cells()
+    mode = "serially" if args.serial else "in parallel"
+    print(
+        f"sweep: {len(cells)} cells "
+        f"({len(spec.policies)} policies x {len(spec.protocols)} "
+        f"protocols x {len(spec.arrival_rates)} arrival rates x "
+        f"{len(spec.failure_rates)} failure rates x "
+        f"{len(spec.seeds)} seeds), running {mode}"
+    )
+    results = run_sweep(
+        spec, processes=args.processes, parallel=not args.serial
+    )
+    headers = [
+        "policy", "commit", "arr-rate", "f-rate", "seed", "committed",
+        "aborts", "thruput", "p50", "p95", "p99",
+    ]
+    rows = [
+        [
+            record["policy"],
+            record["protocol"],
+            f"{record['arrival_rate']:g}",
+            f"{record['failure_rate']:g}",
+            record["seed"],
+            f"{record['committed']}/{record['total']}",
+            record["aborts"],
+            f"{record['steady_throughput']:.3f}",
+            f"{record['p50']:.1f}",
+            f"{record['p95']:.1f}",
+            f"{record['p99']:.1f}",
+        ]
+        for record in sweep_records(spec, results)
+    ]
+    print(format_table(headers, rows))
+    if args.json:
+        write_json(args.json, spec, results)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_csv(args.csv, spec, results)
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -223,6 +332,90 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_open_system_args(
+    p: argparse.ArgumentParser,
+    max_transactions_default: int = 0,
+    single_rate: bool = True,
+) -> None:
+    """Open-system and workload-generation flags (simulate, sweep)."""
+    if single_rate:  # sweep takes --arrival-rates as a grid axis instead
+        p.add_argument(
+            "--arrival-rate",
+            type=float,
+            default=0.0,
+            help="open-system arrival rate (transactions per unit "
+            "time); 0 replays FILE as a closed batch",
+        )
+    p.add_argument(
+        "--max-transactions",
+        type=int,
+        default=max_transactions_default,
+        help="stop injecting after this many arrivals (0 = unbounded; "
+        "--max-time then limits the run)",
+    )
+    p.add_argument(
+        "--warmup",
+        type=float,
+        default=0.0,
+        help="steady-state measurement starts here; earlier commits "
+        "and in-flight time are warm-up",
+    )
+    p.add_argument(
+        "--workload-seed",
+        type=int,
+        default=0,
+        help="seed of the generated schema/workload (separate from "
+        "--seed so replicates stress the same database)",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        help="closed-batch size when the workload is generated "
+        "(sweep cells with arrival rate 0)",
+    )
+    p.add_argument(
+        "--entities", type=int, default=16, help="generated entity pool"
+    )
+    p.add_argument(
+        "--sites", type=int, default=4, help="sites the pool spreads over"
+    )
+    p.add_argument(
+        "--entities-per-txn",
+        nargs=2,
+        type=int,
+        default=[2, 4],
+        metavar=("LO", "HI"),
+        help="entities accessed per generated transaction",
+    )
+    p.add_argument(
+        "--actions-per-entity",
+        nargs=2,
+        type=int,
+        default=[0, 1],
+        metavar=("LO", "HI"),
+        help="A-steps per accessed entity",
+    )
+    p.add_argument(
+        "--cross-arc-p",
+        type=float,
+        default=0.25,
+        help="probability of each admissible extra cross-site arc",
+    )
+    p.add_argument(
+        "--shape",
+        default="random",
+        choices=["random", "two_phase", "sequential", "ordered_2pl"],
+        help="locking style of generated transactions",
+    )
+    p.add_argument(
+        "--hotspot-skew",
+        type=float,
+        default=0.0,
+        help="0 = uniform entity choice; larger concentrates accesses",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -243,7 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_deadlock)
 
     p = sub.add_parser("simulate", help="discrete-event simulation")
-    p.add_argument("file")
+    p.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="transaction system to replay (optional when "
+        "--arrival-rate generates the traffic)",
+    )
     p.add_argument(
         "--policies",
         nargs="+",
@@ -278,7 +477,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="mean downtime of a crashed site",
     )
+    _add_open_system_args(p)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a policy x protocol x rate x failure x seed grid",
+    )
+    p.add_argument(
+        "--policies", nargs="+", default=["wound-wait", "wait-die"]
+    )
+    p.add_argument(
+        "--commit",
+        nargs="+",
+        default=["instant"],
+        choices=["instant", "two-phase", "presumed-abort"],
+    )
+    p.add_argument(
+        "--arrival-rates",
+        nargs="+",
+        type=float,
+        default=[0.5, 1.0],
+        help="open-system arrival rates to sweep (0 = closed batch)",
+    )
+    p.add_argument(
+        "--failure-rates", nargs="+", type=float, default=[0.0]
+    )
+    p.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0, 1, 2],
+        help="replicate seeds (each is one cell per grid point)",
+    )
+    p.add_argument("--max-time", type=float, default=100_000.0)
+    p.add_argument("--network-delay", type=float, default=0.0)
+    p.add_argument("--commit-timeout", type=float, default=6.0)
+    p.add_argument("--repair-time", type=float, default=10.0)
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes (default: one per CPU)",
+    )
+    p.add_argument(
+        "--serial",
+        action="store_true",
+        help="run cells serially in-process (the determinism baseline)",
+    )
+    p.add_argument("--json", help="write spec + per-cell records here")
+    p.add_argument("--csv", help="write per-cell records here")
+    _add_open_system_args(
+        p, max_transactions_default=200, single_rate=False
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("show", help="render a system (text/json/dot)")
     p.add_argument("file")

@@ -154,6 +154,21 @@ class Schedule:
                 order.append(gnode.txn)
         return order
 
+    def lock_sequences(self) -> dict[Entity, list[int]]:
+        """All entities' lock sequences, computed in one pass.
+
+        Equivalent to ``{e: lock_sequence(e) for e in entities}`` but
+        linear in the schedule length instead of quadratic — the D(S)
+        construction over the long traces of open-system runs needs
+        this.
+        """
+        orders: dict[Entity, list[int]] = {}
+        for gnode in self.steps:
+            op = self.system[gnode.txn].ops[gnode.node]
+            if op.kind is OpKind.LOCK:
+                orders.setdefault(op.entity, []).append(gnode.txn)
+        return orders
+
     def subsequence_of(self, txn: int) -> list[int]:
         """Node ids of transaction ``txn`` in schedule order."""
         return [g.node for g in self.steps if g.txn == txn]

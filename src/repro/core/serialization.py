@@ -39,11 +39,12 @@ def d_graph(schedule: Schedule, full: bool = True) -> Digraph:
     for i in range(len(system)):
         graph.add_node(i)
     prefix = schedule.prefix()
+    lock_orders = schedule.lock_sequences()
     for entity in system.entities:
         accessors = system.accessors(entity)
         if len(accessors) < 2:
             continue
-        lockers = schedule.lock_sequence(entity)
+        lockers = lock_orders.get(entity, [])
         not_locked = [
             j
             for j in accessors

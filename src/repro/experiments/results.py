@@ -1,0 +1,94 @@
+"""Flattening and persistence of sweep results (JSON / CSV).
+
+A *record* is one flat dict per cell: the cell's grid coordinates plus
+the headline metrics of its :class:`~repro.sim.metrics.
+SimulationResult`. Flat records keep the output format friendly to
+spreadsheet tools and dataframe loaders without this package depending
+on either.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+
+from repro.sim.metrics import SimulationResult
+from repro.experiments.sweep import SweepSpec
+
+__all__ = ["sweep_records", "write_csv", "write_json"]
+
+
+def _record(cell, result: SimulationResult) -> dict:
+    total = result.latency_percentiles("total")
+    exec_p = result.latency_percentiles("exec")
+    commit_p = result.latency_percentiles("commit")
+    return {
+        "policy": cell.policy,
+        "protocol": cell.protocol,
+        "arrival_rate": cell.arrival_rate,
+        "failure_rate": cell.failure_rate,
+        "seed": cell.seed,
+        "injected": result.injected,
+        "committed": result.committed,
+        "total": result.total,
+        "aborts": result.aborts,
+        "crashes": result.crashes,
+        "commit_messages": result.commit_messages,
+        "end_time": result.end_time,
+        "throughput": result.throughput,
+        "steady_throughput": result.steady_throughput,
+        "mean_inflight": result.mean_inflight,
+        "mean_latency": result.mean_latency,
+        "mean_exec_latency": result.mean_exec_latency,
+        "mean_commit_latency": result.mean_commit_latency,
+        "p50": total["p50"],
+        "p95": total["p95"],
+        "p99": total["p99"],
+        "exec_p95": exec_p["p95"],
+        "commit_p95": commit_p["p95"],
+        "prepared_block_time": result.prepared_block_time,
+        "deadlocked": result.deadlocked,
+        "serializable": result.serializable,
+        "truncated": result.truncated,
+    }
+
+
+def sweep_records(
+    spec: SweepSpec, results: list[SimulationResult]
+) -> list[dict]:
+    """One flat record per cell, aligned with ``spec.cells()``."""
+    cells = spec.cells()
+    if len(cells) != len(results):
+        raise ValueError(
+            f"{len(results)} results for {len(cells)} cells"
+        )
+    return [
+        _record(cell, result) for cell, result in zip(cells, results)
+    ]
+
+
+def write_json(
+    path: str, spec: SweepSpec, results: list[SimulationResult]
+) -> None:
+    """Write the spec and per-cell records as one JSON document."""
+    document = {
+        "spec": dataclasses.asdict(spec),
+        "cells": sweep_records(spec, results),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_csv(
+    path: str, spec: SweepSpec, results: list[SimulationResult]
+) -> None:
+    """Write the per-cell records as CSV (one row per cell)."""
+    records = sweep_records(spec, results)
+    if not records:
+        raise ValueError("cannot write CSV for an empty sweep")
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)

@@ -20,13 +20,18 @@ Orthogonally to the policy, an atomic-commit protocol
 committed, and a fault injector (:mod:`repro.sim.failures`) can crash
 and repair sites — together they turn the lock-conflict model into a
 full distributed-transaction system with blocked participants,
-coordinator recovery, and abort cascades.
+coordinator recovery, and abort cascades. An arrival process
+(:mod:`repro.sim.arrivals`, ``arrival_rate > 0``) opens the system:
+fresh transactions keep arriving on a Poisson clock and steady-state
+metrics (throughput, concurrency, latency percentiles) are measured
+past a warm-up window.
 
 Every run records a trace of committed operations which replays as a
 legal :class:`repro.core.Schedule`, so runtime serializability is
 checked with the same D(S) machinery the theory uses.
 """
 
+from repro.sim.arrivals import ArrivalProcess, OpenSystem
 from repro.sim.commit import (
     CommitProtocol,
     InstantCommit,
@@ -38,7 +43,7 @@ from repro.sim.commit import (
 from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
-from repro.sim.metrics import SimulationResult
+from repro.sim.metrics import SimulationResult, percentile
 from repro.sim.policies import (
     BlockingPolicy,
     DetectionPolicy,
@@ -62,6 +67,7 @@ from repro.sim.workload import (
 )
 
 __all__ = [
+    "ArrivalProcess",
     "BlockingPolicy",
     "CommitProtocol",
     "DetectionPolicy",
@@ -69,6 +75,7 @@ __all__ = [
     "FailureInjector",
     "HandlerRegistry",
     "InstantCommit",
+    "OpenSystem",
     "Policy",
     "PresumedAbortCommit",
     "SimulationConfig",
@@ -83,6 +90,7 @@ __all__ = [
     "find_deadlocking_seed",
     "make_policy",
     "make_protocol",
+    "percentile",
     "protocol_names",
     "random_schema",
     "random_system",

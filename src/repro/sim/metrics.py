@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.util.render import format_table
 
-__all__ = ["SimulationResult"]
+__all__ = ["SimulationResult", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty list).
+
+    ``q`` is in percent: ``percentile(vals, 95)`` is the smallest value
+    such that at least 95% of the samples are <= it.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
 
 
 @dataclass
@@ -54,6 +68,20 @@ class SimulationResult:
             (filled by the runtime via the D(S) test); None if the run
             did not commit everything.
         truncated: True if the run hit the event or time budget.
+        injected: transactions injected by the open-system arrival
+            process (0 for closed-batch runs; the closed batch is
+            counted in ``total`` alongside the injected arrivals).
+        warmup_time: start of the measurement window; commits and
+            in-flight time before it are excluded from the steady-state
+            metrics (0 measures the whole run).
+        measured_committed: commits inside the measurement window.
+        inflight_area: integral of the in-flight transaction count over
+            the measurement window (started-but-uncommitted clients,
+            including aborted ones awaiting restart); divided by the
+            window length it gives the mean concurrency level.
+        start_times: per-transaction first-start time, indexed like the
+            system (used to restrict latency percentiles to the
+            steady-state window).
     """
 
     policy: str
@@ -81,6 +109,11 @@ class SimulationResult:
     commit_latencies: list[float] = field(default_factory=list)
     serializable: bool | None = None
     truncated: bool = False
+    injected: int = 0
+    warmup_time: float = 0.0
+    measured_committed: int = 0
+    inflight_area: float = 0.0
+    start_times: list[float] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -109,6 +142,62 @@ class SimulationResult:
     def mean_commit_latency(self) -> float:
         """Mean commit-phase latency of committed transactions."""
         return self._mean_done(self.commit_latencies)
+
+    @property
+    def measured_duration(self) -> float:
+        """Length of the steady-state measurement window."""
+        return max(0.0, self.end_time - self.warmup_time)
+
+    @property
+    def steady_throughput(self) -> float:
+        """Commits per unit time inside the measurement window."""
+        duration = self.measured_duration
+        if duration <= 0:
+            return 0.0
+        return self.measured_committed / duration
+
+    @property
+    def mean_inflight(self) -> float:
+        """Time-averaged in-flight concurrency over the window."""
+        duration = self.measured_duration
+        if duration <= 0:
+            return 0.0
+        return self.inflight_area / duration
+
+    def _window_latencies(self, latencies: list[float]) -> list[float]:
+        """Committed latencies of transactions started in the window."""
+        if not self.start_times:
+            return [lat for lat in latencies if lat >= 0]
+        return [
+            lat
+            for lat, start in zip(latencies, self.start_times)
+            if lat >= 0 and start >= self.warmup_time
+        ]
+
+    def latency_percentiles(self, kind: str = "total") -> dict[str, float]:
+        """p50/p95/p99 latency of committed steady-state transactions.
+
+        Args:
+            kind: ``"total"`` (start to commit), ``"exec"`` (start to
+                last operation), or ``"commit"`` (commit-phase only).
+        """
+        sources = {
+            "total": self.latencies,
+            "exec": self.exec_latencies,
+            "commit": self.commit_latencies,
+        }
+        try:
+            values = self._window_latencies(sources[kind])
+        except KeyError:
+            raise ValueError(
+                f"unknown latency kind {kind!r}; "
+                f"choose from {sorted(sources)}"
+            ) from None
+        return {
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+            "p99": percentile(values, 99),
+        }
 
     @property
     def aborts_by_cause(self) -> dict[str, int]:
@@ -147,4 +236,36 @@ class SimulationResult:
         ]
         return format_table(
             headers, [r.summary_row() for r in results]
+        )
+
+    def open_summary_row(self) -> list[object]:
+        """One table row for open-system (steady-state) comparisons."""
+        total = self.latency_percentiles("total")
+        exec_p = self.latency_percentiles("exec")
+        commit_p = self.latency_percentiles("commit")
+        return [
+            self.policy,
+            self.commit_protocol,
+            self.injected,
+            f"{self.committed}/{self.total}",
+            self.aborts,
+            f"{self.steady_throughput:.3f}",
+            f"{self.mean_inflight:.1f}",
+            f"{total['p50']:.1f}",
+            f"{total['p95']:.1f}",
+            f"{total['p99']:.1f}",
+            f"{exec_p['p95']:.1f}",
+            f"{commit_p['p95']:.1f}",
+        ]
+
+    @staticmethod
+    def open_summary_table(results: list["SimulationResult"]) -> str:
+        """Steady-state comparison table for open-system runs."""
+        headers = [
+            "policy", "commit", "injected", "committed", "aborts",
+            "thruput", "inflight", "p50", "p95", "p99", "exec-p95",
+            "commit-p95",
+        ]
+        return format_table(
+            headers, [r.open_summary_row() for r in results]
         )

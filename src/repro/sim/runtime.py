@@ -13,16 +13,22 @@ Lock conflicts are resolved by the configured policy
 and restart from scratch after a delay, keeping their original
 timestamp (so wound-wait and wait-die are livelock-free).
 
-Two pluggable subsystems extend the core loop:
+Three pluggable subsystems extend the core loop:
 
 * atomic commit (:mod:`repro.sim.commit`) — decides when a transaction
   that finished executing is durably committed; the two-phase
   protocols retain locks through the PREPARED window and exchange
   coordinator/participant messages;
 * fault injection (:mod:`repro.sim.failures`) — crashes and repairs
-  sites, aborting the transactions whose volatile state they held.
+  sites, aborting the transactions whose volatile state they held;
+* arrivals (:mod:`repro.sim.arrivals`) — turns the run into an *open
+  system*: fresh transactions keep arriving on a Poisson clock
+  (``arrival_rate``) until ``max_transactions`` or ``max_time``, and a
+  warm-up window (``warmup_time``) restricts the steady-state metrics
+  (throughput, in-flight concurrency, latency percentiles) to the
+  post-transient regime.
 
-Both register their own event kinds on the runtime's
+All three register their own event kinds on the runtime's
 :class:`~repro.sim.events.HandlerRegistry`, so the main loop is a pure
 dispatcher and never enumerates event types.
 
@@ -42,12 +48,15 @@ from repro.core.operations import OpKind
 from repro.core.schedule import Schedule
 from repro.core.serialization import is_serializable
 from repro.core.system import GlobalNode, TransactionSystem
+from repro.core.transaction import Transaction
+from repro.sim.arrivals import ArrivalProcess, OpenSystem
 from repro.sim.commit import make_protocol
 from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
 from repro.sim.metrics import SimulationResult
 from repro.sim.policies import Decision, Policy, make_policy
+from repro.sim.workload import WorkloadSpec
 from repro.util.bitset import bits_of
 from repro.util.graphs import find_cycle
 
@@ -84,6 +93,19 @@ class SimulationConfig:
         failure_rate: per-site crash rate (crashes per unit time);
             0 disables fault injection entirely.
         repair_time: mean downtime of a crashed site.
+        arrival_rate: open-system arrival rate (transactions per unit
+            time); 0 (the default) disables the arrival process
+            entirely, reproducing the closed-batch simulator.
+        max_transactions: stop injecting after this many arrivals
+            (0 = unbounded; ``max_time`` then limits the run).
+        warmup_time: start of the steady-state measurement window;
+            throughput, in-flight concurrency, and latency percentiles
+            ignore everything before it.
+        workload: spec the arrival process draws transactions from
+            (defaults to ``WorkloadSpec()``).
+        workload_seed: seed of the arrival schema (and, in sweeps, of
+            closed-batch workload generation) — kept separate from
+            ``seed`` so replicates stress the same database.
         max_time: hard stop for the simulated clock.
         max_events: hard stop on processed events.
         seed: RNG seed (arrivals and jitter).
@@ -100,6 +122,11 @@ class SimulationConfig:
     commit_timeout: float = 6.0
     failure_rate: float = 0.0
     repair_time: float = 10.0
+    arrival_rate: float = 0.0
+    max_transactions: int = 0
+    warmup_time: float = 0.0
+    workload: WorkloadSpec | None = None
+    workload_seed: int = 0
     max_time: float = 100_000.0
     max_events: int = 1_000_000
     seed: int = 0
@@ -138,7 +165,7 @@ class Simulator:
         policy: Policy | str = "blocking",
         config: SimulationConfig | None = None,
     ):
-        self.system = system
+        self.system: TransactionSystem | OpenSystem = system
         self.policy = (
             make_policy(policy) if isinstance(policy, str) else policy
         )
@@ -146,18 +173,34 @@ class Simulator:
         self._rng = random.Random(self.config.seed)
         self._queue = EventQueue()
         self._registry = HandlerRegistry()
+        self.arrivals: ArrivalProcess | None = None
+        if self.config.arrival_rate > 0:
+            # Open system: wrap the (possibly empty) closed batch in a
+            # growable view over the merged batch + arrival schema.
+            self.arrivals = ArrivalProcess(self)
+            self.system = OpenSystem(
+                system.transactions,
+                system.schema.merged_with(self.arrivals.schema),
+            )
+        # Sorted site order: _abort releases locks site by site, so the
+        # iteration order is behaviour, not presentation — building the
+        # table from the schema's frozenset would leak the process hash
+        # seed into grant order and break run-level determinism.
         self._sites = {
-            site: SiteLockManager(site) for site in system.schema.sites
+            site: SiteLockManager(site)
+            for site in sorted(self.system.schema.sites)
         }
-        self._instances = [_Instance(i) for i in range(len(system))]
+        self._instances = [_Instance(i) for i in range(len(self.system))]
         self._now = 0.0
         self._events_processed = 0
+        self._inflight = 0
         self._trace: list[tuple[float, int, int, int, int]] = []
         self._trace_seq = 0
         self.result = SimulationResult(
             policy=self.policy.name,
             commit_protocol=self.config.commit_protocol,
-            total=len(system),
+            total=len(self.system),
+            warmup_time=self.config.warmup_time,
         )
         self._register_core_handlers()
         self.commit = make_protocol(self.config.commit_protocol)
@@ -166,6 +209,8 @@ class Simulator:
         if self.config.failure_rate > 0:
             self.failures = FailureInjector(self)
             self.failures.attach()
+        if self.arrivals is not None:
+            self.arrivals.attach()
 
     def _register_core_handlers(self) -> None:
         reg = self._registry
@@ -188,9 +233,36 @@ class Simulator:
         """Schedule ``payload`` at ``now + delay``."""
         self._queue.push(self._now + delay, payload)
 
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
     def instance(self, txn: int) -> _Instance:
         """The mutable state of transaction ``txn``."""
         return self._instances[txn]
+
+    def add_transaction(self, txn: Transaction) -> int:
+        """Inject ``txn`` into the running open system, starting now.
+
+        Only valid in open-system mode (the arrival process is the
+        caller); the new client's timestamp is its arrival time, so the
+        RSL policies' age comparisons extend naturally to arrivals.
+        """
+        index = self.system.append(txn)
+        inst = _Instance(index)
+        inst.timestamp = self._now
+        inst.start_time = self._now
+        self._instances.append(inst)
+        self.result.total += 1
+        self.result.injected += 1
+        self._inflight += 1
+        self._issue_ready(inst)
+        return index
+
+    def lock_tables(self) -> dict[str, SiteLockManager]:
+        """The per-site lock tables, keyed by site name."""
+        return dict(self._sites)
 
     def site_names(self) -> list[str]:
         """All site names, sorted."""
@@ -202,7 +274,15 @@ class Simulator:
         return self.failures is None or self.failures.site_up(site)
 
     def has_uncommitted(self) -> bool:
-        """Whether any transaction has not committed yet."""
+        """Whether any transaction has not committed yet.
+
+        While the arrival process is still injecting, more work is
+        always coming, so the answer is True even if every transaction
+        injected so far has committed — subsystem upkeep loops (crash
+        scheduling, detection scans) must not stop between arrivals.
+        """
+        if self.arrivals is not None and not self.arrivals.finished:
+            return True
         return self.result.committed < len(self.system)
 
     def transaction_sites(self, txn: int) -> tuple[str, list[str]]:
@@ -230,6 +310,9 @@ class Simulator:
         inst.status = _COMMITTED
         inst.commit_time = self._now
         self.result.committed += 1
+        self._inflight -= 1
+        if self._now >= self.config.warmup_time:
+            self.result.measured_committed += 1
 
     def abort_from_commit(self, inst: _Instance) -> None:
         """Abort a PREPARED transaction whose commit round failed."""
@@ -354,6 +437,7 @@ class Simulator:
             )
 
     def _on_begin(self, txn: int) -> None:
+        self._inflight += 1
         self._issue_ready(self._instances[txn])
 
     def _on_issue(self, txn: int, node: int, attempt: int) -> None:
@@ -424,10 +508,15 @@ class Simulator:
         """
         inst = self._instances[txn]
         if inst.status != _RUNNING or entity not in inst.waiting:
-            # Defensive: aborts remove waiters from the queues, so a
-            # stale grant indicates a bookkeeping bug; hand the lock back
+            # Stale grant. Legitimate under abort cascades: a recursive
+            # wound can abort the grantee (re-granting the entity) after
+            # this grant was recorded but before it was delivered — in
+            # that case the lock already moved on and there is nothing
+            # to do. If the grantee still holds the lock, hand it back
             # rather than wedging the site.
             site = self._site_for_entity(entity)
+            if site.holder(entity) != txn:
+                return
             granted = site.release(txn, entity)
             if granted is not None:
                 self._on_grant(granted, entity)
@@ -445,6 +534,13 @@ class Simulator:
             if holder.status != _RUNNING:
                 return  # the holder was wounded; releases re-grant
             w_inst = self._instances[waiter]
+            if w_inst.status != _RUNNING or entity not in w_inst.waiting:
+                # The snapshot is stale: an earlier iteration's abort
+                # cascade already removed this waiter from the queue.
+                # It must neither die again (the abort would no-op but
+                # the death counter would drift) nor wound the holder
+                # on behalf of a conflict that no longer exists.
+                continue
             decision = self.policy.on_conflict(
                 w_inst.timestamp, holder.timestamp
             )
@@ -560,7 +656,7 @@ class Simulator:
             and next_event <= self.config.max_time
             and self._now + self.config.detection_interval
             <= self.config.max_time
-            and any(i.status != _COMMITTED for i in self._instances)
+            and self.has_uncommitted()
         ):
             self.schedule(self.config.detection_interval, ("detect",))
 
@@ -584,6 +680,14 @@ class Simulator:
             if time > config.max_time:
                 self.result.truncated = True
                 break
+            if time > self._now:
+                # Integrate the in-flight count over the steady-state
+                # window; the mean concurrency level falls out of it.
+                lo = max(self._now, config.warmup_time)
+                if time > lo:
+                    self.result.inflight_area += (
+                        self._inflight * (time - lo)
+                    )
             self._now = time
             self._events_processed += 1
             if self._events_processed > config.max_events:
@@ -602,6 +706,10 @@ class Simulator:
                 break
 
         self.result.end_time = self._now
+        if self.arrivals is not None:
+            # The run is over; materialize the accumulated transactions
+            # so trace replay sees a real (indexed) TransactionSystem.
+            self.system = self.system.frozen()
         if self.result.committed < len(self.system):
             if not self._queue and not self.result.truncated:
                 if self.policy.uses_detection:
@@ -635,6 +743,9 @@ class Simulator:
             if inst.commit_time >= 0
             else -1.0
             for inst in self._instances
+        ]
+        self.result.start_times = [
+            inst.start_time for inst in self._instances
         ]
         self.result.serializable = self._check_serializability()
         return self.result

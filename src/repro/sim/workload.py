@@ -75,6 +75,34 @@ class WorkloadSpec:
             raise ValueError(
                 f"unknown shape {self.shape!r}; choose from {_SHAPES}"
             )
+        if self.n_transactions < 0:
+            raise ValueError(
+                f"n_transactions must be >= 0, got {self.n_transactions}"
+            )
+        if self.n_entities < 1:
+            raise ValueError(f"n_entities must be >= 1, got {self.n_entities}")
+        if self.n_sites < 1:
+            raise ValueError(f"n_sites must be >= 1, got {self.n_sites}")
+        for label, (lo, hi) in (
+            ("entities_per_txn", self.entities_per_txn),
+            ("actions_per_entity", self.actions_per_entity),
+        ):
+            if lo < 0:
+                raise ValueError(
+                    f"{label} bounds must be non-negative, got ({lo}, {hi})"
+                )
+            if lo > hi:
+                raise ValueError(
+                    f"{label} range ({lo}, {hi}) is empty: lo > hi"
+                )
+        if not 0.0 <= self.cross_arc_p <= 1.0:
+            raise ValueError(
+                f"cross_arc_p must be in [0, 1], got {self.cross_arc_p}"
+            )
+        if self.hotspot_skew < 0:
+            raise ValueError(
+                f"hotspot_skew must be >= 0, got {self.hotspot_skew}"
+            )
 
 
 def random_schema(

@@ -1,0 +1,200 @@
+"""The open-system engine: arrivals, run-until, steady-state metrics."""
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+from repro.core.transaction import Transaction
+from repro.sim.arrivals import ArrivalProcess, OpenSystem
+from repro.sim.runtime import SimulationConfig, Simulator, simulate
+from repro.sim.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    n_entities=8,
+    n_sites=3,
+    entities_per_txn=(2, 3),
+    actions_per_entity=(0, 1),
+    hotspot_skew=0.5,
+)
+
+
+def open_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        arrival_rate=1.0,
+        max_transactions=40,
+        workload=SPEC,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def empty() -> TransactionSystem:
+    return TransactionSystem([])
+
+
+class TestInjection:
+    def test_injects_exactly_the_budget(self):
+        result = simulate(empty(), "wound-wait", open_config())
+        assert result.injected == 40
+        assert result.total == 40
+        assert result.committed == 40
+        assert not result.truncated
+
+    def test_zero_rate_creates_no_arrival_process(self):
+        sim = Simulator(empty(), "wound-wait", SimulationConfig())
+        assert sim.arrivals is None
+
+    def test_arrival_process_rejects_zero_rate(self):
+        sim = Simulator(empty(), "wound-wait", SimulationConfig())
+        with pytest.raises(ValueError, match="arrival_rate"):
+            ArrivalProcess(sim)
+
+    def test_max_time_horizon_bounds_injection(self):
+        config = open_config(max_transactions=0, max_time=30.0)
+        result = simulate(empty(), "wound-wait", config)
+        assert 0 < result.injected < 200
+        assert result.total == result.injected
+
+    def test_unique_names_even_against_the_closed_batch(self):
+        schema = DatabaseSchema.single_site(["x"], site="s0")
+        batch = TransactionSystem(
+            [Transaction.sequential("TX1", ["Lx", "Ux"], schema)]
+        )
+        sim = Simulator(batch, "wound-wait", open_config())
+        result = sim.run()
+        assert result.total == 41  # 1 batch + 40 injected
+        assert result.injected == 40
+        names = [t.name for t in sim.system]
+        assert len(set(names)) == len(names)
+        assert "TX1'" in names
+
+    def test_batch_placement_wins_for_shared_entity_names(self):
+        # Generated workloads name entities e0..eN; replaying one as
+        # the seed batch must not conflict with the arrival pool's own
+        # e0..eN placement — the batch's sites win and the arrivals
+        # contend with the batch on the shared entities.
+        schema = DatabaseSchema.single_site(["e0", "e1"], site="zzz")
+        batch = TransactionSystem(
+            [Transaction.sequential("B1", ["Le0", "Le1", "Ue0", "Ue1"],
+                                    schema)]
+        )
+        sim = Simulator(batch, "wound-wait", open_config())
+        assert sim.arrivals.schema.site_of("e0") == "zzz"
+        result = sim.run()
+        assert result.committed == result.total == 41
+
+    def test_closed_batch_participates_in_the_open_run(self):
+        schema = DatabaseSchema.single_site(["x"], site="s0")
+        batch = TransactionSystem(
+            [Transaction.sequential("B1", ["Lx", "A.x", "Ux"], schema)]
+        )
+        result = simulate(batch, "wound-wait", open_config())
+        assert result.committed == result.total == 41
+        assert result.latencies[0] >= 0  # the batch transaction too
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self):
+        config = open_config(failure_rate=0.02, repair_time=5.0)
+        first = simulate(empty(), "wound-wait", config)
+        second = simulate(empty(), "wound-wait", config)
+        assert first == second
+
+    def test_seed_changes_traffic_but_not_schema(self):
+        a = Simulator(empty(), "wound-wait", open_config(seed=1))
+        b = Simulator(empty(), "wound-wait", open_config(seed=2))
+        assert a.arrivals.schema == b.arrivals.schema
+        assert a.run() != b.run()
+
+    def test_workload_seed_changes_schema(self):
+        a = Simulator(empty(), "wound-wait", open_config())
+        b = Simulator(
+            empty(), "wound-wait", open_config(workload_seed=9)
+        )
+        assert a.arrivals.schema != b.arrivals.schema
+
+
+class TestRunUntil:
+    def test_detection_chain_survives_idle_gaps_between_arrivals(self):
+        # A slow trickle: the detector must keep scanning while the
+        # arrival process is live even if everything injected so far
+        # has committed (has_uncommitted stays True).
+        config = open_config(arrival_rate=0.05, max_transactions=12)
+        result = simulate(empty(), "detect", config)
+        assert result.committed == result.total == 12
+
+    def test_all_policies_drain_the_budget(self):
+        for policy in ("wound-wait", "wait-die", "timeout", "detect"):
+            result = simulate(empty(), policy, open_config())
+            assert result.committed == result.total == 40, policy
+
+    def test_two_phase_commit_in_the_open_system(self):
+        config = open_config(
+            commit_protocol="two-phase", network_delay=0.5
+        )
+        result = simulate(empty(), "wound-wait", config)
+        assert result.committed == result.total == 40
+        assert result.commit_messages > 0
+        assert result.latency_percentiles("commit")["p95"] > 0
+
+    def test_failures_in_the_open_system(self):
+        config = open_config(
+            max_transactions=60, failure_rate=0.03, repair_time=5.0
+        )
+        result = simulate(empty(), "wound-wait", config)
+        assert result.committed == result.total == 60
+        assert result.crashes > 0
+
+
+class TestSteadyStateMetrics:
+    def test_warmup_window_restricts_measurement(self):
+        config = open_config(max_transactions=80, warmup_time=25.0)
+        result = simulate(empty(), "wound-wait", config)
+        assert result.warmup_time == 25.0
+        assert 0 < result.measured_committed < result.committed
+        assert result.steady_throughput > 0
+        assert result.mean_inflight > 0
+        assert result.measured_duration == pytest.approx(
+            result.end_time - 25.0
+        )
+
+    def test_percentiles_are_ordered_and_windowed(self):
+        config = open_config(max_transactions=80, warmup_time=25.0)
+        result = simulate(empty(), "wound-wait", config)
+        p = result.latency_percentiles("total")
+        assert 0 < p["p50"] <= p["p95"] <= p["p99"]
+        unwindowed = [lat for lat in result.latencies if lat >= 0]
+        windowed = result._window_latencies(result.latencies)
+        assert len(windowed) < len(unwindowed)
+
+    def test_open_summary_table_renders(self):
+        from repro.sim.metrics import SimulationResult
+
+        result = simulate(empty(), "wound-wait", open_config())
+        table = SimulationResult.open_summary_table([result])
+        assert "thruput" in table and "p99" in table
+
+
+class TestOpenSystemWrapper:
+    def test_append_and_frozen(self):
+        schema = DatabaseSchema.single_site(["x", "y"], site="s0")
+        t1 = Transaction.sequential("T1", ["Lx", "Ux"], schema)
+        t2 = Transaction.sequential("T2", ["Ly", "Uy"], schema)
+        open_system = OpenSystem([t1], schema)
+        assert len(open_system) == 1
+        assert open_system.append(t2) == 1
+        assert open_system[1] is t2
+        assert [t.name for t in open_system] == ["T1", "T2"]
+        frozen = open_system.frozen()
+        assert isinstance(frozen, TransactionSystem)
+        assert len(frozen) == 2
+
+    def test_simulator_freezes_after_an_open_run(self):
+        sim = Simulator(empty(), "wound-wait", open_config())
+        assert isinstance(sim.system, OpenSystem)
+        sim.run()
+        assert isinstance(sim.system, TransactionSystem)
+        # The committed trace replays over the frozen system.
+        schedule = sim.committed_schedule()
+        assert len(schedule.steps) > 0

@@ -84,3 +84,76 @@ class TestSimulateNetworkDelay:
         )
         assert code == 0
         assert "wound-wait" in capsys.readouterr().out
+
+
+class TestSimulateOpenSystem:
+    ARGS = [
+        "simulate", "--arrival-rate", "1.0", "--max-transactions", "30",
+        "--warmup", "5", "--entities", "8", "--sites", "3",
+        "--policies", "wound-wait",
+    ]
+
+    def test_file_optional_with_arrival_rate(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "thruput" in out
+        assert "p99" in out
+        assert "30/30" in out
+
+    def test_file_required_without_arrival_rate(self, capsys):
+        assert main(["simulate", "--policies", "wound-wait"]) == 2
+        assert "--arrival-rate" in capsys.readouterr().err
+
+    def test_file_seeds_the_open_run(self, broken_file, capsys):
+        # The file goes before the nargs="+" flags so argparse cannot
+        # swallow it into --policies.
+        assert main([self.ARGS[0], broken_file, *self.ARGS[1:]]) == 0
+        out = capsys.readouterr().out
+        assert "32/32" in out  # 2 batch transactions + 30 arrivals
+
+    def test_closed_mode_table_unchanged(self, broken_file, capsys):
+        assert main(
+            ["simulate", broken_file, "--policies", "wound-wait"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serializable" in out  # closed-batch table, not open
+
+
+class TestSweep:
+    ARGS = [
+        "sweep", "--policies", "wound-wait", "wait-die",
+        "--arrival-rates", "0.5", "1.0", "--seeds", "0", "1",
+        "--max-transactions", "25", "--warmup", "5",
+        "--entities", "8", "--sites", "3", "--serial",
+    ]
+
+    def test_grid_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 8 cells" in out
+        assert out.count("wound-wait") == 4  # one row per cell
+        assert "thruput" in out
+
+    def test_json_and_csv_output(self, tmp_path, capsys):
+        import csv
+        import json
+
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        assert main(
+            [*self.ARGS, "--json", str(json_path), "--csv", str(csv_path)]
+        ) == 0
+        document = json.loads(json_path.read_text())
+        assert len(document["cells"]) == 8
+        with open(csv_path, newline="") as handle:
+            assert len(list(csv.DictReader(handle))) == 8
+
+    def test_closed_batch_cells(self, capsys):
+        assert main([
+            "sweep", "--policies", "wound-wait",
+            "--arrival-rates", "0", "--seeds", "0",
+            "--batch", "5", "--entities", "8", "--sites", "3",
+            "--serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "5/5" in out

@@ -61,6 +61,15 @@ class TestCommitProtocols:
         assert "blocked-on-coordinator" in out
 
 
+class TestOpenSystemSweep:
+    def test_open_system_story(self, capsys):
+        out = run_example("open_system_sweep", capsys)
+        assert "open-system run" in out
+        assert "400/400" in out
+        assert "thruput" in out
+        assert "saturate" in out
+
+
 @pytest.mark.slow
 class TestBankingAudit:
     def test_repair_story(self, capsys):

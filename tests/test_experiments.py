@@ -1,0 +1,145 @@
+"""The sweep package: grid construction, runner determinism, output."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import (
+    SweepCell,
+    SweepSpec,
+    run_cell,
+    run_sweep,
+    sweep_records,
+    write_csv,
+    write_json,
+)
+from repro.sim.runtime import SimulationConfig
+from repro.sim.workload import WorkloadSpec
+
+WORKLOAD = WorkloadSpec(
+    n_transactions=5,
+    n_entities=8,
+    n_sites=3,
+    entities_per_txn=(2, 3),
+    actions_per_entity=(0, 1),
+    hotspot_skew=0.8,
+)
+
+SPEC = SweepSpec(
+    policies=("wound-wait", "wait-die"),
+    protocols=("instant", "two-phase"),
+    arrival_rates=(0.0, 0.8),
+    failure_rates=(0.0, 0.05),
+    seeds=(0, 1, 2),
+    workload=WORKLOAD,
+    base=SimulationConfig(
+        max_transactions=25,
+        warmup_time=5.0,
+        workload_seed=3,
+        repair_time=5.0,
+    ),
+)
+
+
+class TestGrid:
+    def test_cell_count_and_order(self):
+        cells = SPEC.cells()
+        assert len(cells) == 2 * 2 * 2 * 2 * 3
+        # Declaration order: policy outermost, seed innermost.
+        assert cells[0] == SweepCell("wound-wait", "instant", 0.0, 0.0, 0)
+        assert cells[1].seed == 1
+        assert cells[-1] == SweepCell("wait-die", "two-phase", 0.8, 0.05, 2)
+
+    def test_cell_config_overrides(self):
+        cell = SweepCell("wait-die", "two-phase", 0.8, 0.05, 7)
+        config = SPEC.cell_config(cell)
+        assert config.seed == 7
+        assert config.commit_protocol == "two-phase"
+        assert config.arrival_rate == 0.8
+        assert config.failure_rate == 0.05
+        assert config.workload == WORKLOAD
+        assert config.max_transactions == 25  # inherited from base
+        assert config.workload_seed == 3
+
+    def test_closed_cells_share_one_batch(self):
+        closed = SweepCell("wound-wait", "instant", 0.0, 0.0, 0)
+        system_a = SPEC.cell_system(closed)
+        system_b = SPEC.cell_system(closed)
+        assert [t.name for t in system_a] == [t.name for t in system_b]
+        assert len(system_a) == WORKLOAD.n_transactions
+
+    def test_open_cells_start_empty(self):
+        open_cell = SweepCell("wound-wait", "instant", 0.8, 0.0, 0)
+        assert len(SPEC.cell_system(open_cell)) == 0
+
+
+class TestRunnerDeterminism:
+    """The satellite guarantee: the multiprocessing runner is a pure
+    speedup — per-cell results are bit-identical to serial execution."""
+
+    def test_parallel_results_bit_identical_to_serial(self):
+        serial = run_sweep(SPEC, parallel=False)
+        parallel = run_sweep(SPEC, processes=4)
+        assert len(serial) == len(SPEC.cells())
+        assert serial == parallel
+
+    def test_single_process_pool_matches_serial(self):
+        small = SweepSpec(
+            policies=("wound-wait",),
+            protocols=("instant",),
+            arrival_rates=(0.8,),
+            failure_rates=(0.0,),
+            seeds=(0, 1),
+            workload=WORKLOAD,
+            base=SPEC.base,
+        )
+        assert run_sweep(small, processes=1) == run_sweep(
+            small, parallel=False
+        )
+
+    def test_run_cell_is_reproducible(self):
+        cell = SweepCell("wait-die", "two-phase", 0.8, 0.05, 1)
+        assert run_cell(SPEC, cell) == run_cell(SPEC, cell)
+
+
+class TestRecordsAndOutput:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_sweep(SPEC, parallel=False)
+
+    def test_records_align_with_cells(self, results):
+        records = sweep_records(SPEC, results)
+        assert len(records) == len(SPEC.cells())
+        first = records[0]
+        for key in (
+            "policy", "protocol", "arrival_rate", "failure_rate",
+            "seed", "committed", "steady_throughput", "p95",
+        ):
+            assert key in first
+        open_rows = [r for r in records if r["arrival_rate"] > 0]
+        assert all(r["injected"] == 25 for r in open_rows)
+
+    def test_records_reject_misaligned_results(self, results):
+        with pytest.raises(ValueError, match="cells"):
+            sweep_records(SPEC, results[:-1])
+
+    def test_write_json_round_trips(self, results, tmp_path):
+        path = tmp_path / "sweep.json"
+        write_json(str(path), SPEC, results)
+        document = json.loads(path.read_text())
+        assert document["spec"]["policies"] == ["wound-wait", "wait-die"]
+        assert len(document["cells"]) == len(SPEC.cells())
+
+    def test_write_csv_round_trips(self, results, tmp_path):
+        path = tmp_path / "sweep.csv"
+        write_csv(str(path), SPEC, results)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(SPEC.cells())
+        assert rows[0]["policy"] == "wound-wait"
+
+    def test_write_csv_rejects_empty_sweeps(self, tmp_path):
+        empty = SweepSpec(policies=(), workload=WORKLOAD)
+        with pytest.raises(ValueError, match="empty"):
+            write_csv(str(tmp_path / "x.csv"), empty, [])

@@ -1,6 +1,8 @@
 """Tests for repro.sim.metrics and repro.util.render."""
 
-from repro.sim.metrics import SimulationResult
+import pytest
+
+from repro.sim.metrics import SimulationResult, percentile
 from repro.util.render import bullet_list, format_table, indent_block
 
 
@@ -54,3 +56,79 @@ class TestRender:
 
     def test_bullet_list(self):
         assert bullet_list(["x", "y"]) == "  - x\n  - y"
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 95) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank(self):
+        values = list(map(float, range(1, 101)))  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+
+class TestSteadyStateMetrics:
+    def test_steady_throughput_and_inflight(self):
+        r = SimulationResult(
+            policy="x", end_time=110.0, warmup_time=10.0,
+            measured_committed=50, inflight_area=400.0,
+        )
+        assert r.measured_duration == 100.0
+        assert r.steady_throughput == 0.5
+        assert r.mean_inflight == 4.0
+
+    def test_zero_window_is_safe(self):
+        r = SimulationResult(policy="x", end_time=5.0, warmup_time=10.0)
+        assert r.measured_duration == 0.0
+        assert r.steady_throughput == 0.0
+        assert r.mean_inflight == 0.0
+
+    def test_latency_percentiles_filter_warmup_starts(self):
+        r = SimulationResult(
+            policy="x",
+            warmup_time=10.0,
+            latencies=[100.0, 2.0, 4.0, -1.0],
+            start_times=[1.0, 11.0, 12.0, 13.0],
+        )
+        p = r.latency_percentiles("total")
+        assert p == {"p50": 2.0, "p95": 4.0, "p99": 4.0}
+
+    def test_latency_percentiles_without_start_times(self):
+        r = SimulationResult(policy="x", latencies=[5.0, -1.0, 3.0])
+        assert r.latency_percentiles("total")["p99"] == 5.0
+
+    def test_latency_percentiles_kinds(self):
+        r = SimulationResult(
+            policy="x",
+            latencies=[6.0],
+            exec_latencies=[4.0],
+            commit_latencies=[2.0],
+            start_times=[0.0],
+        )
+        assert r.latency_percentiles("exec")["p50"] == 4.0
+        assert r.latency_percentiles("commit")["p50"] == 2.0
+        with pytest.raises(ValueError, match="unknown latency kind"):
+            r.latency_percentiles("bogus")
+
+    def test_open_summary_table(self):
+        r = SimulationResult(
+            policy="wound-wait", committed=3, total=3, injected=3,
+            end_time=30.0, measured_committed=3,
+            latencies=[1.0, 2.0, 3.0],
+            exec_latencies=[1.0, 2.0, 3.0],
+            commit_latencies=[0.0, 0.0, 0.0],
+            start_times=[0.0, 1.0, 2.0],
+        )
+        table = SimulationResult.open_summary_table([r])
+        assert "wound-wait" in table
+        assert "thruput" in table

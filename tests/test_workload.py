@@ -115,3 +115,57 @@ class TestRandomSystem:
                 WorkloadSpec(n_transactions=4, shape="ordered_2pl"),
             )
             assert check_system(system), f"seed {seed}"
+
+
+class TestSpecValidation:
+    """WorkloadSpec.__post_init__ rejects nonsensical parameters."""
+
+    def test_defaults_are_valid(self):
+        WorkloadSpec()
+
+    def test_rejects_inverted_entities_range(self):
+        with pytest.raises(ValueError, match="entities_per_txn.*lo > hi"):
+            WorkloadSpec(entities_per_txn=(4, 2))
+
+    def test_rejects_inverted_actions_range(self):
+        with pytest.raises(
+            ValueError, match="actions_per_entity.*lo > hi"
+        ):
+            WorkloadSpec(actions_per_entity=(3, 1))
+
+    def test_rejects_negative_range_bounds(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkloadSpec(entities_per_txn=(-1, 2))
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkloadSpec(actions_per_entity=(-2, -1))
+
+    def test_rejects_cross_arc_p_outside_unit_interval(self):
+        with pytest.raises(ValueError, match="cross_arc_p"):
+            WorkloadSpec(cross_arc_p=-0.1)
+        with pytest.raises(ValueError, match="cross_arc_p"):
+            WorkloadSpec(cross_arc_p=1.5)
+
+    def test_rejects_negative_hotspot_skew(self):
+        with pytest.raises(ValueError, match="hotspot_skew"):
+            WorkloadSpec(hotspot_skew=-0.5)
+
+    def test_rejects_empty_pools(self):
+        with pytest.raises(ValueError, match="n_entities"):
+            WorkloadSpec(n_entities=0)
+        with pytest.raises(ValueError, match="n_sites"):
+            WorkloadSpec(n_sites=0)
+        with pytest.raises(ValueError, match="n_transactions"):
+            WorkloadSpec(n_transactions=-1)
+
+    def test_rejects_unknown_shape_still(self):
+        with pytest.raises(ValueError, match="shape"):
+            WorkloadSpec(shape="zigzag")
+
+    def test_boundary_values_accepted(self):
+        WorkloadSpec(
+            entities_per_txn=(0, 0),
+            actions_per_entity=(2, 2),
+            cross_arc_p=1.0,
+            hotspot_skew=0.0,
+            n_transactions=0,
+        )
