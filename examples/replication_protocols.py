@@ -1,0 +1,121 @@
+"""Replica control: ROWA vs write-all-available vs majority quorums.
+
+The paper's model keeps each entity at exactly one site, so a site
+crash simply makes its entities unreachable. Real distributed
+databases replicate — and then the *replica-control protocol* decides
+what a crash costs:
+
+* ``rowa`` (read-one-write-all) — reads lock one copy, writes lock
+  every copy. Cheap, always-current reads; but one crashed replica
+  blocks all writers of its entities until it repairs.
+* ``rowa-available`` (write-all-available) — writes lock every *up*
+  copy and route around crashes; a recovering site missed writes and
+  must catch up (an anti-entropy scan every ``catchup_time``) before
+  serving reads again.
+* ``quorum`` — reads and writes both lock a majority. Any two
+  majorities intersect, so reads always see a current copy and any
+  minority of crashed sites is masked without reconfiguration.
+
+This demo runs the same open-system read-heavy workload over 3 copies
+per entity under a seeded site-crash schedule and reports, per
+protocol: committed counts, the availability metric (fraction of time
+an entity's read *and* write rule were satisfiable), and the
+exec/commit latency split under two-phase commit (more write replicas
+= more commit participants).
+
+Run:  python examples/replication_protocols.py
+"""
+
+from repro.core.system import TransactionSystem
+from repro.sim.runtime import SimulationConfig, simulate
+from repro.sim.workload import WorkloadSpec
+from repro.util.render import format_table
+
+PROTOCOLS = ["rowa", "rowa-available", "quorum"]
+
+WORKLOAD = WorkloadSpec(
+    n_entities=18,
+    n_sites=6,
+    entities_per_txn=(2, 3),
+    read_fraction=0.7,
+    replication_factor=3,
+)
+
+
+def run_protocol(protocol: str, failure_rate: float):
+    config = SimulationConfig(
+        seed=1,
+        workload=WORKLOAD,
+        workload_seed=5,
+        replica_protocol=protocol,
+        commit_protocol="two-phase",
+        network_delay=0.5,
+        arrival_rate=0.5,
+        max_transactions=120,
+        warmup_time=30.0,
+        failure_rate=failure_rate,
+        repair_time=10.0,
+        catchup_time=30.0,
+    )
+    # Open system: the arrival process generates all the traffic.
+    return simulate(TransactionSystem([]), "wound-wait", config)
+
+
+def report(failure_rate: float) -> None:
+    rows = []
+    for protocol in PROTOCOLS:
+        r = run_protocol(protocol, failure_rate)
+        exec_p = r.latency_percentiles("exec")["p95"]
+        commit_p = r.latency_percentiles("commit")["p95"]
+        rows.append(
+            [
+                protocol,
+                f"{r.committed}/{r.total}",
+                r.crashes,
+                r.aborts,
+                r.unavailable_aborts,
+                f"{r.availability:.3f}",
+                f"{r.read_availability:.3f}",
+                f"{r.write_availability:.3f}",
+                f"{exec_p:.1f}",
+                f"{commit_p:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "protocol", "committed", "crashes", "aborts", "unavail",
+                "avail", "r-avail", "w-avail", "exec-p95", "commit-p95",
+            ],
+            rows,
+        )
+    )
+    print()
+
+
+def main() -> None:
+    print(
+        "== replication factor 3, reliable sites "
+        "(availability is free) =="
+    )
+    report(failure_rate=0.0)
+
+    print(
+        "== same workload under a site-crash schedule "
+        "(failure rate 0.04, repair 10, catch-up 30) =="
+    )
+    report(failure_rate=0.04)
+
+    print(
+        "takeaways: with reliable sites every protocol serves "
+        "everything\n(quorum just pays majority-sized read locking and "
+        "commit rounds).\nUnder crashes, write-all (rowa) loses write "
+        "availability with every\ndown replica; write-all-available "
+        "keeps writes flowing but its\nrecovering sites serve no reads "
+        "until caught up; majority quorums\nmask the failures in both "
+        "directions and keep the highest\nfull-service availability."
+    )
+
+
+if __name__ == "__main__":
+    main()

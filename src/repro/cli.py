@@ -9,14 +9,17 @@ Subcommands:
   prefix search.
 * ``simulate [FILE]`` — run the discrete-event simulator under one or
   more contention policies, optionally with an atomic-commit protocol
-  (``--commit two-phase presumed-abort``) and fault injection
-  (``--failure-rate``). With ``--arrival-rate`` the run is an *open
+  (``--commit two-phase presumed-abort``), fault injection
+  (``--failure-rate``), and replication (``--replication 3
+  --replica-protocol quorum --read-fraction 0.6``: reads take shared
+  locks on one/a quorum of replicas, writes exclusive locks on
+  all/available/a quorum). With ``--arrival-rate`` the run is an *open
   system*: fresh transactions arrive on a Poisson clock (FILE becomes
   optional and seeds the run as a closed batch if given) and the report
   shows steady-state throughput and latency percentiles.
 * ``sweep`` — run a declarative grid (policy x commit protocol x
-  arrival rate x failure rate x seeds) on a multiprocessing pool, with
-  optional JSON/CSV output.
+  replica protocol x arrival rate x failure rate x seeds) on a
+  multiprocessing pool, with optional JSON/CSV output.
 * ``sat DIMACS-LIKE`` — encode a 3SAT′ formula as two transactions and
   demonstrate the Theorem 2 equivalence.
 * ``figures`` — run the paper-figure demonstrations.
@@ -81,6 +84,8 @@ def _workload_spec(args: argparse.Namespace):
         cross_arc_p=args.cross_arc_p,
         shape=args.shape,
         hotspot_skew=args.hotspot_skew,
+        read_fraction=args.read_fraction,
+        replication_factor=args.replication,
     )
 
 
@@ -110,10 +115,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 commit_timeout=args.commit_timeout,
                 failure_rate=args.failure_rate,
                 repair_time=args.repair_time,
+                replica_protocol=args.replica_protocol,
+                catchup_time=args.catchup_time,
                 arrival_rate=args.arrival_rate,
                 max_transactions=args.max_transactions,
                 warmup_time=args.warmup,
-                workload=_workload_spec(args) if open_system else None,
+                # The workload spec also carries the replication factor,
+                # so closed-batch (FILE) runs need it too.
+                workload=_workload_spec(args),
                 workload_seed=args.workload_seed,
             )
             results.append(simulate(system, policy, config))
@@ -138,6 +147,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(
         policies=tuple(args.policies),
         protocols=tuple(args.commit),
+        replica_protocols=tuple(args.replica_protocols),
         arrival_rates=tuple(args.arrival_rates),
         failure_rates=tuple(args.failure_rates),
         seeds=tuple(args.seeds),
@@ -146,6 +156,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             network_delay=args.network_delay,
             commit_timeout=args.commit_timeout,
             repair_time=args.repair_time,
+            catchup_time=args.catchup_time,
             max_transactions=args.max_transactions,
             warmup_time=args.warmup,
             workload_seed=args.workload_seed,
@@ -157,7 +168,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"sweep: {len(cells)} cells "
         f"({len(spec.policies)} policies x {len(spec.protocols)} "
-        f"protocols x {len(spec.arrival_rates)} arrival rates x "
+        f"protocols x {len(spec.replica_protocols)} replica protocols "
+        f"x {len(spec.arrival_rates)} arrival rates x "
         f"{len(spec.failure_rates)} failure rates x "
         f"{len(spec.seeds)} seeds), running {mode}"
     )
@@ -165,19 +177,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec, processes=args.processes, parallel=not args.serial
     )
     headers = [
-        "policy", "commit", "arr-rate", "f-rate", "seed", "committed",
-        "aborts", "thruput", "p50", "p95", "p99",
+        "policy", "commit", "replica", "arr-rate", "f-rate", "seed",
+        "committed", "aborts", "thruput", "avail", "p50", "p95", "p99",
     ]
     rows = [
         [
             record["policy"],
             record["protocol"],
+            record["replica_protocol"],
             f"{record['arrival_rate']:g}",
             f"{record['failure_rate']:g}",
             record["seed"],
             f"{record['committed']}/{record['total']}",
             record["aborts"],
             f"{record['steady_throughput']:.3f}",
+            f"{record['availability']:.3f}",
             f"{record['p50']:.1f}",
             f"{record['p95']:.1f}",
             f"{record['p99']:.1f}",
@@ -414,6 +428,21 @@ def _add_open_system_args(
         default=0.0,
         help="0 = uniform entity choice; larger concentrates accesses",
     )
+    p.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.0,
+        help="probability an accessed entity is only read (shared "
+        "locks); 0 keeps the paper's all-exclusive model",
+    )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="FACTOR",
+        help="replica copies per entity (clamped to the site count); "
+        "1 is the paper's single-copy model",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -477,6 +506,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="mean downtime of a crashed site",
     )
+    p.add_argument(
+        "--replica-protocol",
+        default="rowa",
+        choices=["rowa", "rowa-available", "quorum"],
+        help="replica-control protocol routing reads/writes over the "
+        "--replication copies",
+    )
+    p.add_argument(
+        "--catchup-time",
+        type=float,
+        default=6.0,
+        help="anti-entropy scan period of recovering rowa-available "
+        "sites (no reads served until a copy validates)",
+    )
     _add_open_system_args(p)
     p.set_defaults(func=_cmd_simulate)
 
@@ -492,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["instant"],
         choices=["instant", "two-phase", "presumed-abort"],
+    )
+    p.add_argument(
+        "--replica-protocols",
+        nargs="+",
+        default=["rowa"],
+        choices=["rowa", "rowa-available", "quorum"],
+        help="replica-control protocols as a grid axis",
     )
     p.add_argument(
         "--arrival-rates",
@@ -514,6 +564,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network-delay", type=float, default=0.0)
     p.add_argument("--commit-timeout", type=float, default=6.0)
     p.add_argument("--repair-time", type=float, default=10.0)
+    p.add_argument(
+        "--catchup-time",
+        type=float,
+        default=6.0,
+        help="anti-entropy scan period of recovering rowa-available "
+        "sites",
+    )
     p.add_argument(
         "--processes",
         type=int,

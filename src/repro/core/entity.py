@@ -1,9 +1,13 @@
 """Entities, sites, and the distributed database schema.
 
 Following Section 2 of the paper, a distributed database (DDB) is a finite
-set of *entities* partitioned into pairwise-disjoint *sites*. Replication
-is not modelled: copies of one logical item at different sites are distinct
-entities whose equality is a matter for the transactions, not the schema.
+set of *entities* partitioned into pairwise-disjoint *sites*. The schema
+here is that single-copy partition; each entity's site is its *primary*
+placement. Replication is layered on top by the simulator
+(:mod:`repro.sim.replication`): a ``ReplicatedSchema`` maps each logical
+entity to a replica set of sites, and a replica-control protocol decides
+which copies a transaction must lock — the static theory continues to
+reason over the primary placement below.
 """
 
 from __future__ import annotations

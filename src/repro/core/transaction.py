@@ -39,14 +39,19 @@ class Transaction:
         arcs: precedence arcs between node ids.
         schema: entity placement; defaults to one site per entity (the
             weakest placement — every distributed placement refines it).
+        read_set: entities the transaction only *reads* (shared locks in
+            the simulator's replication layer); everything else is a
+            write. Empty by default — the paper's model treats every
+            lock as exclusive, and all analyses ignore the distinction.
 
     Raises:
         MalformedTransactionError: if locking discipline or the per-site
-            total-order requirement is violated.
+            total-order requirement is violated, or if the read set
+            names an entity the transaction does not access.
     """
 
-    __slots__ = ("name", "ops", "dag", "schema", "_lock_node", "_unlock_node",
-                 "_entities", "_site_nodes")
+    __slots__ = ("name", "ops", "dag", "schema", "read_set", "_lock_node",
+                 "_unlock_node", "_entities", "_site_nodes")
 
     def __init__(
         self,
@@ -54,6 +59,7 @@ class Transaction:
         ops: Sequence[Operation],
         arcs: Iterable[tuple[int, int]],
         schema: DatabaseSchema | None = None,
+        read_set: Iterable[Entity] = (),
     ):
         self.name = name
         self.ops = tuple(ops)
@@ -73,6 +79,12 @@ class Transaction:
         self._entities: frozenset[Entity] = frozenset(
             op.entity for op in self.ops
         )
+        self.read_set: frozenset[Entity] = frozenset(read_set)
+        if not self.read_set <= self._entities:
+            extra = sorted(self.read_set - self._entities)
+            raise MalformedTransactionError(
+                f"{name}: read set names unaccessed entities {extra}"
+            )
         self._validate_lock_discipline()
         self._site_nodes = self._group_by_site()
         self._validate_site_total_order()
@@ -254,11 +266,13 @@ class Transaction:
             for v in bits_of(self.dag.descendants(u))
             if v in index
         ]
-        return Transaction(self.name, ops, arcs, self.schema)
+        return Transaction(self.name, ops, arcs, self.schema, self.read_set)
 
     def renamed(self, name: str) -> "Transaction":
         """Identical transaction under a different name."""
-        return Transaction(name, self.ops, self.dag.arcs, self.schema)
+        return Transaction(
+            name, self.ops, self.dag.arcs, self.schema, self.read_set
+        )
 
     def relabeled(self, mapping: Mapping[Entity, Entity]) -> "Transaction":
         """Rename entities via ``mapping`` (identity where missing).
@@ -274,8 +288,12 @@ class Transaction:
             mapping.get(entity, entity): self.schema.site_of(entity)
             for entity in self._entities
         }
+        read_set = {
+            mapping.get(entity, entity) for entity in self.read_set
+        }
         return Transaction(
-            self.name, ops, self.dag.arcs, DatabaseSchema(placement)
+            self.name, ops, self.dag.arcs, DatabaseSchema(placement),
+            read_set,
         )
 
     def linear_extensions(self) -> Iterator["Transaction"]:
@@ -283,7 +301,8 @@ class Transaction:
         for order in self.dag.linear_extensions():
             ops = [self.ops[node] for node in order]
             arcs = [(i, i + 1) for i in range(len(ops) - 1)]
-            yield Transaction(self.name, ops, arcs, self.schema)
+            yield Transaction(self.name, ops, arcs, self.schema,
+                              self.read_set)
 
     # ------------------------------------------------------------------
     # constructors
@@ -295,6 +314,7 @@ class Transaction:
         name: str,
         ops: Sequence[Operation | str],
         schema: DatabaseSchema | None = None,
+        read_set: Iterable[Entity] = (),
     ) -> "Transaction":
         """A totally ordered (centralized-style) transaction.
 
@@ -307,7 +327,7 @@ class Transaction:
             for op in ops
         ]
         arcs = [(i, i + 1) for i in range(len(parsed) - 1)]
-        return cls(name, parsed, arcs, schema)
+        return cls(name, parsed, arcs, schema, read_set)
 
     # ------------------------------------------------------------------
     # dunder
@@ -321,6 +341,7 @@ class Transaction:
             and self.ops == other.ops
             and self.dag == other.dag
             and self.schema == other.schema
+            and self.read_set == other.read_set
         )
 
     def __hash__(self) -> int:
@@ -406,6 +427,8 @@ class TransactionBuilder:
                 self._arcs.append((lock, unlock_of[entity]))
         return self
 
-    def build(self) -> Transaction:
+    def build(self, read_set: Iterable[Entity] = ()) -> Transaction:
         """Validate and return the immutable Transaction."""
-        return Transaction(self.name, self._ops, self._arcs, self.schema)
+        return Transaction(
+            self.name, self._ops, self._arcs, self.schema, read_set
+        )

@@ -26,6 +26,8 @@ def _record(cell, result: SimulationResult) -> dict:
     return {
         "policy": cell.policy,
         "protocol": cell.protocol,
+        "replica_protocol": cell.replica_protocol,
+        "replication_factor": result.replication_factor,
         "arrival_rate": cell.arrival_rate,
         "failure_rate": cell.failure_rate,
         "seed": cell.seed,
@@ -48,6 +50,10 @@ def _record(cell, result: SimulationResult) -> dict:
         "exec_p95": exec_p["p95"],
         "commit_p95": commit_p["p95"],
         "prepared_block_time": result.prepared_block_time,
+        "availability": result.availability,
+        "read_availability": result.read_availability,
+        "write_availability": result.write_availability,
+        "unavailable_aborts": result.unavailable_aborts,
         "deadlocked": result.deadlocked,
         "serializable": result.serializable,
         "truncated": result.truncated,

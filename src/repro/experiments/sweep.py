@@ -38,6 +38,9 @@ class SweepCell:
     arrival_rate: float
     failure_rate: float
     seed: int
+    # Appended with a default so positional construction of the
+    # historical five-coordinate cells keeps working.
+    replica_protocol: str = "rowa"
 
 
 @dataclass(frozen=True)
@@ -47,6 +50,8 @@ class SweepSpec:
     Attributes:
         policies: contention policies to sweep.
         protocols: atomic-commit protocols to sweep.
+        replica_protocols: replica-control protocols to sweep (the
+            replication factor itself rides in ``workload``).
         arrival_rates: open-system arrival rates; 0 means the cell
             replays the closed batch generated from ``workload``.
         failure_rates: per-site crash rates.
@@ -58,6 +63,7 @@ class SweepSpec:
 
     policies: tuple[str, ...] = ("wound-wait", "wait-die")
     protocols: tuple[str, ...] = ("instant",)
+    replica_protocols: tuple[str, ...] = ("rowa",)
     arrival_rates: tuple[float, ...] = (0.0,)
     failure_rates: tuple[float, ...] = (0.0,)
     seeds: tuple[int, ...] = (0, 1, 2)
@@ -67,9 +73,13 @@ class SweepSpec:
     def cells(self) -> list[SweepCell]:
         """Every grid point, in deterministic declaration order."""
         return [
-            SweepCell(policy, protocol, arrival_rate, failure_rate, seed)
+            SweepCell(
+                policy, protocol, arrival_rate, failure_rate, seed,
+                replica_protocol,
+            )
             for policy in self.policies
             for protocol in self.protocols
+            for replica_protocol in self.replica_protocols
             for arrival_rate in self.arrival_rates
             for failure_rate in self.failure_rates
             for seed in self.seeds
@@ -81,6 +91,7 @@ class SweepSpec:
             self.base,
             seed=cell.seed,
             commit_protocol=cell.protocol,
+            replica_protocol=cell.replica_protocol,
             arrival_rate=cell.arrival_rate,
             failure_rate=cell.failure_rate,
             workload=self.workload,

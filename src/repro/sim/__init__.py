@@ -24,7 +24,12 @@ coordinator recovery, and abort cascades. An arrival process
 (:mod:`repro.sim.arrivals`, ``arrival_rate > 0``) opens the system:
 fresh transactions keep arriving on a Poisson clock and steady-state
 metrics (throughput, concurrency, latency percentiles) are measured
-past a warm-up window.
+past a warm-up window. A replica-control layer
+(:mod:`repro.sim.replication`, ``WorkloadSpec.replication_factor > 1``)
+maps each logical entity to a replica set of sites and routes reads
+(shared locks) and writes (exclusive locks) through ``rowa``,
+``rowa-available``, or ``quorum`` — failures then cost availability,
+which the run integrates per protocol.
 
 Every run records a trace of committed operations which replays as a
 legal :class:`repro.core.Schedule`, so runtime serializability is
@@ -44,6 +49,13 @@ from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
 from repro.sim.metrics import SimulationResult, percentile
+from repro.sim.replication import (
+    ReplicaControl,
+    ReplicaManager,
+    ReplicatedSchema,
+    make_replica_control,
+    replica_control_names,
+)
 from repro.sim.policies import (
     BlockingPolicy,
     DetectionPolicy,
@@ -78,6 +90,9 @@ __all__ = [
     "OpenSystem",
     "Policy",
     "PresumedAbortCommit",
+    "ReplicaControl",
+    "ReplicaManager",
+    "ReplicatedSchema",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
@@ -90,9 +105,11 @@ __all__ = [
     "find_deadlocking_seed",
     "make_policy",
     "make_protocol",
+    "make_replica_control",
     "percentile",
     "protocol_names",
     "random_schema",
+    "replica_control_names",
     "random_system",
     "random_transaction",
     "simulate",

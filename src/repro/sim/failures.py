@@ -76,6 +76,10 @@ class FailureInjector:
 
     def _on_crash(self, site: str) -> None:
         sim = self.sim
+        # The replica layer integrates availability over the pre-crash
+        # interval before the state flips (the copies' catch-up duty is
+        # imposed at recovery, not here).
+        sim.replicas.on_crash(site)
         self._down.add(site)
         sim.result.crashes += 1
         sim.crash_site(site)
@@ -84,6 +88,7 @@ class FailureInjector:
         sim.schedule(downtime, ("site_recover", site))
 
     def _on_recover(self, site: str) -> None:
+        self.sim.replicas.on_recover(site)
         self._down.discard(site)
         # Keep crashing only while there is work left; otherwise the
         # crash chain would pad the queue to the time horizon.

@@ -1,9 +1,31 @@
-"""Per-site lock tables with FIFO wait queues.
+"""Per-site lock tables with shared/exclusive modes and FIFO queues.
 
-Each site manages exclusive locks on its own entities — the distributed
-aspect of the model. Grant decisions are purely local; global phenomena
-(deadlock among sites) emerge from the composition, exactly as in the
-paper's setting.
+Each site manages locks on the entity replicas it stores — the
+distributed aspect of the model. Grant decisions are purely local;
+global phenomena (deadlock among sites) emerge from the composition,
+exactly as in the paper's setting.
+
+Two lock modes exist:
+
+* ``"X"`` (exclusive) — the classical mode of the paper: at most one
+  holder, everything else queues. This is the default, and with only
+  exclusive requests the manager behaves exactly like the historical
+  exclusive-only table.
+* ``"S"`` (shared) — read locks: any number of shared holders coexist.
+  A shared request joins the FIFO queue whenever the queue is
+  non-empty, even if the current holders are all shared — writers are
+  therefore never starved by a stream of late readers.
+
+Grant policy on release: when the last holder leaves, the queue's
+front request is granted, and if it is shared, the maximal prefix of
+consecutive shared requests is granted with it (a read batch).
+
+Upgrade path (``S`` -> ``X``): a shared holder may re-request the
+entity exclusively. If it is the sole holder the upgrade is immediate;
+otherwise the upgrade waits at the *front* of the queue and is granted
+when the other shared holders release. Two simultaneous upgrades on
+one entity would deadlock against each other, so the second raises
+``ValueError`` — callers must abort one of the transactions instead.
 """
 
 from __future__ import annotations
@@ -12,80 +34,174 @@ from collections import deque
 
 from repro.core.entity import Entity
 
-__all__ = ["SiteLockManager"]
+__all__ = ["EXCLUSIVE", "SHARED", "SiteLockManager"]
+
+SHARED = "S"
+EXCLUSIVE = "X"
+_MODES = (SHARED, EXCLUSIVE)
 
 
 class SiteLockManager:
-    """Exclusive locks for the entities of one site.
+    """Shared/exclusive locks for the entity replicas of one site.
 
-    Lock requests are granted immediately when the entity is free,
-    otherwise queued FIFO. Waiters can be cancelled (policy aborts) and
-    holders force-released (wounds, aborts).
+    Lock requests are granted immediately when compatible (see module
+    docstring), otherwise queued FIFO. Waiters can be cancelled (policy
+    aborts) and holders force-released (wounds, aborts).
     """
 
     def __init__(self, site: str):
         self.site = site
-        self._holder: dict[Entity, int] = {}
-        self._queue: dict[Entity, deque[int]] = {}
+        # entity -> {txn: mode}; insertion order is grant order.
+        self._holders: dict[Entity, dict[int, str]] = {}
+        self._queue: dict[Entity, deque[tuple[int, str]]] = {}
 
     # ------------------------------------------------------------------
     # requests and releases
     # ------------------------------------------------------------------
 
-    def request(self, txn: int, entity: Entity) -> bool:
-        """Request the lock; True if granted now, False if queued.
+    def request(self, txn: int, entity: Entity, mode: str = EXCLUSIVE) -> bool:
+        """Request the lock in ``mode``; True if granted now.
 
         Raises:
-            ValueError: if ``txn`` already holds or already waits for the
-                entity (the model's one-Lock-per-entity rule makes this a
-                caller bug).
+            ValueError: if ``mode`` is unknown, if ``txn`` already holds
+                or waits for the entity (the model's one-Lock-per-entity
+                rule makes this a caller bug) — except for the defined
+                S -> X upgrade — or on a second concurrent upgrade
+                (which would deadlock the upgraders against each other).
         """
-        holder = self._holder.get(entity)
-        if holder == txn:
-            raise ValueError(f"T{txn} already holds {entity!r}")
-        if holder is None:
-            self._holder[entity] = txn
-            return True
-        queue = self._queue.setdefault(entity, deque())
-        if txn in queue:
+        if mode not in _MODES:
+            raise ValueError(f"unknown lock mode {mode!r}")
+        holders = self._holders.get(entity)
+        if holders and txn in holders:
+            if mode == SHARED or holders[txn] == EXCLUSIVE:
+                raise ValueError(f"T{txn} already holds {entity!r}")
+            return self._request_upgrade(txn, entity, holders)
+        queue = self._queue.get(entity)
+        if queue is not None and any(t == txn for t, _m in queue):
             raise ValueError(f"T{txn} already waits for {entity!r}")
-        queue.append(txn)
+        if not holders:
+            # Free entity: the queue is empty by invariant, grant.
+            self._holders[entity] = {txn: mode}
+            return True
+        if (
+            mode == SHARED
+            and not queue
+            and all(m == SHARED for m in holders.values())
+        ):
+            holders[txn] = SHARED
+            return True
+        self._queue.setdefault(entity, deque()).append((txn, mode))
         return False
 
-    def release(self, txn: int, entity: Entity) -> int | None:
-        """Release a held lock; returns the next waiter granted, if any.
+    def _request_upgrade(
+        self, txn: int, entity: Entity, holders: dict[int, str]
+    ) -> bool:
+        """S -> X upgrade of a current shared holder."""
+        if len(holders) == 1:
+            holders[txn] = EXCLUSIVE
+            return True
+        queue = self._queue.setdefault(entity, deque())
+        if queue and queue[0][1] == EXCLUSIVE and queue[0][0] in holders:
+            raise ValueError(
+                f"T{txn} and T{queue[0][0]} would deadlock upgrading "
+                f"{entity!r}"
+            )
+        queue.appendleft((txn, EXCLUSIVE))
+        return False
+
+    def release(self, txn: int, entity: Entity) -> list[int]:
+        """Release a held lock; returns the waiters granted by it.
+
+        Zero, one, or many waiters can be granted: none while other
+        shared holders remain, one for an exclusive (or upgrade) grant,
+        many for a batch of consecutive shared requests.
 
         Raises:
             ValueError: if ``txn`` does not hold the entity.
         """
-        if self._holder.get(entity) != txn:
+        holders = self._holders.get(entity)
+        if not holders or txn not in holders:
             raise ValueError(f"T{txn} does not hold {entity!r}")
+        del holders[txn]
+        # A pending upgrade of the releaser dies with its shared grant.
+        self._cancel_queued(txn, entity)
+        granted = self._grant_from_queue(entity)
+        if not self._holders.get(entity):
+            self._holders.pop(entity, None)
+        return granted
+
+    def _grant_from_queue(self, entity: Entity) -> list[int]:
+        """Grant whatever the queue's front is now entitled to."""
         queue = self._queue.get(entity)
-        if queue:
-            nxt = queue.popleft()
-            self._holder[entity] = nxt
+        if not queue:
+            return []
+        holders = self._holders.setdefault(entity, {})
+        granted: list[int] = []
+        front_txn, front_mode = queue[0]
+        if holders:
+            if (
+                front_mode == EXCLUSIVE
+                and len(holders) == 1
+                and front_txn in holders
+            ):
+                # A front-of-queue upgrade whose owner is now the sole
+                # holder proceeds.
+                queue.popleft()
+                holders[front_txn] = EXCLUSIVE
+                granted.append(front_txn)
+            # A cancelled (or upgraded-away) writer can expose a front
+            # read batch compatible with all-shared holders.
+            share_batch = front_mode == SHARED and all(
+                mode == SHARED for mode in holders.values()
+            )
+        else:
+            queue.popleft()
+            holders[front_txn] = front_mode
+            granted.append(front_txn)
+            share_batch = front_mode == SHARED
+        if share_batch:
+            while queue and queue[0][1] == SHARED:
+                txn, _mode = queue.popleft()
+                holders[txn] = SHARED
+                granted.append(txn)
+        if not queue:
+            del self._queue[entity]
+        if not holders:
+            self._holders.pop(entity, None)
+        return granted
+
+    def _cancel_queued(self, txn: int, entity: Entity) -> None:
+        queue = self._queue.get(entity)
+        if not queue:
+            return
+        entry = next((e for e in queue if e[0] == txn), None)
+        if entry is not None:
+            queue.remove(entry)
             if not queue:
                 del self._queue[entity]
-            return nxt
-        del self._holder[entity]
-        return None
 
-    def cancel_wait(self, txn: int, entity: Entity) -> None:
-        """Remove ``txn`` from the wait queue of ``entity`` (no-op if
-        absent)."""
+    def cancel_wait(self, txn: int, entity: Entity) -> list[int]:
+        """Remove ``txn`` from the wait queue of ``entity``.
+
+        Returns the waiters granted by the removal: cancelling a
+        queued writer can expose a front batch of shared requests that
+        is compatible with the current shared holders (with exclusive
+        grants nothing ever unblocks this way, matching the historical
+        no-op). No-op for an absent ``txn``.
+        """
         queue = self._queue.get(entity)
-        if queue and txn in queue:
-            queue.remove(txn)
-            if not queue:
-                del self._queue[entity]
+        if not queue or not any(t == txn for t, _m in queue):
+            return []
+        self._cancel_queued(txn, entity)
+        return self._grant_from_queue(entity)
 
-    def release_all(self, txn: int) -> list[tuple[Entity, int | None]]:
+    def release_all(self, txn: int) -> list[tuple[Entity, list[int]]]:
         """Release every lock ``txn`` holds at this site.
 
         Returns:
-            ``(entity, granted_txn_or_None)`` for each released entity.
+            ``(entity, granted_txns)`` for each released entity.
         """
-        held = [e for e, holder in self._holder.items() if holder == txn]
+        held = [e for e, holders in self._holders.items() if txn in holders]
         return [(entity, self.release(txn, entity)) for entity in held]
 
     # ------------------------------------------------------------------
@@ -93,10 +209,40 @@ class SiteLockManager:
     # ------------------------------------------------------------------
 
     def holder(self, entity: Entity) -> int | None:
-        return self._holder.get(entity)
+        """The sole holder of ``entity``, or None.
+
+        With shared locks an entity can have many holders; this
+        single-holder view (used by exclusive-only callers) answers
+        None whenever the holder is not unique — use :meth:`holders`
+        for the full list.
+        """
+        holders = self._holders.get(entity)
+        if holders and len(holders) == 1:
+            return next(iter(holders))
+        return None
+
+    def holders(self, entity: Entity) -> list[int]:
+        """Every current holder of ``entity``, sorted."""
+        return sorted(self._holders.get(entity, ()))
+
+    def mode(self, entity: Entity) -> str | None:
+        """The granted mode of ``entity`` (None when free)."""
+        holders = self._holders.get(entity)
+        if not holders:
+            return None
+        modes = set(holders.values())
+        return EXCLUSIVE if EXCLUSIVE in modes else SHARED
 
     def waiters(self, entity: Entity) -> list[int]:
-        return list(self._queue.get(entity, ()))
+        return [txn for txn, _mode in self._queue.get(entity, ())]
+
+    def queued_mode(self, entity: Entity, txn: int) -> str | None:
+        """The mode ``txn`` is queued for on ``entity`` (None if not
+        queued)."""
+        for queued, mode in self._queue.get(entity, ()):
+            if queued == txn:
+                return mode
+        return None
 
     def involved(self) -> list[int]:
         """Every transaction holding or waiting for a lock at this site.
@@ -104,26 +250,27 @@ class SiteLockManager:
         Used by the failure injector: a site crash touches exactly the
         transactions with lock state here.
         """
-        txns = set(self._holder.values())
+        txns = set()
+        for holders in self._holders.values():
+            txns.update(holders)
         for queue in self._queue.values():
-            txns.update(queue)
+            txns.update(txn for txn, _mode in queue)
         return sorted(txns)
 
     def held_by(self, txn: int) -> list[Entity]:
         return sorted(
-            entity for entity, holder in self._holder.items()
-            if holder == txn
+            entity for entity, holders in self._holders.items()
+            if txn in holders
         )
 
     def waiting_for(self, txn: int) -> list[Entity]:
         return sorted(
             entity
             for entity, queue in self._queue.items()
-            if txn in queue
+            if any(t == txn for t, _mode in queue)
         )
 
     def __repr__(self) -> str:
-        return (
-            f"SiteLockManager({self.site!r}, held={dict(self._holder)}, "
-            f"queued={{k: list(v) for k, v in self._queue.items()}})"
-        )
+        held = {e: dict(h) for e, h in self._holders.items()}
+        queued = {e: list(q) for e, q in self._queue.items()}
+        return f"SiteLockManager({self.site!r}, held={held}, queued={queued})"

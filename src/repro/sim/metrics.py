@@ -30,6 +30,10 @@ class SimulationResult:
     Attributes:
         policy: policy name.
         commit_protocol: atomic-commit protocol name.
+        replica_protocol: replica-control protocol name (``rowa``,
+            ``rowa-available``, ``quorum``).
+        replication_factor: copies of each entity in the run's schema
+            (1 = the paper's single-copy model).
         committed: number of transactions that committed.
         total: number of transactions in the system.
         end_time: simulated time at which the run ended.
@@ -39,6 +43,11 @@ class SimulationResult:
         timeouts: aborts caused by lock-wait timeouts.
         detected: aborts issued by the deadlock detector.
         crash_aborts: aborts caused by site crashes (failure injection).
+        unavailable_aborts: the subset of ``crash_aborts`` where the
+            replica-control protocol found no legal replica set for a
+            lock (rowa with a crashed replica, quorum with a lost
+            majority) — replica-level unavailability rather than loss
+            of the transaction's own volatile state.
         commit_aborts: aborts decided by a failed atomic-commit round
             (a participant crashed before voting).
         crashes: site crashes injected during the run.
@@ -82,10 +91,18 @@ class SimulationResult:
         start_times: per-transaction first-start time, indexed like the
             system (used to restrict latency percentiles to the
             steady-state window).
+        read_avail_area: integral over simulated time of the fraction
+            of entities whose replica-control *read* rule was
+            satisfiable (a read quorum/replica was reachable).
+        write_avail_area: same for the write rule.
+        service_avail_area: same for both rules at once — divided by
+            ``end_time`` this is the headline availability metric.
     """
 
     policy: str
     commit_protocol: str = "instant"
+    replica_protocol: str = "rowa"
+    replication_factor: int = 1
     committed: int = 0
     total: int = 0
     end_time: float = 0.0
@@ -95,6 +112,7 @@ class SimulationResult:
     timeouts: int = 0
     detected: int = 0
     crash_aborts: int = 0
+    unavailable_aborts: int = 0
     commit_aborts: int = 0
     crashes: int = 0
     deadlocked: bool = False
@@ -114,6 +132,31 @@ class SimulationResult:
     measured_committed: int = 0
     inflight_area: float = 0.0
     start_times: list[float] = field(default_factory=list)
+    read_avail_area: float = 0.0
+    write_avail_area: float = 0.0
+    service_avail_area: float = 0.0
+
+    def _availability(self, area: float) -> float:
+        if self.end_time <= 0:
+            return 1.0
+        return area / self.end_time
+
+    @property
+    def read_availability(self) -> float:
+        """Fraction of run time the read rule was satisfiable
+        (entity-averaged)."""
+        return self._availability(self.read_avail_area)
+
+    @property
+    def write_availability(self) -> float:
+        """Fraction of run time the write rule was satisfiable
+        (entity-averaged)."""
+        return self._availability(self.write_avail_area)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of run time both rules held — full service."""
+        return self._availability(self.service_avail_area)
 
     @property
     def throughput(self) -> float:

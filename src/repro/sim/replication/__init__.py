@@ -1,0 +1,53 @@
+"""Replica control: replicated schemas and pluggable protocols.
+
+The paper's model stores each entity at exactly one site; this package
+adds the replication layer a production system needs to serve reads at
+scale and survive site crashes. A :class:`ReplicatedSchema` maps each
+*logical* entity of a :class:`~repro.core.entity.DatabaseSchema` to an
+ordered tuple of replica sites (primary first), and a replica-control
+protocol decides, per access, which replicas a transaction must lock:
+
+* ``rowa`` — read-one-write-all: reads lock one replica (shared),
+  writes lock every replica (exclusive). One crashed replica makes the
+  whole entity unwritable — the availability collapse of write-all
+  schemes under failures (Gray & Lamport, *Consensus on Transaction
+  Commit*).
+* ``rowa-available`` — write-all-available: writes skip crashed
+  replicas, so the entity stays writable while any replica is up; the
+  price is *staleness* — a recovering site missed writes and must not
+  serve reads until a fresh write catches its copy up.
+* ``quorum`` — majority read and write quorums: any two quorums
+  intersect, so reads always see a current copy and failures of a
+  minority are masked without reconfiguration (Sutra & Shapiro,
+  *Fault-Tolerant Partial Replication*).
+
+The :class:`ReplicaManager` owns the run-time state — which sites are
+up, which replicas are stale — integrates the per-protocol
+availability metric, and is what the simulator consults on every lock
+request. With ``replication_factor=1`` every protocol degenerates to
+the single-copy behaviour of the seed simulator, bit for bit.
+"""
+
+from repro.sim.replication.manager import ReplicaManager
+from repro.sim.replication.protocols import (
+    MajorityQuorum,
+    ReadOneWriteAll,
+    ReplicaControl,
+    WriteAllAvailable,
+    make_replica_control,
+    replica_control_names,
+    register_replica_control,
+)
+from repro.sim.replication.schema import ReplicatedSchema
+
+__all__ = [
+    "MajorityQuorum",
+    "ReadOneWriteAll",
+    "ReplicaControl",
+    "ReplicaManager",
+    "ReplicatedSchema",
+    "WriteAllAvailable",
+    "make_replica_control",
+    "register_replica_control",
+    "replica_control_names",
+]

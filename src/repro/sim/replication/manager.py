@@ -1,0 +1,304 @@
+"""Run-time replica state: placement, staleness, availability.
+
+The :class:`ReplicaManager` is the simulator's single point of contact
+with the replication layer. It owns
+
+* the :class:`~repro.sim.replication.schema.ReplicatedSchema` derived
+  from the run's workload spec (deterministic round-robin placement —
+  no RNG stream is consumed, preserving run-level determinism);
+* the protocol instance chosen by ``SimulationConfig.replica_protocol``;
+* the *staleness* table, split into the two ways a copy can be unfit
+  to serve reads under write-all-available:
+
+  - **missed** — the copy provably missed a committed write: the write
+    locked the replicas it could reach and this site was not among
+    them. Only a later write that reaches the site clears it.
+  - **unvalidated** — the site is freshly recovered and has not yet
+    finished catching up. Its durable data may well be the latest
+    version, but a recovering site cannot know what it missed, so it
+    must *catch up before serving reads*: recovery starts an
+    anti-entropy scan (one ``replica_catchup`` event per
+    ``config.catchup_time``) that validates each copy against an up,
+    fully current replica of the same entity — or, when no copy of an
+    entity is fully current anywhere, by full-set reconciliation among
+    the up copies that missed nothing (durable version stamps make the
+    maximal version identifiable). Copies with no live source stay
+    unvalidated and the scan retries; a fresh write (which targets
+    every available replica, recovering ones included) also refreshes
+    a copy early.
+
+  A copy serves reads only when it is in neither set. Under strict
+  ``rowa`` no committed write can ever skip a replica, so reads ignore
+  the table; ``quorum`` masks staleness by version intersection
+  instead of avoiding it. Catch-up events exist only when the schema
+  is actually replicated *and* the protocol consults staleness
+  (``rowa-available``): a single copy can never miss a write — a write
+  to its entity needs the copy up — so single-copy recovery is
+  trivially valid and the seed event stream is untouched;
+
+* the availability integral: the fraction of entities whose read rule
+  / write rule / both are currently satisfiable, integrated over
+  simulated time. ``rowa`` loses write availability as soon as one
+  replica site is down, ``rowa-available`` loses read availability
+  while every current copy of an entity is crashed or awaiting
+  catch-up, and ``quorum`` stays up through every minority failure.
+
+With ``replication_factor=1`` every entity has exactly its primary
+replica, all protocols pick that single site, and the manager adds no
+events, consumes no randomness, and changes no seed-era result field —
+the bit-identical reduction the golden digest matrix pins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.entity import Entity, Site
+from repro.sim.replication.protocols import make_replica_control
+from repro.sim.replication.schema import ReplicatedSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runtime import Simulator, _Instance
+
+__all__ = ["ReplicaManager"]
+
+
+class ReplicaManager:
+    """Replica placement, staleness, and availability for one run."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        spec = sim.config.workload
+        factor = spec.replication_factor if spec is not None else 1
+        self.schema = ReplicatedSchema.round_robin(
+            sim.system.schema, factor
+        )
+        self.control = make_replica_control(sim.config.replica_protocol)
+        self._missed: dict[Site, set[Entity]] = {}
+        self._unvalidated: dict[Site, set[Entity]] = {}
+        self._catchup_active = (
+            self.schema.is_replicated() and self.control.uses_staleness
+        )
+        if self._catchup_active:
+            sim.register_handler("replica_catchup", self._on_catchup)
+        self._entities = sorted(self.schema.entities)
+        self._last_time = 0.0
+        self._read_area = 0.0
+        self._write_area = 0.0
+        self._service_area = 0.0
+
+    # ------------------------------------------------------------------
+    # site selection (called on every Lock issue)
+    # ------------------------------------------------------------------
+
+    def _up(self, site: Site) -> bool:
+        # The failure injector is the single source of up/down truth;
+        # its crash/recover handlers call the hooks below *before*
+        # flipping state, so availability integration always covers the
+        # pre-event interval with the pre-event state.
+        return self.sim.site_is_up(site)
+
+    def _is_stale(self, site: Site, entity: Entity) -> bool:
+        return (
+            entity in self._missed.get(site, ())
+            or entity in self._unvalidated.get(site, ())
+        )
+
+    def _stale_at(self, entity: Entity) -> frozenset[Site]:
+        return frozenset(
+            site
+            for site in self.schema.replicas_of(entity)
+            if self._is_stale(site, entity)
+        )
+
+    def read_sites(self, entity: Entity) -> tuple[Site, ...] | None:
+        """Replicas a read of ``entity`` must lock now (or None)."""
+        replicas = self.schema.replicas_of(entity)
+        up = [site for site in replicas if self._up(site)]
+        return self.control.read_sites(replicas, up, self._stale_at(entity))
+
+    def write_sites(self, entity: Entity) -> tuple[Site, ...] | None:
+        """Replicas a write of ``entity`` must lock now (or None)."""
+        replicas = self.schema.replicas_of(entity)
+        up = [site for site in replicas if self._up(site)]
+        return self.control.write_sites(replicas, up)
+
+    def primary_of(self, entity: Entity) -> Site:
+        return self.schema.primary_of(entity)
+
+    def stale_replicas(self, entity: Entity) -> frozenset[Site]:
+        """The replica sites of ``entity`` currently unfit for reads."""
+        return self._stale_at(entity)
+
+    def missed_replicas(self, entity: Entity) -> frozenset[Site]:
+        """The replica sites that provably missed a committed write."""
+        return frozenset(
+            site
+            for site in self.schema.replicas_of(entity)
+            if entity in self._missed.get(site, ())
+        )
+
+    # ------------------------------------------------------------------
+    # state transitions (failure injector and commit hooks)
+    # ------------------------------------------------------------------
+
+    def _discard(
+        self, table: dict[Site, set[Entity]], site: Site, entity: Entity
+    ) -> None:
+        marks = table.get(site)
+        if marks:
+            marks.discard(entity)
+            if not marks:
+                del table[site]
+
+    def on_crash(self, site: Site) -> None:
+        """A site crashed (availability bookkeeping only).
+
+        Its copies are unreachable while down; whether they are still
+        *fit* on recovery is decided then. Must run *before* the
+        injector marks the site down.
+        """
+        self._integrate()
+
+    def on_recover(self, site: Site) -> None:
+        """A site repaired: it must catch up before serving reads.
+
+        Every hosted copy becomes unvalidated and an anti-entropy scan
+        is scheduled ``config.catchup_time`` out — during that window
+        the site takes writes (which validate the copies they refresh)
+        but serves no reads. Must run *before* the injector marks the
+        site up.
+        """
+        self._integrate()
+        if not self._catchup_active:
+            return
+        hosted = self.schema.hosted_at(site)
+        if not hosted:
+            return
+        self._unvalidated.setdefault(site, set()).update(hosted)
+        self.sim.schedule(
+            self.sim.config.catchup_time, ("replica_catchup", site)
+        )
+
+    def _on_catchup(self, site: Site) -> None:
+        """Anti-entropy scan: validate the site's copies where possible.
+
+        A copy validates against any up, fully current replica of its
+        entity; when *no* copy of the entity is fully current anywhere,
+        the up copies that missed nothing reconcile among themselves
+        (their durable version stamps identify the maximal version) and
+        all validate together. Copies left without a source keep the
+        scan alive — unless the run has drained, which would otherwise
+        pad the queue with retries to the horizon.
+        """
+        if not self._up(site):
+            return  # crashed again; the next recovery rescans
+        marks = self._unvalidated.get(site)
+        if not marks:
+            return
+        self._integrate()
+        for entity in sorted(marks):
+            if self._validate(site, entity):
+                marks.discard(entity)
+        if not marks:
+            del self._unvalidated[site]
+        elif self.sim.has_uncommitted():
+            self.sim.schedule(
+                self.sim.config.catchup_time, ("replica_catchup", site)
+            )
+
+    def _validate(self, site: Site, entity: Entity) -> bool:
+        peers = [
+            peer
+            for peer in self.schema.replicas_of(entity)
+            if peer != site and self._up(peer)
+        ]
+        if any(not self._is_stale(peer, entity) for peer in peers):
+            # Synced from a fully current live copy — this also repairs
+            # a copy that had missed writes.
+            self._discard(self._missed, site, entity)
+            return True
+        if entity in self._missed.get(site, ()):
+            return False  # outdated, and no current source to copy from
+        # No copy of the entity is validated anywhere, but this one
+        # missed nothing: its durable version is maximal (the simulator
+        # stands in for the version-vector proof a real site would
+        # assemble), so it revalidates — and so does every live peer
+        # that missed nothing.
+        for peer in peers:
+            if entity not in self._missed.get(peer, ()):
+                self._discard(self._unvalidated, peer, entity)
+        return True
+
+    def on_commit(self, inst: "_Instance") -> None:
+        """Apply a committed transaction's writes to the staleness table.
+
+        Every replica the write locked takes the new value — current
+        and validated by construction; every replica it skipped (down,
+        or excluded from the write quorum) missed it.
+        """
+        if not self._catchup_active:
+            # rowa never skips a replica and quorum's read rule ignores
+            # staleness, so for them commit-time bookkeeping cannot
+            # change any observable state — skip the O(entities) scan.
+            return
+        txn = self.sim.system[inst.index]
+        written = txn.entities - txn.read_set
+        if not written:
+            return
+        if (
+            not self._missed
+            and not self._unvalidated
+            and all(
+                set(self.schema.replicas_of(entity))
+                <= set(inst.lock_sites.get(entity, ()))
+                for entity in written
+            )
+        ):
+            # Nothing is stale and every write reached every replica:
+            # the tables cannot change, so skip the O(entities) pass
+            # (the common failure-free case).
+            return
+        self._integrate()
+        for entity in sorted(written):
+            reached = set(inst.lock_sites.get(entity, ()))
+            for site in self.schema.replicas_of(entity):
+                if site in reached:
+                    self._discard(self._missed, site, entity)
+                    self._discard(self._unvalidated, site, entity)
+                else:
+                    self._missed.setdefault(site, set()).add(entity)
+
+    def finalize(self) -> None:
+        """Close the availability integral and publish it to the result."""
+        self._integrate()
+        result = self.sim.result
+        result.read_avail_area = self._read_area
+        result.write_avail_area = self._write_area
+        result.service_avail_area = self._service_area
+
+    # ------------------------------------------------------------------
+    # availability integration
+    # ------------------------------------------------------------------
+
+    def _integrate(self) -> None:
+        """Accumulate availability over [last state change, now]."""
+        now = self.sim.now
+        dt = now - self._last_time
+        self._last_time = now
+        if dt <= 0:
+            return
+        entities = self._entities
+        if not entities:
+            return
+        readable = writable = serviceable = 0
+        for entity in entities:
+            read_ok = self.read_sites(entity) is not None
+            write_ok = self.write_sites(entity) is not None
+            readable += read_ok
+            writable += write_ok
+            serviceable += read_ok and write_ok
+        n = len(entities)
+        self._read_area += dt * readable / n
+        self._write_area += dt * writable / n
+        self._service_area += dt * serviceable / n

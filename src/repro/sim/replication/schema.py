@@ -1,0 +1,162 @@
+"""Logical entities mapped to replica sets over a base schema.
+
+A :class:`~repro.core.entity.DatabaseSchema` is the paper's partition
+of entities into pairwise-disjoint sites; a :class:`ReplicatedSchema`
+layers replica placement on top of it. The base placement stays the
+*primary* copy — transaction structure (per-site chains, cross-site
+arcs) is still built over primaries, so the static theory is untouched
+— and replication is purely a property of how the simulator acquires
+locks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.entity import DatabaseSchema, Entity, Site
+
+__all__ = ["ReplicatedSchema"]
+
+
+class ReplicatedSchema:
+    """Replica placement: each entity at an ordered tuple of sites.
+
+    The first replica of every entity is its *primary* — the site of
+    the base schema's placement; further replicas are distinct other
+    sites. ``replication_factor`` is the declared target copy count
+    (actual tuples are clamped to the number of sites available).
+
+    Args:
+        base: the underlying single-copy schema (primaries).
+        replicas: entity -> replica site tuple; must cover every entity
+            of ``base``, start with its primary, and list distinct
+            sites.
+
+    Raises:
+        ValueError: on missing entities, wrong primaries, duplicate
+            replica sites, or unknown sites.
+    """
+
+    __slots__ = ("_base", "_replicas", "_hosted", "replication_factor")
+
+    def __init__(
+        self,
+        base: DatabaseSchema,
+        replicas: Mapping[Entity, Sequence[Site]],
+        replication_factor: int | None = None,
+    ):
+        self._base = base
+        table: dict[Entity, tuple[Site, ...]] = {}
+        hosted: dict[Site, set[Entity]] = {site: set() for site in base.sites}
+        for entity in base.entities:
+            if entity not in replicas:
+                raise ValueError(f"entity {entity!r} has no replica set")
+            sites = tuple(replicas[entity])
+            if not sites or sites[0] != base.site_of(entity):
+                raise ValueError(
+                    f"replica set of {entity!r} must start with its "
+                    f"primary {base.site_of(entity)!r}, got {sites!r}"
+                )
+            if len(set(sites)) != len(sites):
+                raise ValueError(
+                    f"replica set of {entity!r} repeats a site: {sites!r}"
+                )
+            for site in sites:
+                if site not in hosted:
+                    raise ValueError(
+                        f"replica site {site!r} of {entity!r} is not in "
+                        f"the base schema"
+                    )
+                hosted[site].add(entity)
+            table[entity] = sites
+        self._replicas = table
+        self._hosted = {
+            site: frozenset(entities) for site, entities in hosted.items()
+        }
+        if replication_factor is None:
+            replication_factor = max(
+                (len(sites) for sites in table.values()), default=1
+            )
+        self.replication_factor = replication_factor
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def round_robin(
+        cls, base: DatabaseSchema, factor: int
+    ) -> "ReplicatedSchema":
+        """Deterministic placement: primary plus the next sites in a
+        rotation.
+
+        Entity ``i`` (in sorted entity order) takes its primary and the
+        ``factor - 1`` sites following position ``i`` of the sorted
+        non-primary site list — a deterministic, seed-free spread that
+        balances replicas across sites. ``factor`` is clamped to the
+        site count, so ``factor=1`` (or a single-site schema) leaves
+        the base placement untouched.
+
+        Raises:
+            ValueError: if ``factor < 1``.
+        """
+        if factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {factor}")
+        sites = sorted(base.sites)
+        replicas: dict[Entity, tuple[Site, ...]] = {}
+        for pos, entity in enumerate(sorted(base.entities)):
+            home = base.site_of(entity)
+            others = [site for site in sites if site != home]
+            extra = min(factor, len(sites)) - 1
+            start = pos % len(others) if others else 0
+            chosen = [
+                others[(start + k) % len(others)] for k in range(extra)
+            ]
+            replicas[entity] = (home, *chosen)
+        return cls(base, replicas, replication_factor=factor)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def base(self) -> DatabaseSchema:
+        """The underlying single-copy (primary) schema."""
+        return self._base
+
+    @property
+    def entities(self) -> frozenset[Entity]:
+        return self._base.entities
+
+    @property
+    def sites(self) -> frozenset[Site]:
+        return self._base.sites
+
+    def replicas_of(self, entity: Entity) -> tuple[Site, ...]:
+        """The replica sites of ``entity``, primary first.
+
+        Raises:
+            KeyError: if the entity is not in the schema.
+        """
+        return self._replicas[entity]
+
+    def primary_of(self, entity: Entity) -> Site:
+        """The primary (base-schema) site of ``entity``."""
+        return self._replicas[entity][0]
+
+    def hosted_at(self, site: Site) -> frozenset[Entity]:
+        """Every entity with a replica at ``site`` (empty if unknown)."""
+        return self._hosted.get(site, frozenset())
+
+    def is_replicated(self) -> bool:
+        """True if any entity has more than one replica."""
+        return any(len(sites) > 1 for sites in self._replicas.values())
+
+    def __repr__(self) -> str:
+        pairs = {
+            entity: self._replicas[entity]
+            for entity in sorted(self._replicas)
+        }
+        return (
+            f"ReplicatedSchema(factor={self.replication_factor}, {pairs})"
+        )

@@ -13,7 +13,7 @@ Lock conflicts are resolved by the configured policy
 and restart from scratch after a delay, keeping their original
 timestamp (so wound-wait and wait-die are livelock-free).
 
-Three pluggable subsystems extend the core loop:
+Four pluggable subsystems extend the core loop:
 
 * atomic commit (:mod:`repro.sim.commit`) — decides when a transaction
   that finished executing is durably committed; the two-phase
@@ -26,16 +26,26 @@ Three pluggable subsystems extend the core loop:
   (``arrival_rate``) until ``max_transactions`` or ``max_time``, and a
   warm-up window (``warmup_time``) restricts the steady-state metrics
   (throughput, in-flight concurrency, latency percentiles) to the
-  post-transient regime.
+  post-transient regime;
+* replica control (:mod:`repro.sim.replication`) — maps each logical
+  entity to ``replication_factor`` replica sites and routes every Lock
+  through the configured protocol (``rowa``, ``rowa-available``,
+  ``quorum``): reads take *shared* locks on one replica or a read
+  quorum, writes take *exclusive* locks on all/available/a quorum of
+  replicas, and a Lock completes only when every chosen replica
+  granted. At factor 1 every protocol degenerates to the single-copy
+  simulator bit for bit.
 
-All three register their own event kinds on the runtime's
+The subsystems register their own event kinds on the runtime's
 :class:`~repro.sim.events.HandlerRegistry`, so the main loop is a pure
 dispatcher and never enumerates event types.
 
 The committed operations form a trace that replays as a legal
 :class:`repro.core.Schedule`; the runtime closes the loop with the
 static theory by testing that trace for serializability with the same
-D(S) machinery.
+D(S) machinery (or, when shared read locks are in play and the
+exclusive-lock replay no longer applies, with the classical conflict
+graph over the same lock-order data).
 """
 
 from __future__ import annotations
@@ -53,9 +63,10 @@ from repro.sim.arrivals import ArrivalProcess, OpenSystem
 from repro.sim.commit import make_protocol
 from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
-from repro.sim.locks import SiteLockManager
+from repro.sim.locks import EXCLUSIVE, SHARED, SiteLockManager
 from repro.sim.metrics import SimulationResult
 from repro.sim.policies import Decision, Policy, make_policy
+from repro.sim.replication import ReplicaManager
 from repro.sim.workload import WorkloadSpec
 from repro.util.bitset import bits_of
 from repro.util.graphs import find_cycle
@@ -77,7 +88,8 @@ class SimulationConfig:
         network_delay: extra latency charged when an operation depends
             on a predecessor that completed at a *different* site (the
             cross-site coordination message of the distributed model);
-            also the per-hop cost of commit-protocol messages.
+            also the per-hop cost of commit-protocol messages and of
+            replica-lock fan-out to non-primary replicas.
         arrival_spread: transactions start uniformly in
             [0, arrival_spread].
         restart_delay: wait before an aborted transaction retries.
@@ -93,6 +105,13 @@ class SimulationConfig:
         failure_rate: per-site crash rate (crashes per unit time);
             0 disables fault injection entirely.
         repair_time: mean downtime of a crashed site.
+        replica_protocol: replica-control protocol name (``rowa``,
+            ``rowa-available``, ``quorum``); the replication factor
+            itself is a workload property
+            (``WorkloadSpec.replication_factor``).
+        catchup_time: period of the anti-entropy scan a recovering site
+            runs under ``rowa-available`` — until the scan validates a
+            copy (or a write refreshes it) the copy serves no reads.
         arrival_rate: open-system arrival rate (transactions per unit
             time); 0 (the default) disables the arrival process
             entirely, reproducing the closed-batch simulator.
@@ -102,7 +121,8 @@ class SimulationConfig:
             throughput, in-flight concurrency, and latency percentiles
             ignore everything before it.
         workload: spec the arrival process draws transactions from
-            (defaults to ``WorkloadSpec()``).
+            (defaults to ``WorkloadSpec()``); also carries the
+            replication factor applied to the run's schema.
         workload_seed: seed of the arrival schema (and, in sweeps, of
             closed-batch workload generation) — kept separate from
             ``seed`` so replicates stress the same database.
@@ -122,6 +142,8 @@ class SimulationConfig:
     commit_timeout: float = 6.0
     failure_rate: float = 0.0
     repair_time: float = 10.0
+    replica_protocol: str = "rowa"
+    catchup_time: float = 6.0
     arrival_rate: float = 0.0
     max_transactions: int = 0
     warmup_time: float = 0.0
@@ -138,7 +160,7 @@ class _Instance:
     __slots__ = (
         "index", "status", "timestamp", "attempt", "done", "issued",
         "waiting", "commit_time", "start_time", "exec_done_time",
-        "prepared_since", "retained",
+        "prepared_since", "retained", "lock_sites", "pending_replicas",
     )
 
     def __init__(self, index: int):
@@ -148,12 +170,16 @@ class _Instance:
         self.attempt = 0
         self.done = 0  # bitmask of completed nodes
         self.issued = 0  # bitmask of issued nodes
-        self.waiting: dict[str, float] = {}  # entity -> wait start time
+        self.waiting: dict[tuple[str, str], float] = {}  # (entity, site)
         self.commit_time = -1.0
         self.start_time = 0.0
         self.exec_done_time = -1.0  # last operation's completion time
         self.prepared_since = -1.0  # entry into the PREPARED window
-        self.retained: set[str] = set()  # unlocked-but-held entities
+        self.retained: set[tuple[str, str]] = set()  # (entity, site)
+        # entity -> replica sites this attempt locks (protocol choice)
+        self.lock_sites: dict[str, tuple[str, ...]] = {}
+        # entity -> replica sites whose grant is still outstanding
+        self.pending_replicas: dict[str, set[str]] = {}
 
 
 class Simulator:
@@ -199,8 +225,13 @@ class Simulator:
         self.result = SimulationResult(
             policy=self.policy.name,
             commit_protocol=self.config.commit_protocol,
+            replica_protocol=self.config.replica_protocol,
             total=len(self.system),
             warmup_time=self.config.warmup_time,
+        )
+        self.replicas = ReplicaManager(self)
+        self.result.replication_factor = (
+            self.replicas.schema.replication_factor
         )
         self._register_core_handlers()
         self.commit = make_protocol(self.config.commit_protocol)
@@ -216,6 +247,7 @@ class Simulator:
         reg = self._registry
         reg.register("begin", self._on_begin)
         reg.register("issue", self._on_issue)
+        reg.register("replica_req", self._on_replica_req)
         reg.register("op_done", self._on_op_done)
         reg.register("restart", self._on_restart)
         reg.register("timeout", self._on_timeout)
@@ -288,13 +320,28 @@ class Simulator:
     def transaction_sites(self, txn: int) -> tuple[str, list[str]]:
         """``(coordinator, participants)`` of a commit round.
 
-        The coordinator is the site of the transaction's first
-        operation; the participants are every site it touched.
+        The coordinator is the first replica site the attempt locked
+        for its first operation's entity — the primary whenever the
+        primary is up, and an up replica the protocol routed to when it
+        is not (a crashed primary must not coordinate a round it never
+        participated in). The participants are every replica site the
+        attempt actually locked — under replication that enlists every
+        write-replica (and read-quorum) site in the commit round.
         """
         t = self.system[txn]
-        site_of = self.system.schema.site_of
-        coordinator = site_of(t.ops[0].entity)
-        participants = sorted({site_of(op.entity) for op in t.ops})
+        inst = self._instances[txn]
+        first_entity = t.ops[0].entity
+        lock_sites = inst.lock_sites.get(first_entity)
+        coordinator = (
+            lock_sites[0]
+            if lock_sites
+            else self.replicas.primary_of(first_entity)
+        )
+        participants = sorted({
+            site
+            for sites in inst.lock_sites.values()
+            for site in sites
+        })
         return coordinator, participants
 
     def mark_prepared(self, inst: _Instance) -> None:
@@ -313,6 +360,7 @@ class Simulator:
         self._inflight -= 1
         if self._now >= self.config.warmup_time:
             self.result.measured_committed += 1
+        self.replicas.on_commit(inst)
 
     def abort_from_commit(self, inst: _Instance) -> None:
         """Abort a PREPARED transaction whose commit round failed."""
@@ -334,24 +382,24 @@ class Simulator:
         the retained lock have the prepared portion of their wait
         charged to ``prepared_block_time``.
         """
-        site_of = self.system.schema.site_of
-        for entity in sorted(inst.retained):
-            if site_name is not None and site_of(entity) != site_name:
+        for entity, held_at in sorted(inst.retained):
+            if site_name is not None and held_at != site_name:
                 continue
-            inst.retained.discard(entity)
-            site = self._sites[site_of(entity)]
-            if site.holder(entity) != inst.index:
+            inst.retained.discard((entity, held_at))
+            site = self._sites[held_at]
+            if inst.index not in site.holders(entity):
                 continue  # defensive: already force-released
             if inst.prepared_since >= 0:
                 for waiter in site.waiters(entity):
-                    begun = self._instances[waiter].waiting.get(entity)
+                    begun = self._instances[waiter].waiting.get(
+                        (entity, held_at)
+                    )
                     if begun is not None:
                         self.result.prepared_block_time += (
                             self._now - max(begun, inst.prepared_since)
                         )
-            granted = site.release(inst.index, entity)
-            if granted is not None:
-                self._on_grant(granted, entity)
+            for granted in site.release(inst.index, entity):
+                self._on_grant(granted, entity, held_at)
 
     def crash_site(self, site_name: str) -> None:
         """Abort every RUNNING transaction with lock state at the site.
@@ -377,6 +425,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _site_for_entity(self, entity: str) -> SiteLockManager:
+        """The lock table of the entity's *primary* replica."""
         return self._sites[self.system.schema.site_of(entity)]
 
     def _ready_nodes(self, inst: _Instance) -> list[int]:
@@ -422,19 +471,30 @@ class Simulator:
 
     def _issue_one(self, inst: _Instance, node: int) -> None:
         op = self.system[inst.index].ops[node]
-        if not self.site_is_up(self.system.schema.site_of(op.entity)):
-            # The operation's site is down; the transaction's volatile
+        if op.kind is OpKind.LOCK:
+            # The replica-control protocol owns the up/down routing for
+            # lock acquisition (at factor 1 it degenerates to the
+            # single-site availability check below).
+            self._request_lock(inst, node)
+            return
+        # Actions and Unlocks execute at the replica sites the attempt
+        # actually locked — not necessarily the primary, which the
+        # available protocols deliberately route around when it is
+        # down. At factor 1 the lock site *is* the primary, preserving
+        # the seed behaviour bit for bit.
+        sites = inst.lock_sites.get(
+            op.entity, (self.system.schema.site_of(op.entity),)
+        )
+        if not all(self.site_is_up(site) for site in sites):
+            # An operation site is down; the transaction's volatile
             # state is lost with it.
             self.result.crash_aborts += 1
             self._abort(inst)
             return
-        if op.kind is OpKind.LOCK:
-            self._request_lock(inst, node)
-        else:
-            self.schedule(
-                self.config.service_time,
-                ("op_done", inst.index, node, inst.attempt),
-            )
+        self.schedule(
+            self.config.service_time,
+            ("op_done", inst.index, node, inst.attempt),
+        )
 
     def _on_begin(self, txn: int) -> None:
         self._inflight += 1
@@ -447,43 +507,134 @@ class Simulator:
             return
         self._issue_one(inst, node)
 
+    def _lock_mode(self, txn: int, entity: str) -> str:
+        return SHARED if entity in self.system[txn].read_set else EXCLUSIVE
+
     def _request_lock(self, inst: _Instance, node: int) -> None:
-        op = self.system[inst.index].ops[node]
-        site = self._site_for_entity(op.entity)
-        if site.request(inst.index, op.entity):
-            self.schedule(
-                self.config.service_time,
-                ("op_done", inst.index, node, inst.attempt),
-            )
-            return
-        holder = site.holder(op.entity)
-        assert holder is not None and holder != inst.index
-        holder_inst = self._instances[holder]
-        decision = self.policy.on_conflict(
-            inst.timestamp, holder_inst.timestamp
+        """Issue a Lock: fan out to the protocol's replica choice.
+
+        The chosen replica sites are locked in parallel — shared mode
+        for reads, exclusive for writes — and the Lock operation
+        completes (one ``service_time`` later) once every replica
+        granted. Fan-out to a non-primary replica costs one
+        ``network_delay`` hop.
+        """
+        entity = self.system[inst.index].ops[node].entity
+        mode = self._lock_mode(inst.index, entity)
+        sites = (
+            self.replicas.read_sites(entity)
+            if mode == SHARED
+            else self.replicas.write_sites(entity)
         )
-        if (
-            decision is Decision.ABORT_HOLDER
-            and holder_inst.status in (_PREPARED, _COMMITTED)
-        ):
-            # A prepared holder cannot be wounded: it already voted in
-            # a commit round. A committed holder still has its release
-            # message in flight and is just as unabortable. Block on
-            # the decision's arrival instead.
-            decision = Decision.WAIT_PREPARED
-            self.result.prepared_blocks += 1
-        if decision is Decision.ABORT_SELF:
-            site.cancel_wait(inst.index, op.entity)
-            self.result.deaths += 1
+        if sites is None:
+            # No legal replica set right now: under rowa a single
+            # crashed replica blocks writes, under quorum a lost
+            # majority blocks everything. The access fails exactly like
+            # an issue to a down site.
+            self.result.crash_aborts += 1
+            self.result.unavailable_aborts += 1
             self._abort(inst)
             return
+        inst.lock_sites[entity] = sites
+        inst.pending_replicas[entity] = set(sites)
+        primary = self.replicas.primary_of(entity)
+        for site_name in sites:
+            if site_name != primary and self.config.network_delay > 0:
+                self.schedule(
+                    self.config.network_delay,
+                    ("replica_req", inst.index, node, site_name,
+                     inst.attempt),
+                )
+                continue
+            self._request_replica(inst, node, site_name, mode)
+            if inst.status != _RUNNING:
+                return  # the request aborted us (wait-die)
+        self._maybe_complete_lock(inst, node, entity)
+
+    def _on_replica_req(
+        self, txn: int, node: int, site_name: str, attempt: int
+    ) -> None:
+        """A replica-lock fan-out message arrived at a remote replica."""
+        inst = self._instances[txn]
+        if inst.status != _RUNNING or inst.attempt != attempt:
+            return
+        entity = self.system[txn].ops[node].entity
+        if not self.site_is_up(site_name):
+            # The replica crashed while the request was in flight.
+            self.result.crash_aborts += 1
+            self._abort(inst)
+            return
+        self._request_replica(
+            inst, node, site_name, self._lock_mode(txn, entity)
+        )
+        if inst.status != _RUNNING:
+            return
+        self._maybe_complete_lock(inst, node, entity)
+
+    def _request_replica(
+        self, inst: _Instance, node: int, site_name: str, mode: str
+    ) -> None:
+        """Request one replica's lock and resolve any conflict."""
+        entity = self.system[inst.index].ops[node].entity
+        site = self._sites[site_name]
+        if site.request(inst.index, entity, mode):
+            pending = inst.pending_replicas.get(entity)
+            if pending is not None:
+                pending.discard(site_name)
+            return
+        holders = site.holders(entity)
+        assert holders and inst.index not in holders
+        if mode == SHARED and site.mode(entity) == SHARED:
+            # Compatible with every holder: the block is the FIFO queue
+            # itself (a writer ahead). The policy must order the
+            # requester against those *conflicting queued* waiters
+            # instead — leaving the edge unordered would let an old
+            # reader wait behind a young writer forever, breaking the
+            # prevention schemes' acyclicity argument.
+            blockers = self._conflicting_ahead(site, entity, inst.index)
+        else:
+            blockers = holders
+        decisions: list[tuple[_Instance, Decision]] = []
+        prepared_counted = False
+        for holder in blockers:
+            holder_inst = self._instances[holder]
+            decision = self.policy.on_conflict(
+                inst.timestamp, holder_inst.timestamp
+            )
+            if (
+                decision is Decision.ABORT_HOLDER
+                and holder_inst.status in (_PREPARED, _COMMITTED)
+            ):
+                # A prepared holder cannot be wounded: it already voted
+                # in a commit round. A committed holder still has its
+                # release message in flight and is just as unabortable.
+                # Block on the decision's arrival instead (one blocked
+                # request counts once, however many holders prepared).
+                decision = Decision.WAIT_PREPARED
+                if not prepared_counted:
+                    self.result.prepared_blocks += 1
+                    prepared_counted = True
+            if decision is Decision.ABORT_SELF:
+                granted = site.cancel_wait(inst.index, entity)
+                self.result.deaths += 1
+                self._abort(inst)
+                for grantee in granted:
+                    self._on_grant(grantee, entity, site_name)
+                return
+            decisions.append((holder_inst, decision))
         # The waiting decisions and ABORT_HOLDER all leave the
         # requester in the queue.
-        inst.waiting[op.entity] = self._now
+        inst.waiting[(entity, site_name)] = self._now
         self.result.waits += 1
-        if decision is Decision.ABORT_HOLDER:
-            self.result.wounds += 1
-            self._abort(holder_inst)
+        wounded = [
+            h for h, d in decisions if d is Decision.ABORT_HOLDER
+        ]
+        if wounded:
+            for holder_inst in wounded:
+                if holder_inst.status != _RUNNING:
+                    continue  # an earlier wound's cascade got it first
+                self.result.wounds += 1
+                self._abort(holder_inst)
             return
         if self.policy.uses_timeout:
             self.schedule(
@@ -491,11 +642,37 @@ class Simulator:
                 ("timeout", inst.index, node, inst.attempt),
             )
 
+    def _conflicting_ahead(
+        self, site: SiteLockManager, entity: str, txn: int
+    ) -> list[int]:
+        """Queued waiters ahead of ``txn`` whose mode conflicts with a
+        shared request (i.e. the writers it is queued behind)."""
+        ahead = []
+        for waiter in site.waiters(entity):
+            if waiter == txn:
+                break
+            if site.queued_mode(entity, waiter) == EXCLUSIVE:
+                ahead.append(waiter)
+        return ahead
+
+    def _maybe_complete_lock(
+        self, inst: _Instance, node: int, entity: str
+    ) -> None:
+        """Schedule op_done once every chosen replica has granted."""
+        pending = inst.pending_replicas.get(entity)
+        if pending is None or pending:
+            return
+        del inst.pending_replicas[entity]
+        self.schedule(
+            self.config.service_time,
+            ("op_done", inst.index, node, inst.attempt),
+        )
+
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
 
-    def _on_grant(self, txn: int, entity: str) -> None:
+    def _on_grant(self, txn: int, entity: str, site_name: str) -> None:
         """A queued request of ``txn`` was granted by a release.
 
         Besides waking the new holder, the remaining waiters re-run the
@@ -507,39 +684,56 @@ class Simulator:
         guarantee.
         """
         inst = self._instances[txn]
-        if inst.status != _RUNNING or entity not in inst.waiting:
+        key = (entity, site_name)
+        if inst.status != _RUNNING or key not in inst.waiting:
             # Stale grant. Legitimate under abort cascades: a recursive
             # wound can abort the grantee (re-granting the entity) after
             # this grant was recorded but before it was delivered — in
             # that case the lock already moved on and there is nothing
             # to do. If the grantee still holds the lock, hand it back
             # rather than wedging the site.
-            site = self._site_for_entity(entity)
-            if site.holder(entity) != txn:
+            site = self._sites[site_name]
+            if txn not in site.holders(entity):
                 return
-            granted = site.release(txn, entity)
-            if granted is not None:
-                self._on_grant(granted, entity)
+            for granted in site.release(txn, entity):
+                self._on_grant(granted, entity, site_name)
             return
-        self.result.wait_time += self._now - inst.waiting.pop(entity)
+        self.result.wait_time += self._now - inst.waiting.pop(key)
+        pending = inst.pending_replicas.get(entity)
+        if pending is not None:
+            pending.discard(site_name)
         node = self.system[txn].lock_node(entity)
-        self.schedule(
-            self.config.service_time, ("op_done", txn, node, inst.attempt)
-        )
-        self._reevaluate_waiters(entity, inst)
+        self._maybe_complete_lock(inst, node, entity)
+        self._reevaluate_waiters(entity, site_name, inst)
 
-    def _reevaluate_waiters(self, entity: str, holder: _Instance) -> None:
-        site = self._site_for_entity(entity)
+    def _reevaluate_waiters(
+        self, entity: str, site_name: str, holder: _Instance
+    ) -> None:
+        site = self._sites[site_name]
         for waiter in list(site.waiters(entity)):
             if holder.status != _RUNNING:
                 return  # the holder was wounded; releases re-grant
             w_inst = self._instances[waiter]
-            if w_inst.status != _RUNNING or entity not in w_inst.waiting:
+            if (
+                w_inst.status != _RUNNING
+                or (entity, site_name) not in w_inst.waiting
+            ):
                 # The snapshot is stale: an earlier iteration's abort
                 # cascade already removed this waiter from the queue.
                 # It must neither die again (the abort would no-op but
                 # the death counter would drift) nor wound the holder
                 # on behalf of a conflict that no longer exists.
+                continue
+            if (
+                site.mode(entity) == SHARED
+                and site.queued_mode(entity, waiter) == SHARED
+            ):
+                # A shared waiter behind the new shared holders has no
+                # conflict with them — but it is still queued behind
+                # conflicting writers, and that edge must be ordered
+                # now that the holder set changed (an old reader stuck
+                # behind young writers would otherwise wedge).
+                self._order_shared_waiter(w_inst, entity, site_name)
                 continue
             decision = self.policy.on_conflict(
                 w_inst.timestamp, holder.timestamp
@@ -552,6 +746,34 @@ class Simulator:
                 self.result.deaths += 1
                 self._abort(w_inst)
 
+    def _order_shared_waiter(
+        self, w_inst: _Instance, entity: str, site_name: str
+    ) -> None:
+        """Re-run the policy for a shared waiter against the queued
+        writers ahead of it (its actual blockers)."""
+        site = self._sites[site_name]
+        for blocker in self._conflicting_ahead(
+            site, entity, w_inst.index
+        ):
+            if (
+                w_inst.status != _RUNNING
+                or (entity, site_name) not in w_inst.waiting
+            ):
+                return  # a wound cascade granted or killed the waiter
+            b_inst = self._instances[blocker]
+            if b_inst.status != _RUNNING:
+                continue
+            decision = self.policy.on_conflict(
+                w_inst.timestamp, b_inst.timestamp
+            )
+            if decision is Decision.ABORT_HOLDER:
+                self.result.wounds += 1
+                self._abort(b_inst)
+            elif decision is Decision.ABORT_SELF:
+                self.result.deaths += 1
+                self._abort(w_inst)
+                return
+
     def _on_op_done(self, txn: int, node: int, attempt: int) -> None:
         inst = self._instances[txn]
         if inst.status != _RUNNING or inst.attempt != attempt:
@@ -562,16 +784,18 @@ class Simulator:
         self._trace.append((self._now, self._trace_seq, txn, node, attempt))
         self._trace_seq += 1
         if op.kind is OpKind.UNLOCK:
+            lock_sites = inst.lock_sites[op.entity]
             if self.commit.retains_locks:
                 # Strict release-at-commit: the Unlock ends the lock's
                 # logical scope, but the physical release rides on the
                 # commit decision.
-                inst.retained.add(op.entity)
+                for site_name in lock_sites:
+                    inst.retained.add((op.entity, site_name))
             else:
-                site = self._site_for_entity(op.entity)
-                granted = site.release(txn, op.entity)
-                if granted is not None:
-                    self._on_grant(granted, op.entity)
+                for site_name in lock_sites:
+                    site = self._sites[site_name]
+                    for granted in site.release(txn, op.entity):
+                        self._on_grant(granted, op.entity, site_name)
         if inst.done == t.dag.all_nodes_mask():
             self.commit.on_execution_complete(inst)
         else:
@@ -584,16 +808,21 @@ class Simulator:
         inst.status = _ABORTED
         self.result.aborts += 1
         txn = inst.index
-        for entity in list(inst.waiting):
-            self._site_for_entity(entity).cancel_wait(txn, entity)
+        for entity, site_name in list(inst.waiting):
+            # Cancelling a queued writer can expose a compatible read
+            # batch behind it; those grants must be delivered.
+            for grantee in self._sites[site_name].cancel_wait(txn, entity):
+                self._on_grant(grantee, entity, site_name)
         inst.waiting.clear()
         for site in self._sites.values():
             for entity, granted in site.release_all(txn):
-                if granted is not None:
-                    self._on_grant(granted, entity)
+                for grantee in granted:
+                    self._on_grant(grantee, entity, site.site)
         inst.done = 0
         inst.issued = 0
         inst.retained.clear()
+        inst.lock_sites.clear()
+        inst.pending_replicas.clear()
         inst.exec_done_time = -1.0
         inst.prepared_since = -1.0
         inst.attempt += 1
@@ -616,7 +845,7 @@ class Simulator:
         if (
             inst.status == _RUNNING
             and inst.attempt == attempt
-            and entity in inst.waiting
+            and any(key[0] == entity for key in inst.waiting)
         ):
             self.result.timeouts += 1
             self._abort(inst)
@@ -632,9 +861,8 @@ class Simulator:
         for inst in self._instances:
             if inst.status != _RUNNING:
                 continue
-            for entity in inst.waiting:
-                holder = self._site_for_entity(entity).holder(entity)
-                if holder is not None:
+            for entity, site_name in inst.waiting:
+                for holder in self._sites[site_name].holders(entity):
                     edges.setdefault(inst.index, set()).add(holder)
         return edges
 
@@ -706,6 +934,7 @@ class Simulator:
                 break
 
         self.result.end_time = self._now
+        self.replicas.finalize()
         if self.arrivals is not None:
             # The run is over; materialize the accumulated transactions
             # so trace replay sees a real (indexed) TransactionSystem.
@@ -773,15 +1002,52 @@ class Simulator:
         Includes the partial progress of still-running transactions:
         their completed operations are part of the history too (this is
         what makes the Lemma 1 / D(S') connection exact at deadlocks).
+
+        Shared read locks allow concurrent holders, so read/write
+        traces are not legal schedules of the exclusive-lock model;
+        those runs are tested with the classical conflict graph over
+        the same lock-acquisition orders instead.
         """
+        if any(t.read_set for t in self.system):
+            return self._check_conflict_serializability()
         try:
             schedule = Schedule(self.system, self._final_steps(False))
         except Exception:  # pragma: no cover - indicates a runtime bug
             return False
         return is_serializable(schedule)
 
+    def _check_conflict_serializability(self) -> bool:
+        """Acyclicity of the conflict graph of the final trace.
+
+        Two accesses of one entity conflict unless both are reads;
+        conflicting accesses are ordered by lock-acquisition order
+        (concurrent shared holders are unordered *and* non-conflicting,
+        so any serial order works for them).
+        """
+        sequences: dict[str, list[int]] = {}
+        for gnode in self._final_steps(False):
+            op = self.system[gnode.txn].ops[gnode.node]
+            if op.kind is OpKind.LOCK:
+                sequences.setdefault(op.entity, []).append(gnode.txn)
+        edges: dict[int, set[int]] = {}
+        for entity, order in sequences.items():
+            for i, first in enumerate(order):
+                first_reads = entity in self.system[first].read_set
+                for later in order[i + 1:]:
+                    if later == first:
+                        continue
+                    if first_reads and entity in self.system[later].read_set:
+                        continue
+                    edges.setdefault(first, set()).add(later)
+        return find_cycle(list(edges), lambda u: edges.get(u, ())) is None
+
     def committed_schedule(self) -> Schedule:
-        """The committed trace as a validated Schedule."""
+        """The committed trace as a validated Schedule.
+
+        Only meaningful for all-exclusive workloads: shared read locks
+        permit interleavings the exclusive-lock Schedule validation
+        rejects.
+        """
         return Schedule(self.system, self._final_steps(True))
 
 

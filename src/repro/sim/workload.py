@@ -59,6 +59,15 @@ class WorkloadSpec:
         hotspot_skew: 0 = uniform entity choice; larger values
             concentrate accesses on low-numbered entities
             (P(i) ∝ 1/(1+i)^skew).
+        read_fraction: probability that an accessed entity is only
+            *read* (shared lock on one/a quorum of replicas) rather
+            than written (exclusive locks). 0 (the default) keeps the
+            paper's all-exclusive model and draws no extra randomness,
+            so historical workloads are reproduced bit for bit.
+        replication_factor: copies of each entity, spread over distinct
+            sites by :class:`~repro.sim.replication.ReplicatedSchema`
+            (clamped to the site count). 1 (the default) is the
+            paper's single-copy model.
     """
 
     n_transactions: int = 4
@@ -69,6 +78,8 @@ class WorkloadSpec:
     cross_arc_p: float = 0.25
     shape: str = "random"
     hotspot_skew: float = 0.0
+    read_fraction: float = 0.0
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if self.shape not in _SHAPES:
@@ -102,6 +113,15 @@ class WorkloadSpec:
         if self.hotspot_skew < 0:
             raise ValueError(
                 f"hotspot_skew must be >= 0, got {self.hotspot_skew}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, "
+                f"got {self.replication_factor}"
             )
 
 
@@ -241,10 +261,20 @@ def random_transaction(
     )
     if not accessed:
         accessed = [rng.choice(pool)]
+    # Reads are drawn before the sequence so the RNG stream position is
+    # well defined; read_fraction == 0 draws nothing, which is what
+    # keeps historical all-write workloads bit-identical.
+    read_set: frozenset[Entity] = frozenset()
+    if spec.read_fraction > 0:
+        read_set = frozenset(
+            entity
+            for entity in accessed
+            if rng.random() < spec.read_fraction
+        )
     sequence = _reference_sequence(rng, spec, list(accessed))
 
     if spec.shape == "sequential":
-        return Transaction.sequential(name, sequence, schema)
+        return Transaction.sequential(name, sequence, schema, read_set)
 
     # Per-site chains from the reference order.
     arcs: list[tuple[int, int]] = []
@@ -269,7 +299,7 @@ def random_transaction(
     # The Lock -> Unlock arc is implied by the same-site chain when the
     # entity's nodes are colocated (they always are — same entity), so
     # the construction is already well formed.
-    return Transaction(name, sequence, arcs, schema)
+    return Transaction(name, sequence, arcs, schema, read_set)
 
 
 def random_system(

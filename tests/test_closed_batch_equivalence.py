@@ -176,7 +176,7 @@ GOLDEN = {
 }
 
 
-def _cell_result(wseed, policy, protocol, rate, seed):
+def _cell_result(wseed, policy, protocol, rate, seed, replication=None):
     system = random_system(random.Random(wseed), SPEC)
     config = SimulationConfig(
         seed=seed,
@@ -184,6 +184,7 @@ def _cell_result(wseed, policy, protocol, rate, seed):
         commit_protocol=protocol,
         failure_rate=rate,
         repair_time=8.0,
+        **(replication or {}),
     )
     return simulate(system, policy, config)
 
@@ -194,6 +195,35 @@ def test_closed_batch_matches_the_seed_simulator():
         result = _cell_result(wseed, policy, protocol, rate, seed)
         if digest(result) != expected:
             mismatches.append((wseed, policy, protocol, rate, seed))
+    assert mismatches == []
+
+
+def test_replication_factor_one_matches_the_seed_simulator():
+    """The replication_factor=1 column of the matrix.
+
+    With the replication layer *engaged* (a workload spec carrying
+    ``replication_factor=1`` plus any replica-control protocol) every
+    cell must still reproduce the seed-era digests bit for bit — the
+    reduction guarantee is pinned here, not assumed. The exclusive-only
+    workload is what makes all three protocols coincide: single-copy
+    writes behave identically under rowa, rowa-available, and quorum.
+    """
+    mismatches = []
+    for replica_protocol in ("rowa", "rowa-available", "quorum"):
+        replication = {
+            "workload": SPEC,  # replication_factor defaults to 1
+            "replica_protocol": replica_protocol,
+        }
+        for (wseed, policy, protocol, rate, seed), expected in (
+            GOLDEN.items()
+        ):
+            result = _cell_result(
+                wseed, policy, protocol, rate, seed, replication
+            )
+            if digest(result) != expected:
+                mismatches.append(
+                    (replica_protocol, wseed, policy, protocol, rate, seed)
+                )
     assert mismatches == []
 
 

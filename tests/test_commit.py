@@ -199,7 +199,8 @@ class TestPreparedWindow:
         site = sim._site_for_entity("x")
         site.request(1, "x")
         sim.mark_prepared(holder)
-        holder.retained.add("x")
+        holder.lock_sites["x"] = (site.site,)
+        holder.retained.add(("x", site.site))
         return sim
 
     def test_wound_wait_does_not_wound_prepared_holder(self):
@@ -210,7 +211,7 @@ class TestPreparedWindow:
         assert sim.instance(1).status == _PREPARED
         assert sim.result.wounds == 0
         assert sim.result.prepared_blocks == 1
-        assert "x" in requester.waiting
+        assert [key[0] for key in requester.waiting] == ["x"]
 
     def test_no_wound_on_committed_holder_awaiting_release(self):
         """After the commit decision the holder is _COMMITTED but its
@@ -220,13 +221,13 @@ class TestPreparedWindow:
         sim = self._prepared_simulator()
         holder = sim.instance(1)
         sim.finish_commit(holder)  # decision taken, release in flight
-        assert holder.retained == {"x"}
+        assert {e for e, _s in holder.retained} == {"x"}
         requester = sim.instance(0)
         requester.timestamp = 1.0  # older: would normally wound
         sim._request_lock(requester, sim.system[0].lock_node("x"))
         assert sim.result.wounds == 0
         assert sim.result.prepared_blocks == 1
-        assert "x" in requester.waiting
+        assert [key[0] for key in requester.waiting] == ["x"]
 
     def test_release_retained_charges_blocked_time(self):
         sim = self._prepared_simulator()
@@ -238,7 +239,7 @@ class TestPreparedWindow:
         sim.finish_commit(holder)
         sim.release_retained(holder)
         assert sim._site_for_entity("x").holder("x") == 0
-        assert "x" not in holder.retained
+        assert not holder.retained
         assert sim.result.prepared_block_time == pytest.approx(7.5)
 
     def test_abort_from_commit_restarts_transaction(self):

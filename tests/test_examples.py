@@ -61,6 +61,17 @@ class TestCommitProtocols:
         assert "blocked-on-coordinator" in out
 
 
+class TestReplicationProtocols:
+    def test_availability_story(self, capsys):
+        out = run_example("replication_protocols", capsys)
+        assert "rowa-available" in out
+        assert "quorum" in out
+        assert "site-crash schedule" in out
+        assert "full-service availability" in out
+        # reliable sites: every protocol fully available
+        assert out.count("1.000  1.000    1.000") == 3
+
+
 class TestOpenSystemSweep:
     def test_open_system_story(self, capsys):
         out = run_example("open_system_sweep", capsys)

@@ -69,7 +69,7 @@ class TestCrashSemantics:
         site = sim._site_for_entity("x")
         site.request(0, "x")
         site.request(1, "x")
-        sim.instance(1).waiting["x"] = 0.0
+        sim.instance(1).waiting[("x", "s1")] = 0.0
         sim.crash_site("s1")
         assert sim.instance(0).status == _ABORTED
         assert sim.instance(1).status == _ABORTED
@@ -88,7 +88,7 @@ class TestCrashSemantics:
         site = sim._site_for_entity("x")
         site.request(0, "x")
         sim.mark_prepared(inst)
-        inst.retained.add("x")
+        inst.retained.add(("x", "s1"))
         sim.crash_site("s1")
         assert inst.status == _PREPARED
         assert site.holder("x") == 0

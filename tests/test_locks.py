@@ -1,8 +1,8 @@
-"""Unit tests for repro.sim.locks."""
+"""Unit tests for repro.sim.locks (shared/exclusive modes)."""
 
 import pytest
 
-from repro.sim.locks import SiteLockManager
+from repro.sim.locks import EXCLUSIVE, SHARED, SiteLockManager
 
 
 class TestRequestRelease:
@@ -10,6 +10,8 @@ class TestRequestRelease:
         mgr = SiteLockManager("s1")
         assert mgr.request(0, "x")
         assert mgr.holder("x") == 0
+        assert mgr.holders("x") == [0]
+        assert mgr.mode("x") == EXCLUSIVE
 
     def test_queue_when_held(self):
         mgr = SiteLockManager("s1")
@@ -22,15 +24,16 @@ class TestRequestRelease:
         mgr.request(0, "x")
         mgr.request(1, "x")
         mgr.request(2, "x")
-        assert mgr.release(0, "x") == 1
+        assert mgr.release(0, "x") == [1]
         assert mgr.holder("x") == 1
         assert mgr.waiters("x") == [2]
 
     def test_release_empty_queue(self):
         mgr = SiteLockManager("s1")
         mgr.request(0, "x")
-        assert mgr.release(0, "x") is None
+        assert mgr.release(0, "x") == []
         assert mgr.holder("x") is None
+        assert mgr.mode("x") is None
 
     def test_double_request_rejected(self):
         mgr = SiteLockManager("s1")
@@ -50,6 +53,112 @@ class TestRequestRelease:
         with pytest.raises(ValueError):
             mgr.release(0, "x")
 
+    def test_unknown_mode_rejected(self):
+        mgr = SiteLockManager("s1")
+        with pytest.raises(ValueError):
+            mgr.request(0, "x", "IX")
+
+
+class TestSharedMode:
+    def test_shared_holders_coexist(self):
+        mgr = SiteLockManager("s1")
+        assert mgr.request(0, "x", SHARED)
+        assert mgr.request(1, "x", SHARED)
+        assert mgr.holders("x") == [0, 1]
+        assert mgr.mode("x") == SHARED
+        assert mgr.holder("x") is None  # not unique
+
+    def test_exclusive_queues_behind_shared(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        assert not mgr.request(2, "x", EXCLUSIVE)
+        assert mgr.release(0, "x") == []  # one reader left
+        assert mgr.release(1, "x") == [2]  # writer takes over
+        assert mgr.mode("x") == EXCLUSIVE
+
+    def test_late_reader_does_not_starve_writer(self):
+        # S S | X queued | S must queue behind the writer, not sneak in.
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", EXCLUSIVE)
+        assert not mgr.request(2, "x", SHARED)
+        assert mgr.waiters("x") == [1, 2]
+        assert mgr.release(0, "x") == [1]
+        assert mgr.release(1, "x") == [2]
+
+    def test_release_grants_shared_batch(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", EXCLUSIVE)
+        mgr.request(1, "x", SHARED)
+        mgr.request(2, "x", SHARED)
+        mgr.request(3, "x", EXCLUSIVE)
+        assert mgr.release(0, "x") == [1, 2]  # the read batch
+        assert mgr.mode("x") == SHARED
+        assert mgr.waiters("x") == [3]
+        assert mgr.release(1, "x") == []
+        assert mgr.release(2, "x") == [3]
+
+    def test_shared_after_shared_with_empty_queue(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", EXCLUSIVE)
+        mgr.cancel_wait(1, "x")
+        # Queue drained again: new readers join immediately.
+        assert mgr.request(2, "x", SHARED)
+        assert mgr.holders("x") == [0, 2]
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_immediately(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        assert mgr.request(0, "x", EXCLUSIVE)
+        assert mgr.mode("x") == EXCLUSIVE
+
+    def test_upgrade_waits_for_other_readers(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        assert not mgr.request(0, "x", EXCLUSIVE)
+        assert mgr.waiters("x") == [0]
+        assert mgr.release(1, "x") == [0]
+        assert mgr.mode("x") == EXCLUSIVE
+        assert mgr.holders("x") == [0]
+
+    def test_upgrade_jumps_the_queue(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        mgr.request(2, "x", EXCLUSIVE)  # plain waiter
+        assert not mgr.request(0, "x", EXCLUSIVE)  # upgrade, goes first
+        assert mgr.waiters("x") == [0, 2]
+        assert mgr.release(1, "x") == [0]
+        assert mgr.mode("x") == EXCLUSIVE
+
+    def test_concurrent_upgrades_rejected(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        mgr.request(0, "x", EXCLUSIVE)
+        with pytest.raises(ValueError):
+            mgr.request(1, "x", EXCLUSIVE)
+
+    def test_exclusive_holder_cannot_rerequest(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", EXCLUSIVE)
+        with pytest.raises(ValueError):
+            mgr.request(0, "x", EXCLUSIVE)
+
+    def test_releasing_upgrader_drops_its_upgrade(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        mgr.request(0, "x", EXCLUSIVE)
+        assert mgr.release(0, "x") == []  # abort path: S grant + upgrade go
+        assert mgr.waiters("x") == []
+        assert mgr.holders("x") == [1]
+
 
 class TestCancelAndBulk:
     def test_cancel_wait(self):
@@ -58,7 +167,7 @@ class TestCancelAndBulk:
         mgr.request(1, "x")
         mgr.cancel_wait(1, "x")
         assert mgr.waiters("x") == []
-        assert mgr.release(0, "x") is None
+        assert mgr.release(0, "x") == []
 
     def test_cancel_wait_noop(self):
         mgr = SiteLockManager("s1")
@@ -70,8 +179,15 @@ class TestCancelAndBulk:
         mgr.request(0, "y")
         mgr.request(1, "x")
         released = dict(mgr.release_all(0))
-        assert released == {"x": 1, "y": None}
+        assert released == {"x": [1], "y": []}
         assert mgr.holder("x") == 1
+
+    def test_release_all_shared(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        assert dict(mgr.release_all(0)) == {"x": []}
+        assert mgr.holders("x") == [1]
 
     def test_held_by_and_waiting_for(self):
         mgr = SiteLockManager("s1")
@@ -80,3 +196,10 @@ class TestCancelAndBulk:
         mgr.request(1, "y")
         assert mgr.held_by(0) == ["x", "y"]
         assert mgr.waiting_for(1) == ["y"]
+
+    def test_involved_spans_modes(self):
+        mgr = SiteLockManager("s1")
+        mgr.request(0, "x", SHARED)
+        mgr.request(1, "x", SHARED)
+        mgr.request(2, "x", EXCLUSIVE)
+        assert mgr.involved() == [0, 1, 2]

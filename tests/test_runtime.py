@@ -169,7 +169,7 @@ class TestStaleGrants:
         sim = Simulator(deadlock_pair(), "blocking")
         site = sim._site_for_entity("x")
         site.request(0, "x")  # T0 holds x but never recorded a wait
-        sim._on_grant(0, "x")
+        sim._on_grant(0, "x", "s1")
         assert site.holder("x") is None
         assert site.involved() == []
 
@@ -179,8 +179,9 @@ class TestStaleGrants:
         site.request(0, "x")
         inst = sim.instance(0)
         inst.status = _ABORTED
-        inst.waiting["x"] = 0.0  # even a recorded wait must not revive it
-        sim._on_grant(0, "x")
+        # even a recorded wait must not revive it
+        inst.waiting[("x", "s1")] = 0.0
+        sim._on_grant(0, "x", "s1")
         assert site.holder("x") is None
 
     def test_stale_grant_passes_lock_to_real_waiter(self):
@@ -188,10 +189,10 @@ class TestStaleGrants:
         site = sim._site_for_entity("x")
         site.request(0, "x")
         site.request(1, "x")  # T1 queues behind the phantom holder
-        sim.instance(1).waiting["x"] = 0.0
-        sim._on_grant(0, "x")  # stale for T0, re-granted to T1
+        sim.instance(1).waiting[("x", "s1")] = 0.0
+        sim._on_grant(0, "x", "s1")  # stale for T0, re-granted to T1
         assert site.holder("x") == 1
-        assert "x" not in sim.instance(1).waiting
+        assert ("x", "s1") not in sim.instance(1).waiting
 
 
 class TestReevaluateWaiters:
@@ -218,11 +219,11 @@ class TestReevaluateWaiters:
         site.request(2, "x")
         site.request(1, "x")  # FIFO: the young transaction is first
         site.request(0, "x")
-        young.waiting["x"] = 0.0
-        old.waiting["x"] = 0.0
+        young.waiting[("x", "s1")] = 0.0
+        old.waiting[("x", "s1")] = 0.0
         granted = site.release(2, "x")
-        assert granted == 1
-        sim._on_grant(1, "x")
+        assert granted == [1]
+        sim._on_grant(1, "x", "s1")
         # The young grantee was wounded by the old waiter behind it and
         # the lock moved on to the old transaction.
         assert young.status == _ABORTED
@@ -240,11 +241,11 @@ class TestReevaluateWaiters:
         site.request(2, "x")
         site.request(0, "x")  # the old transaction is granted next
         site.request(1, "x")
-        old.waiting["x"] = 0.0
-        young.waiting["x"] = 0.0
+        old.waiting[("x", "s1")] = 0.0
+        young.waiting[("x", "s1")] = 0.0
         granted = site.release(2, "x")
-        assert granted == 0
-        sim._on_grant(0, "x")
+        assert granted == [0]
+        sim._on_grant(0, "x", "s1")
         assert young.status == _ABORTED
         assert sim.result.deaths == 1
         assert site.holder("x") == 0
