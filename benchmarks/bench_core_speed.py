@@ -1,0 +1,289 @@
+"""Core simulator speed benchmark — the repo's perf trajectory anchor.
+
+Times the simulator hot path over four deterministic scenarios and
+writes ``BENCH_core.json``:
+
+* ``closed`` — a closed batch under wound-wait (the seed simulator's
+  regime: one transient burst of contention, instant commit);
+* ``open`` — a long open-system run under the ``detect`` policy, the
+  classical DBMS configuration (blocked requests park; a periodic
+  detector breaks cycles). This is the scenario the ≥3x tentpole
+  target of the fast-path PR is measured on: thousands of arrivals
+  make the instance list grow all run, which is exactly where the
+  historical per-tick full rescans and per-abort full-table scans
+  degraded;
+* ``replicated`` — an open system under wound-wait at replication
+  factor 3 under ``rowa-available`` with site failures and a read mix
+  (replica fan-out, staleness tracking, availability integration);
+* ``detection`` — a deliberately *saturated* detector (arrivals faster
+  than the detect policy can clear): deep queues, constant cycles, the
+  worst case for waits-for bookkeeping.
+
+Every scenario is seeded and deterministic, so besides the timings the
+harness records a *behaviour digest* over the simulation result —
+comparing digests across code versions proves the optimized core is
+bit-identical, not just faster.
+
+Usage:
+    python benchmarks/bench_core_speed.py                # full mode
+    python benchmarks/bench_core_speed.py --quick        # CI smoke
+    python benchmarks/bench_core_speed.py --check BASE   # regression gate
+    python benchmarks/bench_core_speed.py --merge BASE   # keep BASE's
+                                                         # other runs/modes
+
+``--check`` compares the fresh numbers against the same mode of the
+``current`` run recorded in the baseline file: behaviour digests must
+match exactly, and ``ops_per_sec`` must not regress more than
+``--tolerance`` (default 0.25). Exit code 1 on violation — this is the
+CI gate against perf regressions.
+
+BENCH_core.json schema::
+
+    {
+      "schema_version": 1,
+      "runs": {
+        "pre_pr":  {"quick": {...}, "full": {...}},   # pre-fast-path core
+        "current": {"quick": {...}, "full": {...}}    # this tree
+      },
+      "speedup_vs_pre_pr": {"open": 3.4, ...}         # full-mode ratio
+    }
+
+where each scenario entry records ``wall_s``, ``events`` (simulator
+events processed), ``events_per_sec``, ``ops`` (committed-attempt trace
+operations), ``ops_per_sec``, ``committed``, ``aborts``, ``end_time``,
+and ``digest``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.setrecursionlimit(100_000)  # deep wound cascades under contention
+
+from repro.core.system import TransactionSystem  # noqa: E402
+from repro.sim.runtime import SimulationConfig, Simulator  # noqa: E402
+from repro.sim.workload import WorkloadSpec, random_system  # noqa: E402
+import random  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_core.json"
+
+# Fields of SimulationResult folded into the behaviour digest: the
+# seed-era surface plus the open-system steady-state fields.
+DIGEST_FIELDS = (
+    "policy", "commit_protocol", "replica_protocol", "replication_factor",
+    "committed", "total", "end_time", "aborts", "wounds", "deaths",
+    "timeouts", "detected", "crash_aborts", "unavailable_aborts",
+    "commit_aborts", "crashes", "deadlocked", "deadlock_cycle", "waits",
+    "wait_time", "commit_messages", "prepared_blocks",
+    "prepared_block_time", "latencies", "exec_latencies",
+    "commit_latencies", "serializable", "truncated", "injected",
+    "measured_committed", "inflight_area",
+)
+
+
+def result_digest(result) -> str:
+    blob = ";".join(f"{f}={getattr(result, f)!r}" for f in DIGEST_FIELDS)
+    return hashlib.md5(blob.encode()).hexdigest()[:12]
+
+
+def _scenarios(quick: bool) -> dict[str, tuple]:
+    """(system_builder, policy, config) per scenario name."""
+    scale = 1 if quick else 0  # tuples below are (full, quick)
+
+    def closed():
+        n = (600, 120)[scale]
+        spec = WorkloadSpec(
+            n_transactions=n, n_entities=32, n_sites=8,
+            entities_per_txn=(2, 4), actions_per_entity=(0, 2),
+            hotspot_skew=0.5,
+        )
+        system = random_system(random.Random(7), spec)
+        return system, "wound-wait", SimulationConfig(
+            arrival_spread=n / 2.0, seed=1,
+        )
+
+    def open_system():
+        # Sustained contention at a load the detector can just about
+        # keep up with: the blocked set stays bounded while the total
+        # instance list keeps growing — the regime where retiring
+        # finished transactions from the scan loops matters.
+        spec = WorkloadSpec(
+            n_entities=32, n_sites=8, entities_per_txn=(2, 4),
+            actions_per_entity=(0, 2), hotspot_skew=0.6,
+        )
+        return TransactionSystem([]), "detect", SimulationConfig(
+            arrival_rate=0.35, max_transactions=(6000, 800)[scale],
+            warmup_time=50.0, workload=spec, seed=1,
+        )
+
+    def replicated():
+        spec = WorkloadSpec(
+            n_entities=24, n_sites=6, entities_per_txn=(2, 3),
+            actions_per_entity=(0, 1), hotspot_skew=0.4,
+            read_fraction=0.3, replication_factor=3,
+        )
+        return TransactionSystem([]), "wound-wait", SimulationConfig(
+            arrival_rate=0.8, max_transactions=(3500, 500)[scale],
+            warmup_time=50.0, workload=spec, seed=2,
+            replica_protocol="rowa-available", failure_rate=0.002,
+            repair_time=8.0,
+        )
+
+    def detection():
+        # Deliberately saturated: the detect policy cannot keep up, so
+        # the instance list keeps growing while the detector scans it
+        # every interval — the worst case for waits-for bookkeeping.
+        spec = WorkloadSpec(
+            n_entities=24, n_sites=6, entities_per_txn=(2, 4),
+            actions_per_entity=(0, 2), hotspot_skew=0.8,
+        )
+        return TransactionSystem([]), "detect", SimulationConfig(
+            arrival_rate=0.4, max_transactions=(800, 120)[scale],
+            warmup_time=50.0, workload=spec, seed=3,
+            detection_interval=4.0, max_time=(20_000.0, 6_000.0)[scale],
+        )
+
+    return {
+        "closed": closed,
+        "open": open_system,
+        "replicated": replicated,
+        "detection": detection,
+    }
+
+
+def run_scenario(builder, repeats: int) -> dict:
+    """Run one scenario ``repeats`` times; keep the best wall time."""
+    best = None
+    for _ in range(repeats):
+        system, policy, config = builder()
+        sim = Simulator(system, policy, config)
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+        events = sim._events_processed
+        ops = len(sim._trace)
+        entry = {
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_sec": round(events / wall, 1),
+            "ops": ops,
+            "ops_per_sec": round(ops / wall, 1),
+            "committed": result.committed,
+            "aborts": result.aborts,
+            "end_time": round(result.end_time, 6),
+            "digest": result_digest(result),
+        }
+        if best is None or entry["wall_s"] < best["wall_s"]:
+            if best is not None and best["digest"] != entry["digest"]:
+                raise AssertionError(
+                    "non-deterministic scenario: digest changed between "
+                    "repeats"
+                )
+            best = entry
+    return best
+
+
+def run_mode(quick: bool, repeats: int) -> dict[str, dict]:
+    results = {}
+    for name, builder in _scenarios(quick).items():
+        results[name] = run_scenario(builder, repeats)
+        print(
+            f"  {name:<10} {results[name]['wall_s']:>8.3f}s "
+            f"{results[name]['ops_per_sec']:>10.0f} ops/s "
+            f"{results[name]['events_per_sec']:>10.0f} ev/s "
+            f"digest={results[name]['digest']}"
+        )
+    return results
+
+
+def check_regression(
+    fresh: dict[str, dict], baseline_path: Path, mode: str, tolerance: float
+) -> list[str]:
+    """Compare fresh numbers to the baseline's ``current`` run."""
+    baseline = json.loads(baseline_path.read_text())
+    pinned = baseline.get("runs", {}).get("current", {}).get(mode)
+    if pinned is None:
+        return [f"baseline {baseline_path} has no current/{mode} run"]
+    errors = []
+    for name, entry in fresh.items():
+        base = pinned.get(name)
+        if base is None:
+            errors.append(f"{name}: missing from baseline")
+            continue
+        if base["digest"] != entry["digest"]:
+            errors.append(
+                f"{name}: behaviour digest changed "
+                f"({base['digest']} -> {entry['digest']}) — the simulator "
+                f"is no longer bit-identical to the pinned baseline"
+            )
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        if entry["ops_per_sec"] < floor:
+            errors.append(
+                f"{name}: ops/sec regressed beyond {tolerance:.0%}: "
+                f"{entry['ops_per_sec']:.0f} < {floor:.0f} "
+                f"(baseline {base['ops_per_sec']:.0f})"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenarios (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per scenario, best kept "
+                             "(default: 2 quick, 1 full)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--run-label", default="current",
+                        choices=("current", "pre_pr"),
+                        help="which run slot to record under")
+    parser.add_argument("--merge", type=Path, default=None,
+                        help="seed the output with this JSON's other "
+                             "runs/modes before recording")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to compare against (CI gate)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed ops/sec regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    repeats = args.repeats or (2 if args.quick else 1)
+    print(f"bench_core_speed: mode={mode} repeats={repeats}")
+    fresh = run_mode(args.quick, repeats)
+
+    doc = {"schema_version": 1, "runs": {}}
+    if args.merge and args.merge.exists():
+        doc = json.loads(args.merge.read_text())
+    doc.setdefault("runs", {}).setdefault(args.run_label, {})[mode] = fresh
+
+    pre = doc["runs"].get("pre_pr", {}).get("full")
+    cur = doc["runs"].get("current", {}).get("full")
+    if pre and cur:
+        doc["speedup_vs_pre_pr"] = {
+            name: round(cur[name]["ops_per_sec"] / pre[name]["ops_per_sec"], 2)
+            for name in cur
+            if name in pre and pre[name]["ops_per_sec"] > 0
+        }
+
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check is not None:
+        errors = check_regression(fresh, args.check, mode, args.tolerance)
+        if errors:
+            for err in errors:
+                print(f"REGRESSION: {err}", file=sys.stderr)
+            return 1
+        print(f"regression gate: ok (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

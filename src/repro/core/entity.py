@@ -32,7 +32,10 @@ class DatabaseSchema:
         ValueError: on empty entity or site names.
     """
 
-    __slots__ = ("_site_of", "_entities_at")
+    __slots__ = (
+        "_site_of", "_entities_at", "_entities_cache", "_sites_cache",
+        "_sorted_entities",
+    )
 
     def __init__(self, placement: Mapping[Entity, Site]):
         site_of: dict[Entity, Site] = {}
@@ -48,6 +51,12 @@ class DatabaseSchema:
         self._entities_at = {
             site: frozenset(entities) for site, entities in entities_at.items()
         }
+        # Lazily cached views: the schema is immutable, and per-call
+        # frozenset/sort rebuilds dominated workload generation in
+        # open-system runs (one transaction generated per arrival).
+        self._entities_cache: frozenset[Entity] | None = None
+        self._sites_cache: frozenset[Site] | None = None
+        self._sorted_entities: tuple[Entity, ...] | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -92,11 +101,24 @@ class DatabaseSchema:
 
     @property
     def entities(self) -> frozenset[Entity]:
-        return frozenset(self._site_of)
+        cached = self._entities_cache
+        if cached is None:
+            cached = self._entities_cache = frozenset(self._site_of)
+        return cached
 
     @property
     def sites(self) -> frozenset[Site]:
-        return frozenset(self._entities_at)
+        cached = self._sites_cache
+        if cached is None:
+            cached = self._sites_cache = frozenset(self._entities_at)
+        return cached
+
+    def entities_sorted(self) -> tuple[Entity, ...]:
+        """The entities in sorted order (cached)."""
+        cached = self._sorted_entities
+        if cached is None:
+            cached = self._sorted_entities = tuple(sorted(self._site_of))
+        return cached
 
     def site_of(self, entity: Entity) -> Site:
         """The site storing ``entity``.

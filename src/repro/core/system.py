@@ -41,9 +41,18 @@ class TransactionSystem:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate transaction names in {names}")
         self.transactions = tuple(transactions)
-        schema = DatabaseSchema({})
-        for t in transactions:
-            schema = schema.merged_with(t.schema)
+        first_schema = transactions[0].schema if transactions else None
+        if first_schema is not None and all(
+            t.schema is first_schema for t in transactions
+        ):
+            # One shared schema object (the generated-workload and
+            # open-system case): the merge is the identity, and n
+            # schema rebuilds vanish from system construction.
+            schema = first_schema
+        else:
+            schema = DatabaseSchema({})
+            for t in transactions:
+                schema = schema.merged_with(t.schema)
         self.schema = schema
         accessors: dict[Entity, list[int]] = {}
         for i, t in enumerate(transactions):

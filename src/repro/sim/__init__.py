@@ -48,7 +48,7 @@ from repro.sim.commit import (
 from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
-from repro.sim.metrics import SimulationResult, percentile
+from repro.sim.metrics import SimulationResult, percentile, percentiles
 from repro.sim.replication import (
     ReplicaControl,
     ReplicaManager,
@@ -71,6 +71,7 @@ from repro.sim.runtime import (
     find_deadlocking_seed,
     simulate,
 )
+from repro.sim.waitsfor import WaitsForGraph
 from repro.sim.workload import (
     WorkloadSpec,
     random_schema,
@@ -100,6 +101,7 @@ __all__ = [
     "TimeoutPolicy",
     "TwoPhaseCommit",
     "WaitDiePolicy",
+    "WaitsForGraph",
     "WorkloadSpec",
     "WoundWaitPolicy",
     "find_deadlocking_seed",
@@ -107,6 +109,7 @@ __all__ = [
     "make_protocol",
     "make_replica_control",
     "percentile",
+    "percentiles",
     "protocol_names",
     "random_schema",
     "replica_control_names",

@@ -88,6 +88,11 @@ class OpenSystem:
 class ArrivalProcess:
     """Injects freshly generated transactions via simulator events."""
 
+    __slots__ = (
+        "sim", "spec", "_clock", "schema", "injected", "finished",
+        "_base_names",
+    )
+
     def __init__(self, sim: "Simulator"):
         config = sim.config
         if config.arrival_rate <= 0:

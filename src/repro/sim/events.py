@@ -21,6 +21,8 @@ __all__ = ["EventQueue", "HandlerRegistry"]
 class EventQueue:
     """A deterministic priority queue of timed events."""
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Any]] = []
         self._seq = 0
@@ -65,6 +67,9 @@ class HandlerRegistry:
     ``kind``, called as ``handler(*args)``. Kinds are claimed exactly
     once, so two subsystems cannot silently shadow each other's events.
     """
+
+    # No __slots__: one instance per run, and instrumentation (the
+    # waits-for invariant suite) shadows ``dispatch`` per instance.
 
     def __init__(self) -> None:
         self._handlers: dict[str, Callable[..., None]] = {}

@@ -40,6 +40,8 @@ __all__ = ["FailureInjector"]
 class FailureInjector:
     """Crashes and repairs sites via registered simulator events."""
 
+    __slots__ = ("sim", "_rng")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         config = sim.config
@@ -47,7 +49,6 @@ class FailureInjector:
             raise ValueError("failure injection needs failure_rate > 0")
         # A private stream: failures must not perturb the main RNG.
         self._rng = random.Random((config.seed + 1) * 1_000_003 + 0x5EED)
-        self._down: set[str] = set()
 
     def attach(self) -> None:
         """Register event handlers and schedule the first crashes."""
@@ -58,13 +59,28 @@ class FailureInjector:
             self._schedule_crash(site)
 
     def site_up(self, site: str) -> bool:
-        """Whether ``site`` is currently up."""
-        return site not in self._down
+        """Whether ``site`` is currently up.
+
+        The simulator's interned flag array is the single store of
+        up/down truth; the injector only drives its transitions.
+        """
+        return self.sim.site_is_up(site)
+
+    def mark_down(self, site: str) -> None:
+        """Record ``site`` as crashed (state only, no abort cascade)."""
+        self.sim._mark_site(site, False)
+
+    def mark_up(self, site: str) -> None:
+        """Record ``site`` as repaired."""
+        self.sim._mark_site(site, True)
 
     @property
     def down_sites(self) -> list[str]:
         """The currently crashed sites, sorted."""
-        return sorted(self._down)
+        sim = self.sim
+        return [
+            site for site in sim.site_names() if not sim.site_is_up(site)
+        ]
 
     # ------------------------------------------------------------------
     # event handlers
@@ -80,7 +96,7 @@ class FailureInjector:
         # interval before the state flips (the copies' catch-up duty is
         # imposed at recovery, not here).
         sim.replicas.on_crash(site)
-        self._down.add(site)
+        self.mark_down(site)
         sim.result.crashes += 1
         sim.crash_site(site)
         repair = max(self.sim.config.repair_time, 1e-9)
@@ -89,7 +105,7 @@ class FailureInjector:
 
     def _on_recover(self, site: str) -> None:
         self.sim.replicas.on_recover(site)
-        self._down.discard(site)
+        self.mark_up(site)
         # Keep crashing only while there is work left; otherwise the
         # crash chain would pad the queue to the time horizon.
         if self.sim.has_uncommitted():

@@ -26,13 +26,35 @@ otherwise the upgrade waits at the *front* of the queue and is granted
 when the other shared holders release. Two simultaneous upgrades on
 one entity would deadlock against each other, so the second raises
 ``ValueError`` — callers must abort one of the transactions instead.
+
+Performance notes (the fast-path PR): the wait queue is an
+insertion-ordered dict (FIFO by dict order, O(1) membership and
+cancellation instead of deque scans), and two per-transaction indexes
+— ``_txn_held`` and ``_txn_wait`` — make :meth:`release_all`,
+:meth:`involved`, :meth:`held_by`, and :meth:`waiting_for` proportional
+to the transaction's own lock state rather than to the site's whole
+table. ``release_all`` replays the exact historical release order (the
+``_holders`` key insertion order) via per-entity slot counters, so
+grant cascades — and therefore whole simulations — stay bit-identical
+to the pre-index implementation. An optional ``observer``
+(:class:`~repro.sim.waitsfor.SiteCellObserver`) receives the four
+primitive cell mutations — wait, unwait, hold, unhold — which is how
+the runtime maintains the waits-for graph incrementally at O(edge
+delta) cost per lock operation.
+
+Entity keys are opaque hashables: the simulator interns entities to
+dense integer ids, while direct users (tests, examples) may keep
+strings — the table never inspects the keys beyond hashing/sorting.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.core.entity import Entity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.waitsfor import SiteCellObserver
 
 __all__ = ["EXCLUSIVE", "SHARED", "SiteLockManager"]
 
@@ -49,11 +71,64 @@ class SiteLockManager:
     aborts) and holders force-released (wounds, aborts).
     """
 
+    __slots__ = (
+        "site", "_holders", "_queue", "_txn_held", "_txn_wait",
+        "_slot", "_next_slot", "observer",
+    )
+
     def __init__(self, site: str):
         self.site = site
-        # entity -> {txn: mode}; insertion order is grant order.
+        # entity -> {txn: mode}; insertion order is grant order, and the
+        # *key* order (which entity became continuously held first) is
+        # the historical release_all order.
         self._holders: dict[Entity, dict[int, str]] = {}
-        self._queue: dict[Entity, deque[tuple[int, str]]] = {}
+        # entity -> {txn: mode}; dict order is FIFO queue order.
+        self._queue: dict[Entity, dict[int, str]] = {}
+        # txn -> entities it holds / waits for at this site.
+        self._txn_held: dict[int, set[Entity]] = {}
+        self._txn_wait: dict[int, set[Entity]] = {}
+        # entity -> monotone counter stamped when its _holders key was
+        # created; orders release_all like the _holders dict scan did.
+        self._slot: dict[Entity, int] = {}
+        self._next_slot = 0
+        # Receives wait/unwait/hold/unhold cell mutations (None = no
+        # observer; the runtime attaches one for the policies that
+        # consume the waits-for graph).
+        self.observer: "SiteCellObserver | None" = None
+
+    # ------------------------------------------------------------------
+    # index upkeep
+    # ------------------------------------------------------------------
+
+    def _new_holder_cell(self, entity: Entity) -> dict[int, str]:
+        holders = self._holders.get(entity)
+        if holders is None:
+            holders = self._holders[entity] = {}
+            self._slot[entity] = self._next_slot
+            self._next_slot += 1
+        return holders
+
+    def _drop_holder_cell_if_empty(self, entity: Entity) -> None:
+        if not self._holders.get(entity, True):
+            del self._holders[entity]
+            del self._slot[entity]
+
+    def _index_add(
+        self, index: dict[int, set[Entity]], txn: int, entity: Entity
+    ) -> None:
+        entities = index.get(txn)
+        if entities is None:
+            entities = index[txn] = set()
+        entities.add(entity)
+
+    def _index_discard(
+        self, index: dict[int, set[Entity]], txn: int, entity: Entity
+    ) -> None:
+        entities = index.get(txn)
+        if entities is not None:
+            entities.discard(entity)
+            if not entities:
+                del index[txn]
 
     # ------------------------------------------------------------------
     # requests and releases
@@ -76,21 +151,33 @@ class SiteLockManager:
             if mode == SHARED or holders[txn] == EXCLUSIVE:
                 raise ValueError(f"T{txn} already holds {entity!r}")
             return self._request_upgrade(txn, entity, holders)
-        queue = self._queue.get(entity)
-        if queue is not None and any(t == txn for t, _m in queue):
+        waited = self._txn_wait.get(txn)
+        if waited is not None and entity in waited:
             raise ValueError(f"T{txn} already waits for {entity!r}")
         if not holders:
             # Free entity: the queue is empty by invariant, grant.
-            self._holders[entity] = {txn: mode}
+            self._new_holder_cell(entity)[txn] = mode
+            self._index_add(self._txn_held, txn, entity)
+            if self.observer is not None:
+                self.observer.hold(entity, txn)
             return True
+        queue = self._queue.get(entity)
         if (
             mode == SHARED
             and not queue
             and all(m == SHARED for m in holders.values())
         ):
             holders[txn] = SHARED
+            self._index_add(self._txn_held, txn, entity)
+            if self.observer is not None:
+                self.observer.hold(entity, txn)
             return True
-        self._queue.setdefault(entity, deque()).append((txn, mode))
+        if queue is None:
+            queue = self._queue[entity] = {}
+        queue[txn] = mode
+        self._index_add(self._txn_wait, txn, entity)
+        if self.observer is not None:
+            self.observer.wait(entity, txn)
         return False
 
     def _request_upgrade(
@@ -98,15 +185,24 @@ class SiteLockManager:
     ) -> bool:
         """S -> X upgrade of a current shared holder."""
         if len(holders) == 1:
-            holders[txn] = EXCLUSIVE
+            holders[txn] = EXCLUSIVE  # membership unchanged: no event
             return True
-        queue = self._queue.setdefault(entity, deque())
-        if queue and queue[0][1] == EXCLUSIVE and queue[0][0] in holders:
-            raise ValueError(
-                f"T{txn} and T{queue[0][0]} would deadlock upgrading "
-                f"{entity!r}"
-            )
-        queue.appendleft((txn, EXCLUSIVE))
+        queue = self._queue.get(entity)
+        if queue:
+            front_txn, front_mode = next(iter(queue.items()))
+            if front_mode == EXCLUSIVE and front_txn in holders:
+                raise ValueError(
+                    f"T{txn} and T{front_txn} would deadlock upgrading "
+                    f"{entity!r}"
+                )
+        # The upgrade waits at the *front* of the queue.
+        rebuilt = {txn: EXCLUSIVE}
+        if queue:
+            rebuilt.update(queue)
+        self._queue[entity] = rebuilt
+        self._index_add(self._txn_wait, txn, entity)
+        if self.observer is not None:
+            self.observer.wait(entity, txn)
         return False
 
     def release(self, txn: int, entity: Entity) -> list[int]:
@@ -123,11 +219,13 @@ class SiteLockManager:
         if not holders or txn not in holders:
             raise ValueError(f"T{txn} does not hold {entity!r}")
         del holders[txn]
+        self._index_discard(self._txn_held, txn, entity)
+        if self.observer is not None:
+            self.observer.unhold(entity, txn)
         # A pending upgrade of the releaser dies with its shared grant.
         self._cancel_queued(txn, entity)
         granted = self._grant_from_queue(entity)
-        if not self._holders.get(entity):
-            self._holders.pop(entity, None)
+        self._drop_holder_cell_if_empty(entity)
         return granted
 
     def _grant_from_queue(self, entity: Entity) -> list[int]:
@@ -135,9 +233,9 @@ class SiteLockManager:
         queue = self._queue.get(entity)
         if not queue:
             return []
-        holders = self._holders.setdefault(entity, {})
+        holders = self._new_holder_cell(entity)
         granted: list[int] = []
-        front_txn, front_mode = queue[0]
+        front_txn, front_mode = next(iter(queue.items()))
         if holders:
             if (
                 front_mode == EXCLUSIVE
@@ -145,8 +243,11 @@ class SiteLockManager:
                 and front_txn in holders
             ):
                 # A front-of-queue upgrade whose owner is now the sole
-                # holder proceeds.
-                queue.popleft()
+                # holder proceeds (already a holder: unwait only).
+                del queue[front_txn]
+                self._index_discard(self._txn_wait, front_txn, entity)
+                if self.observer is not None:
+                    self.observer.unwait(entity, front_txn)
                 holders[front_txn] = EXCLUSIVE
                 granted.append(front_txn)
             # A cancelled (or upgraded-away) writer can expose a front
@@ -155,30 +256,43 @@ class SiteLockManager:
                 mode == SHARED for mode in holders.values()
             )
         else:
-            queue.popleft()
+            del queue[front_txn]
+            self._index_discard(self._txn_wait, front_txn, entity)
             holders[front_txn] = front_mode
+            self._index_add(self._txn_held, front_txn, entity)
+            if self.observer is not None:
+                self.observer.unwait(entity, front_txn)
+                self.observer.hold(entity, front_txn)
             granted.append(front_txn)
             share_batch = front_mode == SHARED
         if share_batch:
-            while queue and queue[0][1] == SHARED:
-                txn, _mode = queue.popleft()
+            while queue:
+                txn, mode = next(iter(queue.items()))
+                if mode != SHARED:
+                    break
+                del queue[txn]
+                self._index_discard(self._txn_wait, txn, entity)
                 holders[txn] = SHARED
+                self._index_add(self._txn_held, txn, entity)
+                if self.observer is not None:
+                    self.observer.unwait(entity, txn)
+                    self.observer.hold(entity, txn)
                 granted.append(txn)
         if not queue:
             del self._queue[entity]
-        if not holders:
-            self._holders.pop(entity, None)
+        self._drop_holder_cell_if_empty(entity)
         return granted
 
     def _cancel_queued(self, txn: int, entity: Entity) -> None:
         queue = self._queue.get(entity)
-        if not queue:
+        if not queue or txn not in queue:
             return
-        entry = next((e for e in queue if e[0] == txn), None)
-        if entry is not None:
-            queue.remove(entry)
-            if not queue:
-                del self._queue[entity]
+        del queue[txn]
+        self._index_discard(self._txn_wait, txn, entity)
+        if self.observer is not None:
+            self.observer.unwait(entity, txn)
+        if not queue:
+            del self._queue[entity]
 
     def cancel_wait(self, txn: int, entity: Entity) -> list[int]:
         """Remove ``txn`` from the wait queue of ``entity``.
@@ -190,7 +304,7 @@ class SiteLockManager:
         no-op). No-op for an absent ``txn``.
         """
         queue = self._queue.get(entity)
-        if not queue or not any(t == txn for t, _m in queue):
+        if not queue or txn not in queue:
             return []
         self._cancel_queued(txn, entity)
         return self._grant_from_queue(entity)
@@ -198,11 +312,20 @@ class SiteLockManager:
     def release_all(self, txn: int) -> list[tuple[Entity, list[int]]]:
         """Release every lock ``txn`` holds at this site.
 
+        O(1) when the transaction holds nothing here; otherwise
+        proportional to its own held set. The release order is the
+        ``_holders`` key order (slot order), matching the historical
+        full-table scan exactly — grant cascades depend on it.
+
         Returns:
             ``(entity, granted_txns)`` for each released entity.
         """
-        held = [e for e, holders in self._holders.items() if txn in holders]
-        return [(entity, self.release(txn, entity)) for entity in held]
+        held = self._txn_held.get(txn)
+        if not held:
+            return []
+        slot = self._slot
+        ordered = sorted(held, key=slot.__getitem__)
+        return [(entity, self.release(txn, entity)) for entity in ordered]
 
     # ------------------------------------------------------------------
     # queries
@@ -225,24 +348,38 @@ class SiteLockManager:
         """Every current holder of ``entity``, sorted."""
         return sorted(self._holders.get(entity, ()))
 
+    def holders_map(self, entity: Entity) -> dict[int, str] | None:
+        """The internal holder cell ``{txn: mode}`` (None when free).
+
+        Hot-path accessor for the runtime: grant order preserved, no
+        copy. Callers must not mutate it.
+        """
+        return self._holders.get(entity)
+
+    def queue_map(self, entity: Entity) -> dict[int, str] | None:
+        """The internal wait queue ``{txn: mode}`` in FIFO order.
+
+        Hot-path accessor for the runtime; callers must not mutate it.
+        """
+        return self._queue.get(entity)
+
     def mode(self, entity: Entity) -> str | None:
         """The granted mode of ``entity`` (None when free)."""
         holders = self._holders.get(entity)
         if not holders:
             return None
-        modes = set(holders.values())
-        return EXCLUSIVE if EXCLUSIVE in modes else SHARED
+        for m in holders.values():
+            if m == EXCLUSIVE:
+                return EXCLUSIVE
+        return SHARED
 
     def waiters(self, entity: Entity) -> list[int]:
-        return [txn for txn, _mode in self._queue.get(entity, ())]
+        return list(self._queue.get(entity, ()))
 
     def queued_mode(self, entity: Entity, txn: int) -> str | None:
         """The mode ``txn`` is queued for on ``entity`` (None if not
         queued)."""
-        for queued, mode in self._queue.get(entity, ()):
-            if queued == txn:
-                return mode
-        return None
+        return self._queue.get(entity, {}).get(txn)
 
     def involved(self) -> list[int]:
         """Every transaction holding or waiting for a lock at this site.
@@ -250,27 +387,21 @@ class SiteLockManager:
         Used by the failure injector: a site crash touches exactly the
         transactions with lock state here.
         """
-        txns = set()
-        for holders in self._holders.values():
-            txns.update(holders)
-        for queue in self._queue.values():
-            txns.update(txn for txn, _mode in queue)
+        txns = set(self._txn_held)
+        txns.update(self._txn_wait)
         return sorted(txns)
 
+    def is_involved(self, txn: int) -> bool:
+        """O(1): does ``txn`` hold or wait for anything here?"""
+        return txn in self._txn_held or txn in self._txn_wait
+
     def held_by(self, txn: int) -> list[Entity]:
-        return sorted(
-            entity for entity, holders in self._holders.items()
-            if txn in holders
-        )
+        return sorted(self._txn_held.get(txn, ()))
 
     def waiting_for(self, txn: int) -> list[Entity]:
-        return sorted(
-            entity
-            for entity, queue in self._queue.items()
-            if any(t == txn for t, _mode in queue)
-        )
+        return sorted(self._txn_wait.get(txn, ()))
 
     def __repr__(self) -> str:
         held = {e: dict(h) for e, h in self._holders.items()}
-        queued = {e: list(q) for e, q in self._queue.items()}
+        queued = {e: list(q.items()) for e, q in self._queue.items()}
         return f"SiteLockManager({self.site!r}, held={held}, queued={queued})"

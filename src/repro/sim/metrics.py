@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.util.render import format_table
 
-__all__ = ["SimulationResult", "percentile"]
+__all__ = ["SimulationResult", "percentile", "percentiles"]
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -16,11 +16,26 @@ def percentile(values: list[float], q: float) -> float:
     ``q`` is in percent: ``percentile(vals, 95)`` is the smallest value
     such that at least 95% of the samples are <= it.
     """
+    return percentiles(values, (q,))[0]
+
+
+def percentiles(
+    values: list[float], qs: "tuple[float, ...] | list[float]"
+) -> list[float]:
+    """Nearest-rank percentiles for every ``q`` in ``qs``, sorting once.
+
+    Equivalent to ``[percentile(values, q) for q in qs]`` but the input
+    is sorted a single time however many quantiles are requested (the
+    p50/p95/p99 reporting path used to sort the same list three times).
+    Empty input yields 0.0 for every quantile.
+    """
     if not values:
-        return 0.0
+        return [0.0] * len(qs)
     ordered = sorted(values)
-    rank = math.ceil(q / 100.0 * len(ordered))
-    return ordered[min(max(rank, 1), len(ordered)) - 1]
+    n = len(ordered)
+    return [
+        ordered[min(max(math.ceil(q / 100.0 * n), 1), n) - 1] for q in qs
+    ]
 
 
 @dataclass
@@ -236,11 +251,8 @@ class SimulationResult:
                 f"unknown latency kind {kind!r}; "
                 f"choose from {sorted(sources)}"
             ) from None
-        return {
-            "p50": percentile(values, 50),
-            "p95": percentile(values, 95),
-            "p99": percentile(values, 99),
-        }
+        p50, p95, p99 = percentiles(values, (50, 95, 99))
+        return {"p50": p50, "p95": p95, "p99": p99}
 
     @property
     def aborts_by_cause(self) -> dict[str, int]:

@@ -43,6 +43,14 @@ with the replication layer. It owns
   while every current copy of an entity is crashed or awaiting
   catch-up, and ``quorum`` stays up through every minority failure.
 
+Internally everything is keyed on the simulator's interned entity and
+site ids (:meth:`~repro.sim.runtime.Simulator.entity_id` /
+:meth:`~repro.sim.runtime.Simulator.site_id`): the hot per-lock calls
+are :meth:`read_sids`/:meth:`write_sids`, and without fault injection
+:meth:`constant_routes` precomputes every answer so the per-request
+protocol call disappears entirely. The historical name-based methods
+(``read_sites``, ``stale_replicas``, ...) remain as thin wrappers.
+
 With ``replication_factor=1`` every entity has exactly its primary
 replica, all protocols pick that single site, and the manager adds no
 events, consumes no randomness, and changes no seed-era result field —
@@ -66,6 +74,13 @@ __all__ = ["ReplicaManager"]
 class ReplicaManager:
     """Replica placement, staleness, and availability for one run."""
 
+    __slots__ = (
+        "sim", "schema", "control", "_replica_sids", "_hosted_eids",
+        "_n_entities", "_missed", "_unvalidated", "_catchup_active",
+        "_const_read", "_const_write",
+        "_last_time", "_read_area", "_write_area", "_service_area",
+    )
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         spec = sim.config.workload
@@ -74,14 +89,30 @@ class ReplicaManager:
             sim.system.schema, factor
         )
         self.control = make_replica_control(sim.config.replica_protocol)
-        self._missed: dict[Site, set[Entity]] = {}
-        self._unvalidated: dict[Site, set[Entity]] = {}
+        # Interned placement: eid -> ordered replica sids (primary
+        # first), sid -> eids hosted there.
+        site_id = sim.site_id
+        self._replica_sids: list[tuple[int, ...]] = [
+            tuple(site_id(s) for s in self.schema.replicas_of(name))
+            for name in sim._entity_names
+        ]
+        self._hosted_eids: list[tuple[int, ...]] = [
+            tuple(sorted(
+                sim.entity_id(e) for e in self.schema.hosted_at(name)
+            ))
+            for name in sim._site_names
+        ]
+        self._n_entities = len(sim._entity_names)
+        self._missed: dict[int, set[int]] = {}  # sid -> eids
+        self._unvalidated: dict[int, set[int]] = {}  # sid -> eids
         self._catchup_active = (
             self.schema.is_replicated() and self.control.uses_staleness
         )
         if self._catchup_active:
             sim.register_handler("replica_catchup", self._on_catchup)
-        self._entities = sorted(self.schema.entities)
+        # Routes valid whenever every site is up and nothing is stale
+        # — the common state even in failure-enabled runs.
+        self._const_read, self._const_write = self.constant_routes()
         self._last_time = 0.0
         self._read_area = 0.0
         self._write_area = 0.0
@@ -91,51 +122,117 @@ class ReplicaManager:
     # site selection (called on every Lock issue)
     # ------------------------------------------------------------------
 
-    def _up(self, site: Site) -> bool:
+    def _up(self, sid: int) -> bool:
         # The failure injector is the single source of up/down truth;
         # its crash/recover handlers call the hooks below *before*
         # flipping state, so availability integration always covers the
         # pre-event interval with the pre-event state.
-        return self.sim.site_is_up(site)
+        sim = self.sim
+        return sim.failures is None or sim._site_up[sid]
 
-    def _is_stale(self, site: Site, entity: Entity) -> bool:
+    def _is_stale(self, sid: int, eid: int) -> bool:
         return (
-            entity in self._missed.get(site, ())
-            or entity in self._unvalidated.get(site, ())
+            eid in self._missed.get(sid, ())
+            or eid in self._unvalidated.get(sid, ())
         )
 
-    def _stale_at(self, entity: Entity) -> frozenset[Site]:
-        return frozenset(
-            site
-            for site in self.schema.replicas_of(entity)
-            if self._is_stale(site, entity)
+    def _stale_sids(self, eid: int) -> tuple[int, ...]:
+        if not self._missed and not self._unvalidated:
+            return ()
+        return tuple(
+            sid
+            for sid in self._replica_sids[eid]
+            if self._is_stale(sid, eid)
         )
+
+    def read_sids(self, eid: int) -> tuple[int, ...] | None:
+        """Replica sids a read of entity ``eid`` must lock now."""
+        sim = self.sim
+        if sim.failures is None or (
+            sim._down_count == 0
+            and not self._missed
+            and not self._unvalidated
+        ):
+            return self._const_read[eid]
+        replicas = self._replica_sids[eid]
+        site_up = sim._site_up
+        up = [sid for sid in replicas if site_up[sid]]
+        return self.control.read_sites(replicas, up, self._stale_sids(eid))
+
+    def write_sids(self, eid: int) -> tuple[int, ...] | None:
+        """Replica sids a write of entity ``eid`` must lock now."""
+        sim = self.sim
+        if sim.failures is None or sim._down_count == 0:
+            return self._const_write[eid]
+        replicas = self._replica_sids[eid]
+        site_up = sim._site_up
+        up = [sid for sid in replicas if site_up[sid]]
+        return self.control.write_sites(replicas, up)
+
+    def cached_routes(
+        self,
+    ) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+        """The all-up/no-staleness route tables computed at init."""
+        return self._const_read, self._const_write
+
+    def constant_routes(
+        self,
+    ) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+        """Per-entity ``(read, write)`` routes valid for failure-free
+        runs.
+
+        Without fault injection no site is ever down and no copy ever
+        goes stale, so every protocol's choice is a constant of the
+        schema — the runtime indexes these tables instead of calling
+        the protocol per request.
+        """
+        control = self.control
+        reads: list[tuple[int, ...]] = []
+        writes: list[tuple[int, ...]] = []
+        for replicas in self._replica_sids:
+            reads.append(control.read_sites(replicas, replicas, ()))
+            writes.append(control.write_sites(replicas, replicas))
+        return reads, writes
+
+    # ------------------------------------------------------------------
+    # name-based wrappers (tests, external callers)
+    # ------------------------------------------------------------------
+
+    def _names(
+        self, sids: tuple[int, ...] | None
+    ) -> tuple[Site, ...] | None:
+        if sids is None:
+            return None
+        site_name = self.sim.site_name
+        return tuple(site_name(sid) for sid in sids)
 
     def read_sites(self, entity: Entity) -> tuple[Site, ...] | None:
-        """Replicas a read of ``entity`` must lock now (or None)."""
-        replicas = self.schema.replicas_of(entity)
-        up = [site for site in replicas if self._up(site)]
-        return self.control.read_sites(replicas, up, self._stale_at(entity))
+        """Replica site names a read of ``entity`` must lock (or None)."""
+        return self._names(self.read_sids(self.sim.entity_id(entity)))
 
     def write_sites(self, entity: Entity) -> tuple[Site, ...] | None:
-        """Replicas a write of ``entity`` must lock now (or None)."""
-        replicas = self.schema.replicas_of(entity)
-        up = [site for site in replicas if self._up(site)]
-        return self.control.write_sites(replicas, up)
+        """Replica site names a write of ``entity`` must lock (or None)."""
+        return self._names(self.write_sids(self.sim.entity_id(entity)))
 
     def primary_of(self, entity: Entity) -> Site:
         return self.schema.primary_of(entity)
 
     def stale_replicas(self, entity: Entity) -> frozenset[Site]:
         """The replica sites of ``entity`` currently unfit for reads."""
-        return self._stale_at(entity)
+        eid = self.sim.entity_id(entity)
+        site_name = self.sim.site_name
+        return frozenset(
+            site_name(sid) for sid in self._stale_sids(eid)
+        )
 
     def missed_replicas(self, entity: Entity) -> frozenset[Site]:
         """The replica sites that provably missed a committed write."""
+        eid = self.sim.entity_id(entity)
+        site_name = self.sim.site_name
         return frozenset(
-            site
-            for site in self.schema.replicas_of(entity)
-            if entity in self._missed.get(site, ())
+            site_name(sid)
+            for sid in self._replica_sids[eid]
+            if eid in self._missed.get(sid, ())
         )
 
     # ------------------------------------------------------------------
@@ -143,13 +240,13 @@ class ReplicaManager:
     # ------------------------------------------------------------------
 
     def _discard(
-        self, table: dict[Site, set[Entity]], site: Site, entity: Entity
+        self, table: dict[int, set[int]], sid: int, eid: int
     ) -> None:
-        marks = table.get(site)
+        marks = table.get(sid)
         if marks:
-            marks.discard(entity)
+            marks.discard(eid)
             if not marks:
-                del table[site]
+                del table[sid]
 
     def on_crash(self, site: Site) -> None:
         """A site crashed (availability bookkeeping only).
@@ -172,10 +269,11 @@ class ReplicaManager:
         self._integrate()
         if not self._catchup_active:
             return
-        hosted = self.schema.hosted_at(site)
+        sid = self.sim.site_id(site)
+        hosted = self._hosted_eids[sid]
         if not hosted:
             return
-        self._unvalidated.setdefault(site, set()).update(hosted)
+        self._unvalidated.setdefault(sid, set()).update(hosted)
         self.sim.schedule(
             self.sim.config.catchup_time, ("replica_catchup", site)
         )
@@ -191,34 +289,35 @@ class ReplicaManager:
         scan alive — unless the run has drained, which would otherwise
         pad the queue with retries to the horizon.
         """
-        if not self._up(site):
+        sid = self.sim.site_id(site)
+        if not self._up(sid):
             return  # crashed again; the next recovery rescans
-        marks = self._unvalidated.get(site)
+        marks = self._unvalidated.get(sid)
         if not marks:
             return
         self._integrate()
-        for entity in sorted(marks):
-            if self._validate(site, entity):
-                marks.discard(entity)
+        for eid in sorted(marks):
+            if self._validate(sid, eid):
+                marks.discard(eid)
         if not marks:
-            del self._unvalidated[site]
+            del self._unvalidated[sid]
         elif self.sim.has_uncommitted():
             self.sim.schedule(
                 self.sim.config.catchup_time, ("replica_catchup", site)
             )
 
-    def _validate(self, site: Site, entity: Entity) -> bool:
+    def _validate(self, sid: int, eid: int) -> bool:
         peers = [
             peer
-            for peer in self.schema.replicas_of(entity)
-            if peer != site and self._up(peer)
+            for peer in self._replica_sids[eid]
+            if peer != sid and self._up(peer)
         ]
-        if any(not self._is_stale(peer, entity) for peer in peers):
+        if any(not self._is_stale(peer, eid) for peer in peers):
             # Synced from a fully current live copy — this also repairs
             # a copy that had missed writes.
-            self._discard(self._missed, site, entity)
+            self._discard(self._missed, sid, eid)
             return True
-        if entity in self._missed.get(site, ()):
+        if eid in self._missed.get(sid, ()):
             return False  # outdated, and no current source to copy from
         # No copy of the entity is validated anywhere, but this one
         # missed nothing: its durable version is maximal (the simulator
@@ -226,8 +325,8 @@ class ReplicaManager:
         # assemble), so it revalidates — and so does every live peer
         # that missed nothing.
         for peer in peers:
-            if entity not in self._missed.get(peer, ()):
-                self._discard(self._unvalidated, peer, entity)
+            if eid not in self._missed.get(peer, ()):
+                self._discard(self._unvalidated, peer, eid)
         return True
 
     def on_commit(self, inst: "_Instance") -> None:
@@ -242,32 +341,32 @@ class ReplicaManager:
             # staleness, so for them commit-time bookkeeping cannot
             # change any observable state — skip the O(entities) scan.
             return
-        txn = self.sim.system[inst.index]
-        written = txn.entities - txn.read_set
+        written = inst.write_eids
         if not written:
             return
-        if (
-            not self._missed
-            and not self._unvalidated
-            and all(
-                set(self.schema.replicas_of(entity))
-                <= set(inst.lock_sites.get(entity, ()))
-                for entity in written
-            )
-        ):
-            # Nothing is stale and every write reached every replica:
-            # the tables cannot change, so skip the O(entities) pass
-            # (the common failure-free case).
-            return
+        lock_sites = inst.lock_sites
+        replica_sids = self._replica_sids
+        if not self._missed and not self._unvalidated:
+            locked_everything = True
+            for eid in written:
+                reached = lock_sites.get(eid, ())
+                if any(sid not in reached for sid in replica_sids[eid]):
+                    locked_everything = False
+                    break
+            if locked_everything:
+                # Nothing is stale and every write reached every
+                # replica: the tables cannot change, so skip the
+                # bookkeeping pass (the common failure-free case).
+                return
         self._integrate()
-        for entity in sorted(written):
-            reached = set(inst.lock_sites.get(entity, ()))
-            for site in self.schema.replicas_of(entity):
-                if site in reached:
-                    self._discard(self._missed, site, entity)
-                    self._discard(self._unvalidated, site, entity)
+        for eid in written:
+            reached = set(lock_sites.get(eid, ()))
+            for sid in replica_sids[eid]:
+                if sid in reached:
+                    self._discard(self._missed, sid, eid)
+                    self._discard(self._unvalidated, sid, eid)
                 else:
-                    self._missed.setdefault(site, set()).add(entity)
+                    self._missed.setdefault(sid, set()).add(eid)
 
     def finalize(self) -> None:
         """Close the availability integral and publish it to the result."""
@@ -288,17 +387,16 @@ class ReplicaManager:
         self._last_time = now
         if dt <= 0:
             return
-        entities = self._entities
-        if not entities:
+        n = self._n_entities
+        if not n:
             return
         readable = writable = serviceable = 0
-        for entity in entities:
-            read_ok = self.read_sites(entity) is not None
-            write_ok = self.write_sites(entity) is not None
+        for eid in range(n):
+            read_ok = self.read_sids(eid) is not None
+            write_ok = self.write_sids(eid) is not None
             readable += read_ok
             writable += write_ok
             serviceable += read_ok and write_ok
-        n = len(entities)
         self._read_area += dt * readable / n
         self._write_area += dt * writable / n
         self._service_area += dt * serviceable / n

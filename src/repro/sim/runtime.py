@@ -40,6 +40,22 @@ The subsystems register their own event kinds on the runtime's
 :class:`~repro.sim.events.HandlerRegistry`, so the main loop is a pure
 dispatcher and never enumerates event types.
 
+Fast-path architecture: at construction the simulator *interns* the
+schema — entities and sites are mapped to dense integer ids in sorted
+name order — and compiles each transaction's hot data (per-node entity
+ids, ancestor masks, lock-node table, cross-site delay mask) onto its
+instance. All run-time lock state (:class:`~repro.sim.locks.
+SiteLockManager` keys, ``waiting``/``retained``/``lock_sites``) is
+keyed on those ids; because id order equals sorted-name order, every
+historically ``sorted()``-dependent iteration is preserved bit for bit
+while the comparisons and hashes become integer-cheap. The waits-for
+graph is maintained incrementally (:mod:`repro.sim.waitsfor`) instead
+of being rebuilt each detection tick, the committed-operation trace is
+recorded append-only in dispatch order (already sorted — no final
+sort), and finished transactions retire from every per-event scan.
+Name-based accessors (``lock_tables()``, ``site_names()``,
+``entity_id()``/``site_id()``) remain for subsystems and tests.
+
 The committed operations form a trace that replays as a legal
 :class:`repro.core.Schedule`; the runtime closes the loop with the
 static theory by testing that trace for serializability with the same
@@ -53,6 +69,7 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.core.operations import OpKind
 from repro.core.schedule import Schedule
@@ -67,8 +84,8 @@ from repro.sim.locks import EXCLUSIVE, SHARED, SiteLockManager
 from repro.sim.metrics import SimulationResult
 from repro.sim.policies import Decision, Policy, make_policy
 from repro.sim.replication import ReplicaManager
+from repro.sim.waitsfor import WaitsForGraph
 from repro.sim.workload import WorkloadSpec
-from repro.util.bitset import bits_of
 from repro.util.graphs import find_cycle
 
 __all__ = ["SimulationConfig", "Simulator", "simulate"]
@@ -77,6 +94,9 @@ _RUNNING = "running"
 _PREPARED = "prepared"
 _COMMITTED = "committed"
 _ABORTED = "aborted"
+
+_LOCK = OpKind.LOCK
+_UNLOCK = OpKind.UNLOCK
 
 
 @dataclass(frozen=True)
@@ -155,12 +175,21 @@ class SimulationConfig:
 
 
 class _Instance:
-    """Mutable execution state of one transaction."""
+    """Mutable execution state of one transaction.
+
+    Besides the dynamic fields, the instance carries the transaction's
+    *compiled* hot data, precomputed once at injection: per-node entity
+    ids, per-node ancestor masks, the eid -> Lock-node table, the read
+    (shared-mode) eid set, the written eids in sorted order, and the
+    bitmask of nodes whose issue crosses sites (network delay).
+    """
 
     __slots__ = (
         "index", "status", "timestamp", "attempt", "done", "issued",
         "waiting", "commit_time", "start_time", "exec_done_time",
         "prepared_since", "retained", "lock_sites", "pending_replicas",
+        "eids", "kinds", "anc", "succ", "roots_mask", "all_mask",
+        "lock_node_of", "shared_eids", "write_eids", "cross_mask",
     )
 
     def __init__(self, index: int):
@@ -170,16 +199,27 @@ class _Instance:
         self.attempt = 0
         self.done = 0  # bitmask of completed nodes
         self.issued = 0  # bitmask of issued nodes
-        self.waiting: dict[tuple[str, str], float] = {}  # (entity, site)
+        self.waiting: dict[tuple[int, int], float] = {}  # (eid, sid)
         self.commit_time = -1.0
         self.start_time = 0.0
         self.exec_done_time = -1.0  # last operation's completion time
         self.prepared_since = -1.0  # entry into the PREPARED window
-        self.retained: set[tuple[str, str]] = set()  # (entity, site)
-        # entity -> replica sites this attempt locks (protocol choice)
-        self.lock_sites: dict[str, tuple[str, ...]] = {}
-        # entity -> replica sites whose grant is still outstanding
-        self.pending_replicas: dict[str, set[str]] = {}
+        self.retained: set[tuple[int, int]] = set()  # (eid, sid)
+        # eid -> replica sids this attempt locks (protocol choice)
+        self.lock_sites: dict[int, tuple[int, ...]] = {}
+        # eid -> replica sids whose grant is still outstanding
+        self.pending_replicas: dict[int, set[int]] = {}
+        # compiled transaction data (filled by Simulator._compile)
+        self.eids: list[int] = []
+        self.kinds: list[OpKind] = []
+        self.anc: list[int] = []
+        self.succ: list[int] = []
+        self.roots_mask = 0
+        self.all_mask = 0
+        self.lock_node_of: dict[int, int] = {}
+        self.shared_eids: frozenset[int] = frozenset()
+        self.write_eids: tuple[int, ...] = ()
+        self.cross_mask = 0
 
 
 class Simulator:
@@ -208,20 +248,65 @@ class Simulator:
                 system.transactions,
                 system.schema.merged_with(self.arrivals.schema),
             )
-        # Sorted site order: _abort releases locks site by site, so the
-        # iteration order is behaviour, not presentation — building the
-        # table from the schema's frozenset would leak the process hash
-        # seed into grant order and break run-level determinism.
-        self._sites = {
-            site: SiteLockManager(site)
-            for site in sorted(self.system.schema.sites)
+        # Intern the schema: dense ids in sorted name order, so id
+        # order reproduces every historically sorted iteration (site
+        # release order in _abort, retained-lock order, participant
+        # lists) while the hot-path keys become integers.
+        schema = self.system.schema
+        self._entity_names: list[str] = sorted(schema.entities)
+        self._entity_ids: dict[str, int] = {
+            name: eid for eid, name in enumerate(self._entity_names)
         }
-        self._instances = [_Instance(i) for i in range(len(self.system))]
+        self._site_names: list[str] = sorted(schema.sites)
+        self._site_ids: dict[str, int] = {
+            name: sid for sid, name in enumerate(self._site_names)
+        }
+        self._site_list: list[SiteLockManager] = [
+            SiteLockManager(name) for name in self._site_names
+        ]
+        # sid order == sorted name order: _abort releases locks site by
+        # site, so this iteration order is behaviour, not presentation.
+        self._sites: dict[str, SiteLockManager] = {
+            name: site for name, site in zip(self._site_names, self._site_list)
+        }
+        self._lock_tables_view = MappingProxyType(self._sites)
+        self._site_names_view = tuple(self._site_names)
+        self._primary_sid: list[int] = [
+            self._site_ids[schema.site_of(name)]
+            for name in self._entity_names
+        ]
+        self._site_up: list[bool] = [True] * len(self._site_names)
+        self._down_count = 0
+        self._net_delay = self.config.network_delay
         self._now = 0.0
         self._events_processed = 0
         self._inflight = 0
+        self._retained_total = 0
         self._trace: list[tuple[float, int, int, int, int]] = []
         self._trace_seq = 0
+        self._on_conflict = self.policy.on_conflict
+        # Policies that never abort anyone on conflict (blocking,
+        # detect, timeout — the base rule) skip the whole decision
+        # round: a blocked request just parks in the queue, and grant
+        # re-evaluation has nothing to decide.
+        self._policy_pure_wait = (
+            type(self.policy).on_conflict is Policy.on_conflict
+        )
+        # The waits-for graph is maintained incrementally for the
+        # policies that consume it (the periodic detector, and the
+        # blocking policy's final deadlock verdict); the deadlock-free
+        # policies skip the bookkeeping entirely.
+        self._waits_for: WaitsForGraph | None = None
+        if self.policy.uses_detection or self.policy.name == "blocking":
+            self._waits_for = WaitsForGraph()
+            n_sites = len(self._site_names)
+            for sid, site in enumerate(self._site_list):
+                site.observer = self._waits_for.observer(sid, n_sites)
+        self._instances = []
+        for index in range(len(self.system)):
+            inst = _Instance(index)
+            self._compile(inst, self.system[index])
+            self._instances.append(inst)
         self.result = SimulationResult(
             policy=self.policy.name,
             commit_protocol=self.config.commit_protocol,
@@ -236,10 +321,22 @@ class Simulator:
         self._register_core_handlers()
         self.commit = make_protocol(self.config.commit_protocol)
         self.commit.attach(self)
+        self._retains_locks = self.commit.retains_locks
         self.failures: FailureInjector | None = None
         if self.config.failure_rate > 0:
             self.failures = FailureInjector(self)
             self.failures.attach()
+        # Without fault injection no site ever goes down and no replica
+        # ever goes stale, so every protocol's site choice is a
+        # constant of the schema — precompute the routing tables and
+        # skip the per-request protocol call.
+        self._route_read: list[tuple[int, ...]] | None = None
+        self._route_write: list[tuple[int, ...]] | None = None
+        if self.failures is None:
+            # The manager computed these once already; share them.
+            self._route_read, self._route_write = (
+                self.replicas.cached_routes()
+            )
         if self.arrivals is not None:
             self.arrivals.attach()
 
@@ -252,6 +349,49 @@ class Simulator:
         reg.register("restart", self._on_restart)
         reg.register("timeout", self._on_timeout)
         reg.register("detect", self._on_detect)
+
+    def _compile(self, inst: _Instance, t: Transaction) -> None:
+        """Precompute the transaction's hot data onto its instance."""
+        eid_of = self._entity_ids
+        ops = t.ops
+        eids = [eid_of[op.entity] for op in ops]
+        inst.eids = eids
+        inst.kinds = [op.kind for op in ops]
+        dag = t.dag
+        n = len(ops)
+        anc = [dag.ancestors(u) for u in range(n)]
+        inst.anc = anc
+        inst.succ = [dag.successors(u) for u in range(n)]
+        roots = 0
+        for node in range(n):
+            if not anc[node]:
+                roots |= 1 << node
+        inst.roots_mask = roots
+        inst.all_mask = dag.all_nodes_mask()
+        inst.lock_node_of = {
+            eid_of[entity]: t.lock_node(entity) for entity in t.entities
+        }
+        if t.read_set:
+            inst.shared_eids = frozenset(
+                eid_of[entity] for entity in t.read_set
+            )
+        inst.write_eids = tuple(sorted(
+            eid_of[entity] for entity in t.entities - t.read_set
+        ))
+        if self._net_delay > 0:
+            primary = self._primary_sid
+            mask = 0
+            for node in range(n):
+                here = primary[eids[node]]
+                preds = dag.predecessors(node)
+                while preds:
+                    low = preds & -preds
+                    pred = low.bit_length() - 1
+                    preds ^= low
+                    if primary[eids[pred]] != here:
+                        mask |= 1 << node
+                        break
+            inst.cross_mask = mask
 
     # ------------------------------------------------------------------
     # subsystem surface (commit protocols, failure injection)
@@ -274,6 +414,22 @@ class Simulator:
         """The mutable state of transaction ``txn``."""
         return self._instances[txn]
 
+    def entity_id(self, entity: str) -> int:
+        """The interned id of ``entity`` (schema-wide, sorted order)."""
+        return self._entity_ids[entity]
+
+    def entity_name(self, eid: int) -> str:
+        """The entity name of interned id ``eid``."""
+        return self._entity_names[eid]
+
+    def site_id(self, site: str) -> int:
+        """The interned id of ``site`` (schema-wide, sorted order)."""
+        return self._site_ids[site]
+
+    def site_name(self, sid: int) -> str:
+        """The site name of interned id ``sid``."""
+        return self._site_names[sid]
+
     def add_transaction(self, txn: Transaction) -> int:
         """Inject ``txn`` into the running open system, starting now.
 
@@ -283,6 +439,7 @@ class Simulator:
         """
         index = self.system.append(txn)
         inst = _Instance(index)
+        self._compile(inst, txn)
         inst.timestamp = self._now
         inst.start_time = self._now
         self._instances.append(inst)
@@ -292,18 +449,35 @@ class Simulator:
         self._issue_ready(inst)
         return index
 
-    def lock_tables(self) -> dict[str, SiteLockManager]:
-        """The per-site lock tables, keyed by site name."""
-        return dict(self._sites)
+    def lock_tables(self) -> MappingProxyType:
+        """The per-site lock tables, keyed by site name.
 
-    def site_names(self) -> list[str]:
-        """All site names, sorted."""
-        return sorted(self._sites)
+        A cached read-only view — identical object on every call, so
+        per-event callers (commit and failure subsystems) allocate
+        nothing. Lock-table entity keys are interned ids
+        (:meth:`entity_id`).
+        """
+        return self._lock_tables_view
+
+    def site_names(self) -> tuple[str, ...]:
+        """All site names, sorted (cached, read-only)."""
+        return self._site_names_view
 
     def site_is_up(self, site: str) -> bool:
         """Whether ``site`` is up (always True without fault
         injection)."""
-        return self.failures is None or self.failures.site_up(site)
+        return self.failures is None or self._site_up[self._site_ids[site]]
+
+    def site_id_is_up(self, sid: int) -> bool:
+        """Id-keyed :meth:`site_is_up` (hot path)."""
+        return self.failures is None or self._site_up[sid]
+
+    def _mark_site(self, site: str, up: bool) -> None:
+        """Failure-injector hook: flip the interned up/down flag."""
+        sid = self._site_ids[site]
+        if self._site_up[sid] != up:
+            self._site_up[sid] = up
+            self._down_count += -1 if up else 1
 
     def has_uncommitted(self) -> bool:
         """Whether any transaction has not committed yet.
@@ -328,21 +502,22 @@ class Simulator:
         attempt actually locked — under replication that enlists every
         write-replica (and read-quorum) site in the commit round.
         """
-        t = self.system[txn]
         inst = self._instances[txn]
-        first_entity = t.ops[0].entity
-        lock_sites = inst.lock_sites.get(first_entity)
-        coordinator = (
-            lock_sites[0]
-            if lock_sites
-            else self.replicas.primary_of(first_entity)
+        first_eid = inst.eids[0]
+        lock_sids = inst.lock_sites.get(first_eid)
+        coordinator_sid = (
+            lock_sids[0] if lock_sids else self._primary_sid[first_eid]
         )
-        participants = sorted({
-            site
-            for sites in inst.lock_sites.values()
-            for site in sites
-        })
-        return coordinator, participants
+        names = self._site_names
+        participants = [
+            names[sid]
+            for sid in sorted({
+                sid
+                for sids in inst.lock_sites.values()
+                for sid in sids
+            })
+        ]
+        return names[coordinator_sid], participants
 
     def mark_prepared(self, inst: _Instance) -> None:
         """Enter the PREPARED window: unabortable, locks retained."""
@@ -382,24 +557,29 @@ class Simulator:
         the retained lock have the prepared portion of their wait
         charged to ``prepared_block_time``.
         """
-        for entity, held_at in sorted(inst.retained):
-            if site_name is not None and held_at != site_name:
+        only_sid = None if site_name is None else self._site_ids[site_name]
+        for eid, held_at in sorted(inst.retained):
+            if only_sid is not None and held_at != only_sid:
                 continue
-            inst.retained.discard((entity, held_at))
-            site = self._sites[held_at]
-            if inst.index not in site.holders(entity):
+            inst.retained.discard((eid, held_at))
+            self._retained_total -= 1
+            site = self._site_list[held_at]
+            holders = site.holders_map(eid)
+            if holders is None or inst.index not in holders:
                 continue  # defensive: already force-released
             if inst.prepared_since >= 0:
-                for waiter in site.waiters(entity):
-                    begun = self._instances[waiter].waiting.get(
-                        (entity, held_at)
-                    )
-                    if begun is not None:
-                        self.result.prepared_block_time += (
-                            self._now - max(begun, inst.prepared_since)
-                        )
-            for granted in site.release(inst.index, entity):
-                self._on_grant(granted, entity, held_at)
+                queue = site.queue_map(eid)
+                if queue:
+                    instances = self._instances
+                    for waiter in queue:
+                        begun = instances[waiter].waiting.get((eid, held_at))
+                        if begun is not None:
+                            self.result.prepared_block_time += (
+                                self._now
+                                - max(begun, inst.prepared_since)
+                            )
+            for granted in site.release(inst.index, eid):
+                self._on_grant(granted, eid, held_at)
 
     def crash_site(self, site_name: str) -> None:
         """Abort every RUNNING transaction with lock state at the site.
@@ -426,43 +606,45 @@ class Simulator:
 
     def _site_for_entity(self, entity: str) -> SiteLockManager:
         """The lock table of the entity's *primary* replica."""
-        return self._sites[self.system.schema.site_of(entity)]
-
-    def _ready_nodes(self, inst: _Instance) -> list[int]:
-        t = self.system[inst.index]
-        pending = t.dag.all_nodes_mask() & ~inst.issued
-        return [
-            u
-            for u in bits_of(pending)
-            if t.dag.ancestors(u) & ~inst.done == 0
-        ]
+        return self._site_list[self._primary_sid[self._entity_ids[entity]]]
 
     # ------------------------------------------------------------------
     # issuing operations
     # ------------------------------------------------------------------
 
-    def _cross_site_delay(self, txn: int, node: int) -> float:
-        """Network latency when a direct predecessor ran at another
-        site."""
-        if self.config.network_delay <= 0:
-            return 0.0
-        t = self.system[txn]
-        site = self.system.schema.site_of(t.ops[node].entity)
-        for pred in bits_of(t.dag.predecessors(node)):
-            pred_site = self.system.schema.site_of(t.ops[pred].entity)
-            if pred_site != site:
-                return self.config.network_delay
-        return 0.0
-
     def _issue_ready(self, inst: _Instance) -> None:
+        """Issue every currently ready, unissued node (ascending id).
+
+        Readiness is event-driven: a node becomes ready exactly when a
+        fresh attempt starts (its roots) or when its last outstanding
+        ancestor completes (handled incrementally in ``_on_op_done``
+        via the successor masks), so this full pass only ever runs with
+        ``issued == 0`` — but it stays correct for any state.
+        """
         if inst.status != _RUNNING:
             return
-        for node in self._ready_nodes(inst):
-            inst.issued |= 1 << node
-            delay = self._cross_site_delay(inst.index, node)
-            if delay > 0:
+        pending = (
+            inst.roots_mask if not inst.issued
+            else inst.all_mask & ~inst.issued
+        )
+        self._issue_nodes(inst, pending)
+
+    def _issue_nodes(self, inst: _Instance, pending: int) -> None:
+        """Issue the ready subset of the ``pending`` node mask."""
+        not_done = ~inst.done
+        anc = inst.anc
+        net_delay = self._net_delay
+        cross = inst.cross_mask
+        while pending:
+            low = pending & -pending
+            node = low.bit_length() - 1
+            pending ^= low
+            if anc[node] & not_done:
+                continue
+            inst.issued |= low
+            if net_delay > 0 and cross >> node & 1:
                 self.schedule(
-                    delay, ("issue", inst.index, node, inst.attempt)
+                    net_delay, ("issue", inst.index, node, inst.attempt)
                 )
                 continue
             self._issue_one(inst, node)
@@ -470,8 +652,7 @@ class Simulator:
                 return  # the request aborted us (wait-die)
 
     def _issue_one(self, inst: _Instance, node: int) -> None:
-        op = self.system[inst.index].ops[node]
-        if op.kind is OpKind.LOCK:
+        if inst.kinds[node] is _LOCK:
             # The replica-control protocol owns the up/down routing for
             # lock acquisition (at factor 1 it degenerates to the
             # single-site availability check below).
@@ -482,15 +663,18 @@ class Simulator:
         # available protocols deliberately route around when it is
         # down. At factor 1 the lock site *is* the primary, preserving
         # the seed behaviour bit for bit.
-        sites = inst.lock_sites.get(
-            op.entity, (self.system.schema.site_of(op.entity),)
-        )
-        if not all(self.site_is_up(site) for site in sites):
-            # An operation site is down; the transaction's volatile
-            # state is lost with it.
-            self.result.crash_aborts += 1
-            self._abort(inst)
-            return
+        eid = inst.eids[node]
+        sites = inst.lock_sites.get(eid)
+        if sites is None:
+            sites = (self._primary_sid[eid],)
+        if self.failures is not None:
+            up = self._site_up
+            if not all(up[sid] for sid in sites):
+                # An operation site is down; the transaction's volatile
+                # state is lost with it.
+                self.result.crash_aborts += 1
+                self._abort(inst)
+                return
         self.schedule(
             self.config.service_time,
             ("op_done", inst.index, node, inst.attempt),
@@ -507,9 +691,6 @@ class Simulator:
             return
         self._issue_one(inst, node)
 
-    def _lock_mode(self, txn: int, entity: str) -> str:
-        return SHARED if entity in self.system[txn].read_set else EXCLUSIVE
-
     def _request_lock(self, inst: _Instance, node: int) -> None:
         """Issue a Lock: fan out to the protocol's replica choice.
 
@@ -519,88 +700,163 @@ class Simulator:
         granted. Fan-out to a non-primary replica costs one
         ``network_delay`` hop.
         """
-        entity = self.system[inst.index].ops[node].entity
-        mode = self._lock_mode(inst.index, entity)
-        sites = (
-            self.replicas.read_sites(entity)
-            if mode == SHARED
-            else self.replicas.write_sites(entity)
-        )
-        if sites is None:
-            # No legal replica set right now: under rowa a single
-            # crashed replica blocks writes, under quorum a lost
-            # majority blocks everything. The access fails exactly like
-            # an issue to a down site.
-            self.result.crash_aborts += 1
-            self.result.unavailable_aborts += 1
-            self._abort(inst)
-            return
-        inst.lock_sites[entity] = sites
-        inst.pending_replicas[entity] = set(sites)
-        primary = self.replicas.primary_of(entity)
-        for site_name in sites:
-            if site_name != primary and self.config.network_delay > 0:
+        eid = inst.eids[node]
+        shared = eid in inst.shared_eids
+        mode = SHARED if shared else EXCLUSIVE
+        if self._route_write is not None:
+            sites = (
+                self._route_read[eid] if shared else self._route_write[eid]
+            )
+        else:
+            sites = (
+                self.replicas.read_sids(eid)
+                if shared
+                else self.replicas.write_sids(eid)
+            )
+            if sites is None:
+                # No legal replica set right now: under rowa a single
+                # crashed replica blocks writes, under quorum a lost
+                # majority blocks everything. The access fails exactly
+                # like an issue to a down site.
+                self.result.crash_aborts += 1
+                self.result.unavailable_aborts += 1
+                self._abort(inst)
+                return
+        inst.lock_sites[eid] = sites
+        if len(sites) == 1 and (
+            self._net_delay <= 0 or sites[0] == self._primary_sid[eid]
+        ):
+            # Single-replica fast path (factor 1, or a one-site route):
+            # no fan-out bookkeeping, no pending-replica set unless the
+            # request actually blocks.
+            sid = sites[0]
+            site = self._site_list[sid]
+            if site.request(inst.index, eid, mode):
                 self.schedule(
-                    self.config.network_delay,
-                    ("replica_req", inst.index, node, site_name,
-                     inst.attempt),
+                    self.config.service_time,
+                    ("op_done", inst.index, node, inst.attempt),
+                )
+                return
+            # No pending-replica set: _on_grant treats a missing entry
+            # as "single replica, grant completes the Lock".
+            self._resolve_conflict(inst, node, eid, sid, site, mode)
+            return
+        inst.pending_replicas[eid] = set(sites)
+        primary = self._primary_sid[eid]
+        for sid in sites:
+            if sid != primary and self._net_delay > 0:
+                self.schedule(
+                    self._net_delay,
+                    ("replica_req", inst.index, node, sid, inst.attempt),
                 )
                 continue
-            self._request_replica(inst, node, site_name, mode)
+            self._request_replica(inst, node, sid, mode)
             if inst.status != _RUNNING:
                 return  # the request aborted us (wait-die)
-        self._maybe_complete_lock(inst, node, entity)
+        self._maybe_complete_lock(inst, node, eid)
 
     def _on_replica_req(
-        self, txn: int, node: int, site_name: str, attempt: int
+        self, txn: int, node: int, sid: int, attempt: int
     ) -> None:
         """A replica-lock fan-out message arrived at a remote replica."""
         inst = self._instances[txn]
         if inst.status != _RUNNING or inst.attempt != attempt:
             return
-        entity = self.system[txn].ops[node].entity
-        if not self.site_is_up(site_name):
+        eid = inst.eids[node]
+        if not self.site_id_is_up(sid):
             # The replica crashed while the request was in flight.
             self.result.crash_aborts += 1
             self._abort(inst)
             return
-        self._request_replica(
-            inst, node, site_name, self._lock_mode(txn, entity)
-        )
+        mode = SHARED if eid in inst.shared_eids else EXCLUSIVE
+        self._request_replica(inst, node, sid, mode)
         if inst.status != _RUNNING:
             return
-        self._maybe_complete_lock(inst, node, entity)
+        self._maybe_complete_lock(inst, node, eid)
 
     def _request_replica(
-        self, inst: _Instance, node: int, site_name: str, mode: str
+        self, inst: _Instance, node: int, sid: int, mode: str
     ) -> None:
         """Request one replica's lock and resolve any conflict."""
-        entity = self.system[inst.index].ops[node].entity
-        site = self._sites[site_name]
-        if site.request(inst.index, entity, mode):
-            pending = inst.pending_replicas.get(entity)
+        eid = inst.eids[node]
+        site = self._site_list[sid]
+        if site.request(inst.index, eid, mode):
+            pending = inst.pending_replicas.get(eid)
             if pending is not None:
-                pending.discard(site_name)
+                pending.discard(sid)
             return
-        holders = site.holders(entity)
+        self._resolve_conflict(inst, node, eid, sid, site, mode)
+
+    def _resolve_conflict(
+        self,
+        inst: _Instance,
+        node: int,
+        eid: int,
+        sid: int,
+        site: SiteLockManager,
+        mode: str,
+    ) -> None:
+        """A lock request blocked: run the policy against its blockers."""
+        if self._policy_pure_wait:
+            inst.waiting[(eid, sid)] = self._now
+            self.result.waits += 1
+            if self.policy.uses_timeout:
+                self.schedule(
+                    self.config.timeout,
+                    ("timeout", inst.index, node, inst.attempt),
+                )
+            return
+        holders = site.holders_map(eid)
         assert holders and inst.index not in holders
-        if mode == SHARED and site.mode(entity) == SHARED:
+        instances = self._instances
+        on_conflict = self._on_conflict
+        timestamp = inst.timestamp
+        if mode == SHARED and site.mode(eid) == SHARED:
             # Compatible with every holder: the block is the FIFO queue
             # itself (a writer ahead). The policy must order the
             # requester against those *conflicting queued* waiters
             # instead — leaving the edge unordered would let an old
             # reader wait behind a young writer forever, breaking the
             # prevention schemes' acyclicity argument.
-            blockers = self._conflicting_ahead(site, entity, inst.index)
+            blockers = self._conflicting_ahead(site, eid, inst.index)
+        elif len(holders) == 1:
+            # Sole exclusive holder — the overwhelmingly common case:
+            # one decision, no list bookkeeping.
+            holder_inst = instances[next(iter(holders))]
+            decision = on_conflict(timestamp, holder_inst.timestamp)
+            if (
+                decision is Decision.ABORT_HOLDER
+                and holder_inst.status in (_PREPARED, _COMMITTED)
+            ):
+                decision = Decision.WAIT_PREPARED
+                self.result.prepared_blocks += 1
+            if decision is Decision.ABORT_SELF:
+                granted = site.cancel_wait(inst.index, eid)
+                self.result.deaths += 1
+                self._abort(inst)
+                for grantee in granted:
+                    self._on_grant(grantee, eid, sid)
+                return
+            inst.waiting[(eid, sid)] = self._now
+            self.result.waits += 1
+            if decision is Decision.ABORT_HOLDER:
+                if holder_inst.status == _RUNNING:
+                    self.result.wounds += 1
+                    self._abort(holder_inst)
+                return
+            if self.policy.uses_timeout:
+                self.schedule(
+                    self.config.timeout,
+                    ("timeout", inst.index, node, inst.attempt),
+                )
+            return
         else:
-            blockers = holders
+            blockers = sorted(holders)
         decisions: list[tuple[_Instance, Decision]] = []
         prepared_counted = False
         for holder in blockers:
-            holder_inst = self._instances[holder]
-            decision = self.policy.on_conflict(
-                inst.timestamp, holder_inst.timestamp
-            )
+            holder_inst = instances[holder]
+            decision = on_conflict(timestamp, holder_inst.timestamp)
             if (
                 decision is Decision.ABORT_HOLDER
                 and holder_inst.status in (_PREPARED, _COMMITTED)
@@ -615,16 +871,16 @@ class Simulator:
                     self.result.prepared_blocks += 1
                     prepared_counted = True
             if decision is Decision.ABORT_SELF:
-                granted = site.cancel_wait(inst.index, entity)
+                granted = site.cancel_wait(inst.index, eid)
                 self.result.deaths += 1
                 self._abort(inst)
                 for grantee in granted:
-                    self._on_grant(grantee, entity, site_name)
+                    self._on_grant(grantee, eid, sid)
                 return
             decisions.append((holder_inst, decision))
         # The waiting decisions and ABORT_HOLDER all leave the
         # requester in the queue.
-        inst.waiting[(entity, site_name)] = self._now
+        inst.waiting[(eid, sid)] = self._now
         self.result.waits += 1
         wounded = [
             h for h, d in decisions if d is Decision.ABORT_HOLDER
@@ -643,26 +899,28 @@ class Simulator:
             )
 
     def _conflicting_ahead(
-        self, site: SiteLockManager, entity: str, txn: int
+        self, site: SiteLockManager, eid: int, txn: int
     ) -> list[int]:
         """Queued waiters ahead of ``txn`` whose mode conflicts with a
         shared request (i.e. the writers it is queued behind)."""
         ahead = []
-        for waiter in site.waiters(entity):
-            if waiter == txn:
-                break
-            if site.queued_mode(entity, waiter) == EXCLUSIVE:
-                ahead.append(waiter)
+        queue = site.queue_map(eid)
+        if queue:
+            for waiter, wmode in queue.items():
+                if waiter == txn:
+                    break
+                if wmode == EXCLUSIVE:
+                    ahead.append(waiter)
         return ahead
 
     def _maybe_complete_lock(
-        self, inst: _Instance, node: int, entity: str
+        self, inst: _Instance, node: int, eid: int
     ) -> None:
         """Schedule op_done once every chosen replica has granted."""
-        pending = inst.pending_replicas.get(entity)
+        pending = inst.pending_replicas.get(eid)
         if pending is None or pending:
             return
-        del inst.pending_replicas[entity]
+        del inst.pending_replicas[eid]
         self.schedule(
             self.config.service_time,
             ("op_done", inst.index, node, inst.attempt),
@@ -672,7 +930,7 @@ class Simulator:
     # event handlers
     # ------------------------------------------------------------------
 
-    def _on_grant(self, txn: int, entity: str, site_name: str) -> None:
+    def _on_grant(self, txn: int, eid: int, sid: int) -> None:
         """A queued request of ``txn`` was granted by a release.
 
         Besides waking the new holder, the remaining waiters re-run the
@@ -684,7 +942,7 @@ class Simulator:
         guarantee.
         """
         inst = self._instances[txn]
-        key = (entity, site_name)
+        key = (eid, sid)
         if inst.status != _RUNNING or key not in inst.waiting:
             # Stale grant. Legitimate under abort cascades: a recursive
             # wound can abort the grantee (re-granting the entity) after
@@ -692,52 +950,64 @@ class Simulator:
             # that case the lock already moved on and there is nothing
             # to do. If the grantee still holds the lock, hand it back
             # rather than wedging the site.
-            site = self._sites[site_name]
-            if txn not in site.holders(entity):
+            site = self._site_list[sid]
+            holders = site.holders_map(eid)
+            if holders is None or txn not in holders:
                 return
-            for granted in site.release(txn, entity):
-                self._on_grant(granted, entity, site_name)
+            for granted in site.release(txn, eid):
+                self._on_grant(granted, eid, sid)
             return
         self.result.wait_time += self._now - inst.waiting.pop(key)
-        pending = inst.pending_replicas.get(entity)
-        if pending is not None:
-            pending.discard(site_name)
-        node = self.system[txn].lock_node(entity)
-        self._maybe_complete_lock(inst, node, entity)
-        self._reevaluate_waiters(entity, site_name, inst)
+        pending = inst.pending_replicas.get(eid)
+        if pending is None:
+            # Single-replica route (the fast path skipped the pending
+            # set): this grant completes the Lock operation.
+            self.schedule(
+                self.config.service_time,
+                ("op_done", inst.index, inst.lock_node_of[eid],
+                 inst.attempt),
+            )
+        else:
+            pending.discard(sid)
+            self._maybe_complete_lock(inst, inst.lock_node_of[eid], eid)
+        self._reevaluate_waiters(eid, sid, inst)
 
     def _reevaluate_waiters(
-        self, entity: str, site_name: str, holder: _Instance
+        self, eid: int, sid: int, holder: _Instance
     ) -> None:
-        site = self._sites[site_name]
-        for waiter in list(site.waiters(entity)):
+        if self._policy_pure_wait:
+            return  # every decision would be WAIT
+        site = self._site_list[sid]
+        queue = site.queue_map(eid)
+        if not queue:
+            return
+        instances = self._instances
+        on_conflict = self._on_conflict
+        key = (eid, sid)
+        for waiter, wmode in list(queue.items()):
             if holder.status != _RUNNING:
                 return  # the holder was wounded; releases re-grant
-            w_inst = self._instances[waiter]
-            if (
-                w_inst.status != _RUNNING
-                or (entity, site_name) not in w_inst.waiting
-            ):
+            w_inst = instances[waiter]
+            if w_inst.status != _RUNNING or key not in w_inst.waiting:
                 # The snapshot is stale: an earlier iteration's abort
                 # cascade already removed this waiter from the queue.
                 # It must neither die again (the abort would no-op but
                 # the death counter would drift) nor wound the holder
                 # on behalf of a conflict that no longer exists.
                 continue
-            if (
-                site.mode(entity) == SHARED
-                and site.queued_mode(entity, waiter) == SHARED
-            ):
+            # A waiter that passed the staleness check is still queued
+            # with its snapshot mode (queued modes never change), so
+            # the cheap test goes first and the O(holders) mode scan
+            # only runs for shared waiters.
+            if wmode == SHARED and site.mode(eid) == SHARED:
                 # A shared waiter behind the new shared holders has no
                 # conflict with them — but it is still queued behind
                 # conflicting writers, and that edge must be ordered
                 # now that the holder set changed (an old reader stuck
                 # behind young writers would otherwise wedge).
-                self._order_shared_waiter(w_inst, entity, site_name)
+                self._order_shared_waiter(w_inst, eid, sid)
                 continue
-            decision = self.policy.on_conflict(
-                w_inst.timestamp, holder.timestamp
-            )
+            decision = on_conflict(w_inst.timestamp, holder.timestamp)
             if decision is Decision.ABORT_HOLDER:
                 self.result.wounds += 1
                 self._abort(holder)
@@ -747,23 +1017,19 @@ class Simulator:
                 self._abort(w_inst)
 
     def _order_shared_waiter(
-        self, w_inst: _Instance, entity: str, site_name: str
+        self, w_inst: _Instance, eid: int, sid: int
     ) -> None:
         """Re-run the policy for a shared waiter against the queued
         writers ahead of it (its actual blockers)."""
-        site = self._sites[site_name]
-        for blocker in self._conflicting_ahead(
-            site, entity, w_inst.index
-        ):
-            if (
-                w_inst.status != _RUNNING
-                or (entity, site_name) not in w_inst.waiting
-            ):
+        site = self._site_list[sid]
+        key = (eid, sid)
+        for blocker in self._conflicting_ahead(site, eid, w_inst.index):
+            if w_inst.status != _RUNNING or key not in w_inst.waiting:
                 return  # a wound cascade granted or killed the waiter
             b_inst = self._instances[blocker]
             if b_inst.status != _RUNNING:
                 continue
-            decision = self.policy.on_conflict(
+            decision = self._on_conflict(
                 w_inst.timestamp, b_inst.timestamp
             )
             if decision is Decision.ABORT_HOLDER:
@@ -778,28 +1044,32 @@ class Simulator:
         inst = self._instances[txn]
         if inst.status != _RUNNING or inst.attempt != attempt:
             return  # stale event from an aborted attempt
-        t = self.system[txn]
-        op = t.ops[node]
         inst.done |= 1 << node
         self._trace.append((self._now, self._trace_seq, txn, node, attempt))
         self._trace_seq += 1
-        if op.kind is OpKind.UNLOCK:
-            lock_sites = inst.lock_sites[op.entity]
-            if self.commit.retains_locks:
+        if inst.kinds[node] is _UNLOCK:
+            eid = inst.eids[node]
+            lock_sites = inst.lock_sites[eid]
+            if self._retains_locks:
                 # Strict release-at-commit: the Unlock ends the lock's
                 # logical scope, but the physical release rides on the
                 # commit decision.
-                for site_name in lock_sites:
-                    inst.retained.add((op.entity, site_name))
+                for sid in lock_sites:
+                    inst.retained.add((eid, sid))
+                self._retained_total += len(lock_sites)
             else:
-                for site_name in lock_sites:
-                    site = self._sites[site_name]
-                    for granted in site.release(txn, op.entity):
-                        self._on_grant(granted, op.entity, site_name)
-        if inst.done == t.dag.all_nodes_mask():
+                site_list = self._site_list
+                for sid in lock_sites:
+                    for granted in site_list[sid].release(txn, eid):
+                        self._on_grant(granted, eid, sid)
+        if inst.done == inst.all_mask:
             self.commit.on_execution_complete(inst)
         else:
-            self._issue_ready(inst)
+            # Only direct successors of the completed node can have
+            # become ready — no full pending rescan.
+            newly = inst.succ[node] & ~inst.issued
+            if newly:
+                self._issue_nodes(inst, newly)
 
     def _abort(self, inst: _Instance) -> None:
         """Release everything, forget progress, schedule a restart."""
@@ -808,19 +1078,25 @@ class Simulator:
         inst.status = _ABORTED
         self.result.aborts += 1
         txn = inst.index
-        for entity, site_name in list(inst.waiting):
-            # Cancelling a queued writer can expose a compatible read
-            # batch behind it; those grants must be delivered.
-            for grantee in self._sites[site_name].cancel_wait(txn, entity):
-                self._on_grant(grantee, entity, site_name)
-        inst.waiting.clear()
-        for site in self._sites.values():
-            for entity, granted in site.release_all(txn):
-                for grantee in granted:
-                    self._on_grant(grantee, entity, site.site)
+        if inst.waiting:
+            site_list = self._site_list
+            for eid, sid in list(inst.waiting):
+                # Cancelling a queued writer can expose a compatible
+                # read batch behind it; those grants must be delivered.
+                for grantee in site_list[sid].cancel_wait(txn, eid):
+                    self._on_grant(grantee, eid, sid)
+            inst.waiting.clear()
+        for sid, site in enumerate(self._site_list):
+            released = site.release_all(txn)
+            if released:
+                for eid, granted in released:
+                    for grantee in granted:
+                        self._on_grant(grantee, eid, sid)
         inst.done = 0
         inst.issued = 0
-        inst.retained.clear()
+        if inst.retained:
+            self._retained_total -= len(inst.retained)
+            inst.retained.clear()
         inst.lock_sites.clear()
         inst.pending_replicas.clear()
         inst.exec_done_time = -1.0
@@ -841,11 +1117,11 @@ class Simulator:
 
     def _on_timeout(self, txn: int, node: int, attempt: int) -> None:
         inst = self._instances[txn]
-        entity = self.system[txn].ops[node].entity
+        eid = inst.eids[node]
         if (
             inst.status == _RUNNING
             and inst.attempt == attempt
-            and any(key[0] == entity for key in inst.waiting)
+            and any(key[0] == eid for key in inst.waiting)
         ):
             self.result.timeouts += 1
             self._abort(inst)
@@ -855,24 +1131,71 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _wait_for_edges(self) -> dict[int, set[int]]:
-        """Waits-for graph: waiter -> holder, one edge per blocked
-        request."""
+        """Waits-for graph rebuilt from scratch: waiter -> holders.
+
+        The reference implementation — the hot path consumes the
+        incrementally maintained :class:`WaitsForGraph` instead; this
+        rebuild remains for the policies that never track the graph
+        and as the oracle the property tests compare against.
+        """
         edges: dict[int, set[int]] = {}
+        site_list = self._site_list
         for inst in self._instances:
-            if inst.status != _RUNNING:
+            if inst.status != _RUNNING or not inst.waiting:
                 continue
-            for entity, site_name in inst.waiting:
-                for holder in self._sites[site_name].holders(entity):
-                    edges.setdefault(inst.index, set()).add(holder)
+            for eid, sid in inst.waiting:
+                holders = site_list[sid].holders_map(eid)
+                if holders:
+                    edges.setdefault(inst.index, set()).update(holders)
         return edges
 
+    def _find_deadlock_cycle(self) -> list[int] | None:
+        """One waits-for cycle, or None.
+
+        The maintained graph supplies the *blocked set* — the whole
+        point of the incremental bookkeeping is that the detector no
+        longer scans every instance ever injected. The edge sets fed to
+        the DFS are then materialized per blocked waiter in exactly the
+        historical construction order (waiting cells in insertion
+        order, holders ascending), so the cycle found — and therefore
+        the victim and every downstream event — is bit-identical to the
+        full-rescan implementation.
+        """
+        wf = self._waits_for
+        if wf is None:
+            edges = self._wait_for_edges()
+            return find_cycle(list(edges), lambda u: edges.get(u, ()))
+        if not wf:
+            return None
+        instances = self._instances
+        site_list = self._site_list
+        wf_edges = wf._edges
+        memo: dict[int, set[int] | tuple] = {}
+        empty = ()
+
+        def successors(txn: int):
+            cached = memo.get(txn)
+            if cached is None:
+                if txn in wf_edges:
+                    cached = set()
+                    for eid, sid in instances[txn].waiting:
+                        holders = site_list[sid].holders_map(eid)
+                        if holders:
+                            cached.update(sorted(holders))
+                else:
+                    cached = empty
+                memo[txn] = cached
+            return cached
+
+        return find_cycle(sorted(wf_edges), successors)
+
     def _on_detect(self) -> None:
-        edges = self._wait_for_edges()
-        cycle = find_cycle(list(edges), lambda u: edges.get(u, ()))
+        cycle = self._find_deadlock_cycle()
         if cycle:
-            victim = max(cycle, key=lambda i: self._instances[i].timestamp)
+            instances = self._instances
+            victim = max(cycle, key=lambda i: instances[i].timestamp)
             self.result.detected += 1
-            self._abort(self._instances[victim])
+            self._abort(instances[victim])
         # Reschedule only while another scan could matter. New cycles
         # form only when other events run, so once every remaining
         # event sits beyond max_time (or the queue is empty), further
@@ -903,35 +1226,43 @@ class Simulator:
         if self.policy.uses_detection:
             self._queue.push(config.detection_interval, ("detect",))
 
-        while self._queue:
-            time, payload = self._queue.pop()
-            if time > config.max_time:
-                self.result.truncated = True
+        queue = self._queue
+        dispatch = self._registry.dispatch
+        result = self.result
+        max_time = config.max_time
+        max_events = config.max_events
+        warmup_time = config.warmup_time
+        track_failures = self.failures is not None
+        events_processed = self._events_processed
+        while queue:
+            time, payload = queue.pop()
+            if time > max_time:
+                result.truncated = True
                 break
-            if time > self._now:
+            now = self._now
+            if time > now:
                 # Integrate the in-flight count over the steady-state
                 # window; the mean concurrency level falls out of it.
-                lo = max(self._now, config.warmup_time)
+                lo = warmup_time if warmup_time > now else now
                 if time > lo:
-                    self.result.inflight_area += (
-                        self._inflight * (time - lo)
-                    )
-            self._now = time
-            self._events_processed += 1
-            if self._events_processed > config.max_events:
-                self.result.truncated = True
+                    result.inflight_area += self._inflight * (time - lo)
+                self._now = time
+            events_processed += 1
+            if events_processed > max_events:
+                result.truncated = True
                 break
-            self._registry.dispatch(payload)
+            dispatch(payload)
             if (
-                self.failures is not None
+                track_failures
+                and self._retained_total == 0
                 and not self.has_uncommitted()
-                and not any(i.retained for i in self._instances)
             ):
                 # All work committed and every retained lock released:
                 # the only events left are future crash/recover pairs,
                 # which would inflate end_time and the crash count (or
                 # spuriously truncate the run at a tight horizon).
                 break
+        self._events_processed = events_processed
 
         self.result.end_time = self._now
         self.replicas.finalize()
@@ -949,10 +1280,7 @@ class Simulator:
                     self.result.truncated = True
                 else:
                     self.result.deadlocked = True
-                    edges = self._wait_for_edges()
-                    cycle = find_cycle(
-                        list(edges), lambda u: edges.get(u, ())
-                    )
+                    cycle = self._find_deadlock_cycle()
                     if cycle:
                         self.result.deadlock_cycle = tuple(cycle)
         self.result.latencies = [
@@ -984,9 +1312,13 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _final_steps(self, committed_only: bool) -> list[GlobalNode]:
+        # The trace is appended in dispatch order, which is already
+        # (time, seq) order — the historical sort was a no-op and is
+        # gone.
         steps = []
-        for _time, _seq, txn, node, attempt in sorted(self._trace):
-            inst = self._instances[txn]
+        instances = self._instances
+        for _time, _seq, txn, node, attempt in self._trace:
+            inst = instances[txn]
             if committed_only and inst.status != _COMMITTED:
                 continue
             if inst.status == _ABORTED:
@@ -1006,7 +1338,7 @@ class Simulator:
         Shared read locks allow concurrent holders, so read/write
         traces are not legal schedules of the exclusive-lock model;
         those runs are tested with the classical conflict graph over
-        the same lock-acquisition orders instead.
+        the same lock-order data.
         """
         if any(t.read_set for t in self.system):
             return self._check_conflict_serializability()
@@ -1029,16 +1361,32 @@ class Simulator:
             op = self.system[gnode.txn].ops[gnode.node]
             if op.kind is OpKind.LOCK:
                 sequences.setdefault(op.entity, []).append(gnode.txn)
+        read_sets = [t.read_set for t in self.system]
+        # Reduced conflict graph: instead of all O(k^2) conflicting
+        # pairs per entity, keep only last-writer -> reader and
+        # reader/last-writer -> next-writer arcs. Every dropped arc
+        # (a, b) is covered by a path a -> ... -> b through the kept
+        # arcs, so reachability — and therefore acyclicity, the only
+        # thing tested — is unchanged while hot entities with long
+        # access lists stop costing quadratic edge inserts.
         edges: dict[int, set[int]] = {}
         for entity, order in sequences.items():
-            for i, first in enumerate(order):
-                first_reads = entity in self.system[first].read_set
-                for later in order[i + 1:]:
-                    if later == first:
-                        continue
-                    if first_reads and entity in self.system[later].read_set:
-                        continue
-                    edges.setdefault(first, set()).add(later)
+            last_writer: int | None = None
+            readers: list[int] = []
+            for txn in order:
+                if entity in read_sets[txn]:
+                    if last_writer is not None and last_writer != txn:
+                        edges.setdefault(last_writer, set()).add(txn)
+                    readers.append(txn)
+                    continue
+                if readers:
+                    for reader in readers:
+                        if reader != txn:
+                            edges.setdefault(reader, set()).add(txn)
+                elif last_writer is not None and last_writer != txn:
+                    edges.setdefault(last_writer, set()).add(txn)
+                last_writer = txn
+                readers = []
         return find_cycle(list(edges), lambda u: edges.get(u, ())) is None
 
     def committed_schedule(self) -> Schedule:

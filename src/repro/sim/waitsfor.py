@@ -1,0 +1,189 @@
+"""An incrementally maintained waits-for graph.
+
+The historical detector rebuilt the waits-for graph from scratch on
+every detection tick by scanning *every* transaction instance — in
+long open-system runs almost all of them committed long ago, so the
+scan grew linearly with run length while the live graph stayed small.
+
+:class:`WaitsForGraph` instead tracks the graph edge-by-edge as lock
+cells change. Each :class:`~repro.sim.locks.SiteLockManager` carries a
+:class:`SiteCellObserver` that forwards the four primitive mutations —
+a transaction starts waiting, stops waiting, becomes a holder, stops
+holding — so every update costs exactly the number of edges that
+actually appear or disappear (one blocked request can see several
+holders, and one waiter can block at several cells — hence reference
+counts, not booleans). A snapshot-diff design was measured quadratic
+in queue depth under saturation; the delta protocol is O(degree).
+
+The detector consumes the graph through :meth:`cycle`, which feeds
+:func:`repro.util.graphs.find_cycle` the waiters in ascending id order
+with ascending-id successor lists. That is the order the from-scratch
+rebuild produced for small runs (instances were scanned in index
+order, and successor sets of small ints iterate ascending), so every
+pinned artifact — the 120-cell golden digest matrix included — is
+unchanged; for larger graphs it *canonicalizes* a successor order that
+a hash-table set used to leave to table layout.
+
+:meth:`as_sets` exposes the graph in the rebuild's shape so property
+tests can assert ``incremental == from-scratch`` after every event.
+"""
+
+from __future__ import annotations
+
+from repro.util.graphs import find_cycle
+
+__all__ = ["SiteCellObserver", "WaitsForGraph"]
+
+
+class WaitsForGraph:
+    """Refcounted waiter -> holder edges, updated per cell mutation."""
+
+    __slots__ = ("_edges", "_waiters", "_holders")
+
+    def __init__(self) -> None:
+        # waiter -> {holder: refcount}; a waiter key exists only while
+        # it has at least one edge.
+        self._edges: dict[int, dict[int, int]] = {}
+        # cell key -> current waiter / holder sets (mirror of the lock
+        # tables, maintained through the observer protocol).
+        self._waiters: dict[int, set[int]] = {}
+        self._holders: dict[int, set[int]] = {}
+
+    def observer(self, key_base: int, stride: int) -> "SiteCellObserver":
+        """An observer mapping entity ``eid`` to cell ``eid * stride +
+        key_base``."""
+        return SiteCellObserver(self, key_base, stride)
+
+    # ------------------------------------------------------------------
+    # mutation protocol (driven by the lock tables)
+    # ------------------------------------------------------------------
+
+    def wait(self, key: int, txn: int) -> None:
+        """``txn`` joined the cell's queue."""
+        holders = self._holders.get(key)
+        if holders:
+            counts = self._edges.get(txn)
+            if counts is None:
+                counts = self._edges[txn] = {}
+            for holder in holders:
+                counts[holder] = counts.get(holder, 0) + 1
+        waiters = self._waiters.get(key)
+        if waiters is None:
+            waiters = self._waiters[key] = set()
+        waiters.add(txn)
+
+    def unwait(self, key: int, txn: int) -> None:
+        """``txn`` left the cell's queue (granted or cancelled)."""
+        waiters = self._waiters[key]
+        waiters.discard(txn)
+        if not waiters:
+            del self._waiters[key]
+        holders = self._holders.get(key)
+        if holders:
+            counts = self._edges[txn]
+            for holder in holders:
+                remaining = counts[holder] - 1
+                if remaining:
+                    counts[holder] = remaining
+                else:
+                    del counts[holder]
+            if not counts:
+                del self._edges[txn]
+
+    def hold(self, key: int, txn: int) -> None:
+        """``txn`` became a holder of the cell."""
+        waiters = self._waiters.get(key)
+        if waiters:
+            edges = self._edges
+            for waiter in waiters:
+                counts = edges.get(waiter)
+                if counts is None:
+                    counts = edges[waiter] = {}
+                counts[txn] = counts.get(txn, 0) + 1
+        holders = self._holders.get(key)
+        if holders is None:
+            holders = self._holders[key] = set()
+        holders.add(txn)
+
+    def unhold(self, key: int, txn: int) -> None:
+        """``txn`` stopped holding the cell."""
+        holders = self._holders[key]
+        holders.discard(txn)
+        if not holders:
+            del self._holders[key]
+        waiters = self._waiters.get(key)
+        if waiters:
+            edges = self._edges
+            for waiter in waiters:
+                counts = edges[waiter]
+                remaining = counts[txn] - 1
+                if remaining:
+                    counts[txn] = remaining
+                else:
+                    del counts[txn]
+                if not counts:
+                    del edges[waiter]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def waiters(self) -> list[int]:
+        """The transactions currently having at least one edge."""
+        return list(self._edges)
+
+    def cycle(self) -> list[int] | None:
+        """One directed cycle (waiter ids, in order), or None.
+
+        Deterministic: DFS starts from waiters in ascending id order
+        and expands successors in ascending id order.
+        """
+        edges = self._edges
+        if not edges:
+            return None
+        empty = ()
+
+        def successors(u: int):
+            counts = edges.get(u)
+            return sorted(counts) if counts else empty
+
+        return find_cycle(sorted(edges), successors)
+
+    def as_sets(self) -> dict[int, set[int]]:
+        """The graph as ``{waiter: {holders}}`` (rebuild-comparable)."""
+        return {
+            waiter: set(counts) for waiter, counts in self._edges.items()
+        }
+
+    def __bool__(self) -> bool:
+        return bool(self._edges)
+
+    def __repr__(self) -> str:
+        return f"WaitsForGraph({self.as_sets()!r})"
+
+
+class SiteCellObserver:
+    """Forwards one site's lock-cell mutations into the shared graph.
+
+    Keys are ``entity_id * stride + key_base`` — dense ints, no tuple
+    allocation on the hot path.
+    """
+
+    __slots__ = ("_graph", "_base", "_stride")
+
+    def __init__(self, graph: WaitsForGraph, key_base: int, stride: int):
+        self._graph = graph
+        self._base = key_base
+        self._stride = stride
+
+    def wait(self, entity: int, txn: int) -> None:
+        self._graph.wait(entity * self._stride + self._base, txn)
+
+    def unwait(self, entity: int, txn: int) -> None:
+        self._graph.unwait(entity * self._stride + self._base, txn)
+
+    def hold(self, entity: int, txn: int) -> None:
+        self._graph.hold(entity * self._stride + self._base, txn)
+
+    def unhold(self, entity: int, txn: int) -> None:
+        self._graph.unhold(entity * self._stride + self._base, txn)

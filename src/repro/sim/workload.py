@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.core.entity import DatabaseSchema, Entity
 from repro.core.operations import Operation, OpKind
@@ -145,6 +146,12 @@ def random_schema(
     return DatabaseSchema(placement)
 
 
+@lru_cache(maxsize=64)
+def _hotspot_weights(n: int, skew: float) -> tuple[float, ...]:
+    """Zipf-style weights, memoized (recomputed per arrival otherwise)."""
+    return tuple(1.0 / (1 + i) ** skew for i in range(n))
+
+
 def _pick_entities(
     rng: random.Random, spec: WorkloadSpec, pool: list[Entity]
 ) -> list[Entity]:
@@ -152,7 +159,7 @@ def _pick_entities(
     count = min(rng.randint(lo, hi), len(pool))
     if spec.hotspot_skew <= 0:
         return rng.sample(pool, count)
-    weights = [1.0 / (1 + i) ** spec.hotspot_skew for i in range(len(pool))]
+    weights = _hotspot_weights(len(pool), spec.hotspot_skew)
     chosen: list[Entity] = []
     candidates = list(zip(pool, weights))
     for _ in range(count):
@@ -255,7 +262,7 @@ def random_transaction(
         spec: workload parameters.
         entities: fix the accessed entities instead of sampling them.
     """
-    pool = sorted(schema.entities)
+    pool = list(schema.entities_sorted())
     accessed = entities if entities is not None else _pick_entities(
         rng, spec, pool
     )
@@ -276,21 +283,25 @@ def random_transaction(
     if spec.shape == "sequential":
         return Transaction.sequential(name, sequence, schema, read_set)
 
-    # Per-site chains from the reference order.
+    # Per-site chains from the reference order. The per-node site list
+    # is computed once: the cross-arc double loop below used to call
+    # schema.site_of twice per pair.
+    op_sites = [schema.site_of(op.entity) for op in sequence]
     arcs: list[tuple[int, int]] = []
     last_at_site: dict[str, int] = {}
-    for index, op in enumerate(sequence):
-        site = schema.site_of(op.entity)
+    for index, site in enumerate(op_sites):
         if site in last_at_site:
             arcs.append((last_at_site[site], index))
         last_at_site[site] = index
 
-    # Extra cross-site arcs consistent with the reference order.
+    # Extra cross-site arcs consistent with the reference order (the
+    # RNG is drawn for each cross-site pair in (u, v) order — the draw
+    # sequence is part of the workload's identity, so the loop shape
+    # must not change).
     for u in range(len(sequence)):
+        site_u = op_sites[u]
         for v in range(u + 1, len(sequence)):
-            site_u = schema.site_of(sequence[u].entity)
-            site_v = schema.site_of(sequence[v].entity)
-            if site_u != site_v and rng.random() < spec.cross_arc_p:
+            if site_u != op_sites[v] and rng.random() < spec.cross_arc_p:
                 arcs.append((u, v))
 
     # Shape-defining arcs (2PL closure, global lock chain).

@@ -41,7 +41,7 @@ class Dag:
         ValueError: if an arc endpoint is out of range or a self-loop.
     """
 
-    __slots__ = ("n", "_succ", "_pred", "_desc", "_anc", "_arcs")
+    __slots__ = ("n", "_succ", "_pred", "_desc", "_anc", "_arcs", "_topo")
 
     def __init__(self, n: int, arcs: Iterable[tuple[int, int]] = ()):
         self.n = n
@@ -67,21 +67,30 @@ class Dag:
     # ------------------------------------------------------------------
 
     def _compute_closure(self) -> tuple[list[int], list[int]]:
-        """Compute descendant and ancestor masks; verify acyclicity."""
+        """Compute descendant and ancestor masks; verify acyclicity.
+
+        The bit scans are inlined (no generator) — Dag construction is
+        on the open-system hot path, one per injected transaction.
+        """
         order = self.topological_order()
+        self._topo = order
         desc = [0] * self.n
         for u in reversed(order):
-            mask = self._succ[u]
-            for v in bits_of(self._succ[u]):
-                mask |= desc[v]
+            mask = bits = self._succ[u]
+            while bits:
+                low = bits & -bits
+                mask |= desc[low.bit_length() - 1]
+                bits ^= low
             if mask >> u & 1:
                 raise CycleError(self._trace_cycle())
             desc[u] = mask
         anc = [0] * self.n
         for u in order:
-            mask = self._pred[u]
-            for v in bits_of(self._pred[u]):
-                mask |= anc[v]
+            mask = bits = self._pred[u]
+            while bits:
+                low = bits & -bits
+                mask |= anc[low.bit_length() - 1]
+                bits ^= low
             anc[u] = mask
         return desc, anc
 
@@ -148,19 +157,32 @@ class Dag:
         """Bitmask containing every node."""
         return (1 << self.n) - 1
 
+    def cached_topological_order(self) -> list[int]:
+        """The topological order computed at construction (no rebuild).
+
+        Callers must not mutate the returned list.
+        """
+        return self._topo
+
     # ------------------------------------------------------------------
     # orders and enumeration
     # ------------------------------------------------------------------
 
     def topological_order(self) -> list[int]:
         """Return one topological order (Kahn's algorithm, smallest-first)."""
-        indegree = [self._pred[u].bit_count() for u in range(self.n)]
+        pred = self._pred
+        succ = self._succ
+        indegree = [pred[u].bit_count() for u in range(self.n)]
         ready = sorted(u for u in range(self.n) if indegree[u] == 0)
         order: list[int] = []
         while ready:
             u = ready.pop()
             order.append(u)
-            for v in bits_of(self._succ[u]):
+            bits = succ[u]
+            while bits:
+                low = bits & -bits
+                v = low.bit_length() - 1
+                bits ^= low
                 indegree[v] -= 1
                 if indegree[v] == 0:
                     ready.append(v)

@@ -196,11 +196,13 @@ class TestPreparedWindow:
         )
         holder = sim.instance(1)
         holder.timestamp = 5.0  # younger than the requester below
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(1, "x")
+        site.request(1, x)
         sim.mark_prepared(holder)
-        holder.lock_sites["x"] = (site.site,)
-        holder.retained.add(("x", site.site))
+        holder.lock_sites[x] = (s1,)
+        holder.retained.add((x, s1))
+        sim._retained_total += 1
         return sim
 
     def test_wound_wait_does_not_wound_prepared_holder(self):
@@ -211,7 +213,7 @@ class TestPreparedWindow:
         assert sim.instance(1).status == _PREPARED
         assert sim.result.wounds == 0
         assert sim.result.prepared_blocks == 1
-        assert [key[0] for key in requester.waiting] == ["x"]
+        assert [key[0] for key in requester.waiting] == [sim.entity_id("x")]
 
     def test_no_wound_on_committed_holder_awaiting_release(self):
         """After the commit decision the holder is _COMMITTED but its
@@ -221,13 +223,13 @@ class TestPreparedWindow:
         sim = self._prepared_simulator()
         holder = sim.instance(1)
         sim.finish_commit(holder)  # decision taken, release in flight
-        assert {e for e, _s in holder.retained} == {"x"}
+        assert {e for e, _s in holder.retained} == {sim.entity_id("x")}
         requester = sim.instance(0)
         requester.timestamp = 1.0  # older: would normally wound
         sim._request_lock(requester, sim.system[0].lock_node("x"))
         assert sim.result.wounds == 0
         assert sim.result.prepared_blocks == 1
-        assert [key[0] for key in requester.waiting] == ["x"]
+        assert [key[0] for key in requester.waiting] == [sim.entity_id("x")]
 
     def test_release_retained_charges_blocked_time(self):
         sim = self._prepared_simulator()
@@ -238,7 +240,7 @@ class TestPreparedWindow:
         sim._now = 7.5  # decision arrives later
         sim.finish_commit(holder)
         sim.release_retained(holder)
-        assert sim._site_for_entity("x").holder("x") == 0
+        assert sim._site_for_entity("x").holder(sim.entity_id("x")) == 0
         assert not holder.retained
         assert sim.result.prepared_block_time == pytest.approx(7.5)
 
@@ -248,7 +250,7 @@ class TestPreparedWindow:
         sim.abort_from_commit(holder)
         assert holder.status == _ABORTED
         assert holder.retained == set()
-        assert sim._site_for_entity("x").holder("x") is None
+        assert sim._site_for_entity("x").holder(sim.entity_id("x")) is None
         assert sim.result.commit_aborts == 1
         assert sim.result.aborts == 1
 

@@ -56,20 +56,22 @@ class TestWiring:
 class TestCrashSemantics:
     def test_crash_aborts_running_holder(self):
         sim = Simulator(cross_pair(), "wound-wait", failure_config())
+        x = sim.entity_id("x")
         site = sim._site_for_entity("x")
-        site.request(0, "x")
+        site.request(0, x)
         assert sim.instance(0).status == _RUNNING
         sim.crash_site("s1")
         assert sim.instance(0).status == _ABORTED
         assert sim.result.crash_aborts == 1
-        assert site.holder("x") is None
+        assert site.holder(x) is None
 
     def test_crash_aborts_waiters_too(self):
         sim = Simulator(cross_pair(), "wound-wait", failure_config())
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(0, "x")
-        site.request(1, "x")
-        sim.instance(1).waiting[("x", "s1")] = 0.0
+        site.request(0, x)
+        site.request(1, x)
+        sim.instance(1).waiting[(x, s1)] = 0.0
         sim.crash_site("s1")
         assert sim.instance(0).status == _ABORTED
         assert sim.instance(1).status == _ABORTED
@@ -85,18 +87,20 @@ class TestCrashSemantics:
             failure_config(commit_protocol="two-phase"),
         )
         inst = sim.instance(0)
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(0, "x")
+        site.request(0, x)
         sim.mark_prepared(inst)
-        inst.retained.add(("x", "s1"))
+        inst.retained.add((x, s1))
+        sim._retained_total += 1
         sim.crash_site("s1")
         assert inst.status == _PREPARED
-        assert site.holder("x") == 0
+        assert site.holder(x) == 0
         assert sim.result.crash_aborts == 0
 
     def test_issue_to_down_site_aborts(self):
         sim = Simulator(cross_pair(), "wound-wait", failure_config())
-        sim.failures._down.add("s1")
+        sim.failures.mark_down("s1")
         inst = sim.instance(0)
         inst.issued |= 1
         sim._issue_one(inst, 0)  # T1's Lx lives at the down site s1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.metrics import SimulationResult, percentile
+from repro.sim.metrics import SimulationResult, percentile, percentiles
 from repro.util.render import bullet_list, format_table, indent_block
 
 
@@ -75,6 +75,38 @@ class TestPercentile:
 
     def test_unsorted_input(self):
         assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+
+class TestPercentiles:
+    """The sort-once batch variant used by latency_percentiles."""
+
+    def test_matches_percentile_per_quantile(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0]
+        qs = (0, 10, 25, 50, 75, 90, 95, 99, 100)
+        assert percentiles(values, qs) == [
+            percentile(values, q) for q in qs
+        ]
+
+    def test_empty_yields_zero_per_quantile(self):
+        assert percentiles([], (50, 95, 99)) == [0.0, 0.0, 0.0]
+
+    def test_input_not_mutated(self):
+        values = [3.0, 1.0, 2.0]
+        percentiles(values, (50,))
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_latency_percentiles_consistency(self):
+        result = SimulationResult(policy="blocking")
+        result.latencies = [4.0, 2.0, -1.0, 8.0, 6.0]
+        result.exec_latencies = [1.0, 1.0, -1.0, 2.0, 3.0]
+        result.commit_latencies = [3.0, 1.0, -1.0, 6.0, 3.0]
+        got = result.latency_percentiles("total")
+        done = [4.0, 2.0, 8.0, 6.0]
+        assert got == {
+            "p50": percentile(done, 50),
+            "p95": percentile(done, 95),
+            "p99": percentile(done, 99),
+        }
 
 
 class TestSteadyStateMetrics:

@@ -249,11 +249,11 @@ class TestRowaAvailableNeverReadsStale:
         for kind, site, entity in events:
             if kind == "crash" and site not in down:
                 manager.on_crash(site)
-                injector._down.add(site)
+                injector.mark_down(site)
                 down.add(site)
             elif kind == "recover" and site in down:
                 manager.on_recover(site)
-                injector._down.discard(site)
+                injector.mark_up(site)
                 down.discard(site)
             elif kind == "catchup" and site not in down:
                 manager._on_catchup(site)
@@ -263,7 +263,11 @@ class TestRowaAvailableNeverReadsStale:
                     continue
                 writer = {"x": 0, "y": 1, "z": 2}[entity]
                 inst = sim.instance(writer)
-                inst.lock_sites = {entity: reached}
+                inst.lock_sites = {
+                    sim.entity_id(entity): tuple(
+                        sim.site_id(s) for s in reached
+                    )
+                }
                 # Commit the write through the real bookkeeping hook.
                 manager.on_commit(inst)
             for probe in ("x", "y", "z"):

@@ -191,20 +191,22 @@ class TestRuntimeIntegration:
         result = sim.run()
         assert result.committed == 1
         inst = sim.instance(0)
-        assert inst.lock_sites["x"] == sim.replicas.schema.replicas_of("x")
-        assert len(inst.lock_sites["x"]) == 3
+        x = sim.entity_id("x")
+        locked = tuple(sim.site_name(s) for s in inst.lock_sites[x])
+        assert locked == sim.replicas.schema.replicas_of("x")
+        assert len(inst.lock_sites[x]) == 3
 
     def test_read_locks_one_replica_under_rowa(self):
         sim = _replicated_sim(factor=3, read_entities=("x",))
         result = sim.run()
         assert result.committed == 1
-        assert len(sim.instance(0).lock_sites["x"]) == 1
+        assert len(sim.instance(0).lock_sites[sim.entity_id("x")]) == 1
 
     def test_quorum_read_locks_majority(self):
         sim = _replicated_sim("quorum", factor=3, read_entities=("x",))
         result = sim.run()
         assert result.committed == 1
-        assert len(sim.instance(0).lock_sites["x"]) == 2
+        assert len(sim.instance(0).lock_sites[sim.entity_id("x")]) == 2
 
     def test_commit_participants_include_write_replicas(self):
         sim = _replicated_sim(factor=3)
@@ -288,13 +290,13 @@ class TestFailureInteraction:
         # Drive the injector's state directly for a deterministic
         # crash schedule.
         sim.replicas.on_crash(site)
-        sim.failures._down.add(site)
+        sim.failures.mark_down(site)
         sim.result.crashes += 1
         sim.crash_site(site)
 
     def _recover(self, sim, site):
         sim.replicas.on_recover(site)
-        sim.failures._down.discard(site)
+        sim.failures.mark_up(site)
 
     def _sim(self, protocol):
         spec = WorkloadSpec(replication_factor=3, n_sites=3, n_entities=3)
@@ -340,10 +342,11 @@ class TestFailureInteraction:
             sim.instance(0), sim.instance(1), sim.instance(2)
         )
         old.timestamp, young.timestamp, writer.timestamp = 1.0, 9.0, 5.0
+        x, s0 = sim.entity_id("x"), sim.site_id("s0")
         site = sim.lock_tables()["s0"]
-        site.request(1, "x", "S")  # the young reader holds S
-        site.request(2, "x", "X")  # the writer queues
-        writer.waiting[("x", "s0")] = 0.0
+        site.request(1, x, "S")  # the young reader holds S
+        site.request(2, x, "X")  # the writer queues
+        writer.waiting[(x, s0)] = 0.0
         return sim, old, young, writer, site
 
     def test_shared_request_wounds_the_blocking_writer_not_readers(self):
@@ -359,7 +362,8 @@ class TestFailureInteraction:
         assert young.status == "running"  # compatible holder untouched
         assert writer.status == "aborted"  # the real blocker, wounded
         assert sim.result.wounds == 1
-        assert sorted(site.holders("x")) == [0, 1]  # read batch granted
+        # read batch granted
+        assert sorted(site.holders(sim.entity_id("x"))) == [0, 1]
 
     def test_young_shared_request_waits_behind_older_writer(self):
         """The dual: a *young* reader behind an older writer just
@@ -371,7 +375,7 @@ class TestFailureInteraction:
         sim._request_lock(old, sim.system[0].lock_node("x"))
         assert writer.status == "running"
         assert sim.result.wounds == 0
-        assert site.waiters("x") == [2, 0]
+        assert site.waiters(sim.entity_id("x")) == [2, 0]
 
     def test_commits_through_a_crashed_primary(self):
         """Routing around a down primary must carry through the whole
@@ -384,7 +388,8 @@ class TestFailureInteraction:
             result = sim.run()
             assert result.committed == 1, protocol
             assert result.crash_aborts == 0, protocol
-            assert "s0" not in sim.instance(0).lock_sites["x"]
+            locked = sim.instance(0).lock_sites[sim.entity_id("x")]
+            assert sim.site_id("s0") not in locked
             # The commit round is coordinated by a site the attempt
             # actually locked — never the crashed primary.
             coordinator, participants = sim.transaction_sites(0)
@@ -415,7 +420,9 @@ class TestFailureInteraction:
         self._crash(sim, "s0")
         # A write to x commits while s0 is down: s0 misses it.
         inst = sim.instance(0)
-        inst.lock_sites["x"] = ("s1", "s2")
+        inst.lock_sites[sim.entity_id("x")] = (
+            sim.site_id("s1"), sim.site_id("s2"),
+        )
         sim.replicas.on_commit(inst)
         assert "s0" in sim.replicas.missed_replicas("x")
         self._recover(sim, "s0")
@@ -428,7 +435,9 @@ class TestFailureInteraction:
         sim = self._sim("rowa-available")
         self._crash(sim, "s0")
         inst = sim.instance(0)
-        inst.lock_sites["x"] = ("s1", "s2")
+        inst.lock_sites[sim.entity_id("x")] = (
+            sim.site_id("s1"), sim.site_id("s2"),
+        )
         sim.replicas.on_commit(inst)
         self._crash(sim, "s1")
         self._crash(sim, "s2")

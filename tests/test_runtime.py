@@ -141,6 +141,50 @@ class TestTimeoutAndDetection:
         assert result.detected > 0
 
 
+class TestFastPathSurface:
+    """The interning/caching surface added by the fast-path refactor."""
+
+    def test_entity_and_site_ids_follow_sorted_order(self):
+        sim = Simulator(deadlock_pair(), "blocking")
+        entities = sorted(sim.system.schema.entities)
+        sites = sorted(sim.system.schema.sites)
+        assert [sim.entity_id(e) for e in entities] == list(
+            range(len(entities))
+        )
+        assert [sim.site_id(s) for s in sites] == list(range(len(sites)))
+        for e in entities:
+            assert sim.entity_name(sim.entity_id(e)) == e
+        for s_name in sites:
+            assert sim.site_name(sim.site_id(s_name)) == s_name
+
+    def test_lock_tables_is_cached_readonly_view(self):
+        sim = Simulator(deadlock_pair(), "blocking")
+        view = sim.lock_tables()
+        assert sim.lock_tables() is view  # no per-call copy
+        with pytest.raises(TypeError):
+            view["s1"] = None  # read-only
+        assert set(view) == set(sim.system.schema.sites)
+
+    def test_site_names_is_cached(self):
+        sim = Simulator(deadlock_pair(), "blocking")
+        names = sim.site_names()
+        assert sim.site_names() is names
+        assert list(names) == sorted(sim.system.schema.sites)
+
+    def test_deadlock_free_policies_skip_graph_tracking(self):
+        for policy in ("wound-wait", "wait-die", "timeout"):
+            assert Simulator(deadlock_pair(), policy)._waits_for is None
+        for policy in ("blocking", "detect"):
+            assert (
+                Simulator(deadlock_pair(), policy)._waits_for is not None
+            )
+
+    def test_trace_is_recorded_in_sorted_order(self):
+        sim = Simulator(deadlock_pair(), "wound-wait")
+        sim.run()
+        assert sim._trace == sorted(sim._trace)
+
+
 class TestTraceReplay:
     def test_committed_schedule_replays(self):
         sim = Simulator(disjoint_pair(), "blocking")
@@ -167,32 +211,35 @@ class TestStaleGrants:
 
     def test_stale_grant_to_non_waiter_returns_lock(self):
         sim = Simulator(deadlock_pair(), "blocking")
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(0, "x")  # T0 holds x but never recorded a wait
-        sim._on_grant(0, "x", "s1")
-        assert site.holder("x") is None
+        site.request(0, x)  # T0 holds x but never recorded a wait
+        sim._on_grant(0, x, s1)
+        assert site.holder(x) is None
         assert site.involved() == []
 
     def test_stale_grant_to_aborted_transaction_returns_lock(self):
         sim = Simulator(deadlock_pair(), "blocking")
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(0, "x")
+        site.request(0, x)
         inst = sim.instance(0)
         inst.status = _ABORTED
         # even a recorded wait must not revive it
-        inst.waiting[("x", "s1")] = 0.0
-        sim._on_grant(0, "x", "s1")
-        assert site.holder("x") is None
+        inst.waiting[(x, s1)] = 0.0
+        sim._on_grant(0, x, s1)
+        assert site.holder(x) is None
 
     def test_stale_grant_passes_lock_to_real_waiter(self):
         sim = Simulator(deadlock_pair(), "blocking")
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(0, "x")
-        site.request(1, "x")  # T1 queues behind the phantom holder
-        sim.instance(1).waiting[("x", "s1")] = 0.0
-        sim._on_grant(0, "x", "s1")  # stale for T0, re-granted to T1
-        assert site.holder("x") == 1
-        assert ("x", "s1") not in sim.instance(1).waiting
+        site.request(0, x)
+        site.request(1, x)  # T1 queues behind the phantom holder
+        sim.instance(1).waiting[(x, s1)] = 0.0
+        sim._on_grant(0, x, s1)  # stale for T0, re-granted to T1
+        assert site.holder(x) == 1
+        assert (x, s1) not in sim.instance(1).waiting
 
 
 class TestReevaluateWaiters:
@@ -215,20 +262,21 @@ class TestReevaluateWaiters:
             sim.instance(0), sim.instance(1), sim.instance(2)
         )
         old.timestamp, young.timestamp, holder.timestamp = 1.0, 9.0, 5.0
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(2, "x")
-        site.request(1, "x")  # FIFO: the young transaction is first
-        site.request(0, "x")
-        young.waiting[("x", "s1")] = 0.0
-        old.waiting[("x", "s1")] = 0.0
-        granted = site.release(2, "x")
+        site.request(2, x)
+        site.request(1, x)  # FIFO: the young transaction is first
+        site.request(0, x)
+        young.waiting[(x, s1)] = 0.0
+        old.waiting[(x, s1)] = 0.0
+        granted = site.release(2, x)
         assert granted == [1]
-        sim._on_grant(1, "x", "s1")
+        sim._on_grant(1, x, s1)
         # The young grantee was wounded by the old waiter behind it and
         # the lock moved on to the old transaction.
         assert young.status == _ABORTED
         assert sim.result.wounds == 1
-        assert site.holder("x") == 0
+        assert site.holder(x) == 0
         assert old.status == _RUNNING
 
     def test_wait_die_kills_young_waiter_behind_new_holder(self):
@@ -237,18 +285,19 @@ class TestReevaluateWaiters:
             sim.instance(0), sim.instance(1), sim.instance(2)
         )
         old.timestamp, young.timestamp, holder.timestamp = 1.0, 9.0, 5.0
+        x, s1 = sim.entity_id("x"), sim.site_id("s1")
         site = sim._site_for_entity("x")
-        site.request(2, "x")
-        site.request(0, "x")  # the old transaction is granted next
-        site.request(1, "x")
-        old.waiting[("x", "s1")] = 0.0
-        young.waiting[("x", "s1")] = 0.0
-        granted = site.release(2, "x")
+        site.request(2, x)
+        site.request(0, x)  # the old transaction is granted next
+        site.request(1, x)
+        old.waiting[(x, s1)] = 0.0
+        young.waiting[(x, s1)] = 0.0
+        granted = site.release(2, x)
         assert granted == [0]
-        sim._on_grant(0, "x", "s1")
+        sim._on_grant(0, x, s1)
         assert young.status == _ABORTED
         assert sim.result.deaths == 1
-        assert site.holder("x") == 0
+        assert site.holder(x) == 0
 
 
 class TestFindDeadlockingSeed:

@@ -1,0 +1,166 @@
+"""The incrementally maintained waits-for graph.
+
+Unit tests pin the observer protocol's edge accounting (reference
+counts across multi-cell waits, grant hand-offs, cancellations), and
+the hypothesis invariant asserts the fast-path contract end to end:
+after *every* dispatched event of a real simulation, the maintained
+graph equals a from-scratch rebuild over the live instances — for
+closed and open runs, with commit protocols, failures, replication,
+and shared read locks in the mix.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import TransactionSystem
+from repro.sim.runtime import SimulationConfig, Simulator
+from repro.sim.waitsfor import WaitsForGraph
+from repro.sim.workload import WorkloadSpec, random_system
+
+seeds = st.integers(min_value=0, max_value=5_000)
+# The graph is maintained exactly for the policies that consume it:
+# the periodic detector and the blocking policy's final verdict.
+graph_policies = st.sampled_from(["blocking", "detect"])
+
+
+class TestWaitsForGraph:
+    def test_empty(self):
+        wf = WaitsForGraph()
+        assert not wf
+        assert wf.cycle() is None
+        assert wf.as_sets() == {}
+        assert wf.waiters() == []
+
+    def test_wait_then_hold_order(self):
+        wf = WaitsForGraph()
+        wf.hold(0, 10)
+        wf.wait(0, 11)
+        assert wf.as_sets() == {11: {10}}
+        # Hand-off: holder leaves, waiter becomes holder.
+        wf.unhold(0, 10)
+        wf.unwait(0, 11)
+        wf.hold(0, 11)
+        assert wf.as_sets() == {}
+
+    def test_new_holder_gains_edges_from_waiters(self):
+        wf = WaitsForGraph()
+        wf.hold(0, 1)
+        wf.wait(0, 2)
+        wf.wait(0, 3)
+        wf.unhold(0, 1)
+        wf.unwait(0, 2)
+        wf.hold(0, 2)  # 3 now waits for 2
+        assert wf.as_sets() == {3: {2}}
+
+    def test_refcounts_across_cells(self):
+        wf = WaitsForGraph()
+        # txn 5 holds two entities; txn 6 waits for both.
+        wf.hold(0, 5)
+        wf.hold(1, 5)
+        wf.wait(0, 6)
+        wf.wait(1, 6)
+        assert wf.as_sets() == {6: {5}}
+        wf.unwait(0, 6)
+        # Still one edge left through the second cell.
+        assert wf.as_sets() == {6: {5}}
+        wf.unwait(1, 6)
+        assert wf.as_sets() == {}
+
+    def test_cycle_detection_and_order(self):
+        wf = WaitsForGraph()
+        wf.hold(0, 1)
+        wf.wait(0, 2)
+        wf.hold(1, 2)
+        wf.wait(1, 1)
+        cycle = wf.cycle()
+        assert cycle is not None
+        assert sorted(cycle) == [1, 2]
+        wf.unwait(1, 1)
+        assert wf.cycle() is None
+
+    def test_site_observer_keys_do_not_collide(self):
+        wf = WaitsForGraph()
+        a = wf.observer(0, 2)  # site 0 of 2
+        b = wf.observer(1, 2)  # site 1 of 2
+        a.hold(0, 1)
+        b.hold(0, 2)  # same entity id, different site
+        a.wait(0, 3)
+        assert wf.as_sets() == {3: {1}}
+        b.wait(0, 3)
+        assert wf.as_sets() == {3: {1, 2}}
+
+
+def _checked_run(system, policy, config):
+    """Run a simulation asserting incremental == rebuild per event."""
+    sim = Simulator(system, policy, config)
+    assert sim._waits_for is not None
+    dispatch = sim._registry.dispatch
+
+    failures = []
+
+    def checking_dispatch(payload):
+        dispatch(payload)
+        incremental = sim._waits_for.as_sets()
+        rebuilt = sim._wait_for_edges()
+        if incremental != rebuilt and len(failures) < 3:
+            failures.append((payload, incremental, rebuilt))
+
+    # The registry instance is per-simulator; shadowing dispatch on it
+    # hooks every event the run processes.
+    sim._registry.dispatch = checking_dispatch
+    result = sim.run()
+    assert failures == [], failures[:1]
+    assert sim._waits_for.as_sets() == sim._wait_for_edges()
+    return sim, result
+
+
+class TestIncrementalEqualsRebuild:
+    @given(seed=seeds, policy=graph_policies)
+    @settings(max_examples=30, deadline=None)
+    def test_closed_batch(self, seed, policy):
+        spec = WorkloadSpec(
+            n_transactions=5, n_entities=4, n_sites=2,
+            entities_per_txn=(2, 3), hotspot_skew=1.0,
+        )
+        system = random_system(random.Random(seed), spec)
+        _checked_run(
+            system, policy,
+            SimulationConfig(seed=seed, max_time=400.0),
+        )
+
+    @given(seed=seeds, policy=graph_policies)
+    @settings(max_examples=15, deadline=None)
+    def test_open_system_with_failures_and_reads(self, seed, policy):
+        spec = WorkloadSpec(
+            n_entities=6, n_sites=3, entities_per_txn=(2, 3),
+            hotspot_skew=1.0, read_fraction=0.4, replication_factor=2,
+        )
+        _checked_run(
+            TransactionSystem([]), policy,
+            SimulationConfig(
+                seed=seed, arrival_rate=0.5, max_transactions=25,
+                workload=spec, commit_protocol="two-phase",
+                failure_rate=0.02, repair_time=6.0, max_time=400.0,
+                replica_protocol="rowa-available",
+            ),
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_blocking_deadlock_verdict_uses_graph(self, seed):
+        spec = WorkloadSpec(
+            n_transactions=4, n_entities=3, n_sites=2,
+            entities_per_txn=(2, 3), hotspot_skew=1.5,
+        )
+        system = random_system(random.Random(seed), spec)
+        sim, result = _checked_run(
+            system, "blocking", SimulationConfig(seed=seed)
+        )
+        if result.deadlocked:
+            # The recorded cycle is a real cycle of the final graph.
+            cycle = list(result.deadlock_cycle)
+            edges = sim._wait_for_edges()
+            for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+                assert v in edges[u]
