@@ -76,6 +76,25 @@ class SystemPrefix:
     # ------------------------------------------------------------------
 
     @classmethod
+    def trusted(
+        cls, system: TransactionSystem, masks: Sequence[int]
+    ) -> "SystemPrefix":
+        """Construct without the per-transaction down-set validation.
+
+        For masks that are down-sets by construction — e.g. the
+        executed set of a validated :class:`~repro.core.schedule.
+        Schedule`, which admitted every step only after its
+        predecessors. Skipping the proof keeps prefix extraction O(1)
+        on long open-system traces; it also avoids touching the
+        transitive closure, which trusted transactions materialize
+        lazily. Masks that are not down-sets produce an invalid prefix.
+        """
+        prefix = object.__new__(cls)
+        prefix.system = system
+        prefix.masks = tuple(masks)
+        return prefix
+
+    @classmethod
     def empty(cls, system: TransactionSystem) -> "SystemPrefix":
         return cls(system, [0] * len(system))
 

@@ -35,7 +35,9 @@ class Schedule:
             transaction.
     """
 
-    __slots__ = ("system", "steps", "_masks")
+    __slots__ = (
+        "system", "_raw_steps", "_steps_cache", "_masks", "_lock_orders",
+    )
 
     def __init__(
         self,
@@ -43,44 +45,104 @@ class Schedule:
         steps: Sequence[GlobalNode | tuple[int, int]],
     ):
         self.system = system
-        normalized = [GlobalNode(*step) for step in steps]
-        masks = [0] * len(system)
+        # Always copy: the validated sequence must not alias a caller
+        # list that could be mutated after validation.
+        steps = list(steps)
+        n_txns = len(system)
+        masks = [0] * n_txns
         holder: dict[Entity, int] = {}
-        for position, gnode in enumerate(normalized):
-            txn, node = gnode
-            if not 0 <= txn < len(system):
+        # Entity -> lockers in lock order, recorded as a by-product of
+        # the holder bookkeeping: the D(S) construction and the
+        # conflict-graph test both start from exactly this table, and
+        # on long open-system traces a second full pass over the steps
+        # was the bigger half of their cost.
+        lock_orders: dict[Entity, list[int]] = {}
+        # Per-transaction hot data, fetched once per transaction
+        # instead of once per step.
+        preds: list[list[int] | None] = [None] * n_txns
+        ops_of: list[tuple | None] = [None] * n_txns
+        lock_kind = OpKind.LOCK
+        unlock_kind = OpKind.UNLOCK
+        for position, step in enumerate(steps):
+            txn, node = step
+            if not 0 <= txn < n_txns:
                 raise IllegalScheduleError(
                     f"step {position}: transaction index {txn} out of range"
                 )
-            t = system[txn]
-            if not 0 <= node < t.node_count:
+            pred = preds[txn]
+            if pred is None:
+                t = system[txn]
+                pred = preds[txn] = t.dag.predecessor_masks()
+                ops_of[txn] = t.ops
+            ops = ops_of[txn]
+            if not 0 <= node < len(ops):
                 raise IllegalScheduleError(
-                    f"step {position}: node {node} out of range for {t.name}"
+                    f"step {position}: node {node} out of range for "
+                    f"{system[txn].name}"
                 )
-            if masks[txn] >> node & 1:
+            mask = masks[txn]
+            if mask >> node & 1:
+                label = system.describe_node(GlobalNode(txn, node))
                 raise IllegalScheduleError(
-                    f"step {position}: {system.describe_node(gnode)} "
-                    f"executed twice"
+                    f"step {position}: {label} executed twice"
                 )
-            if t.dag.ancestors(node) & ~masks[txn]:
+            # Direct-predecessor check, equivalent to the historical
+            # ancestors-mask check by induction: every accepted step
+            # had its predecessors executed, so the executed set is
+            # always a down-set, and then "some ancestor missing" and
+            # "some direct predecessor missing" coincide — at the same
+            # step index, which the property suite pins. This keeps
+            # validation O(steps + arcs) and — via
+            # ``Dag.predecessor_masks`` — free of the transitive
+            # closure trusted transactions never materialize.
+            if pred[node] & ~mask:
+                label = system.describe_node(GlobalNode(txn, node))
                 raise IllegalScheduleError(
-                    f"step {position}: {system.describe_node(gnode)} runs "
-                    f"before one of its predecessors in {t.name}"
+                    f"step {position}: {label} runs "
+                    f"before one of its predecessors in {system[txn].name}"
                 )
-            op = t.ops[node]
-            if op.kind is OpKind.LOCK:
-                current = holder.get(op.entity)
+            op = ops[node]
+            kind = op.kind
+            if kind is lock_kind:
+                entity = op.entity
+                current = holder.get(entity)
                 if current is not None and current != txn:
+                    label = system.describe_node(GlobalNode(txn, node))
                     raise IllegalScheduleError(
-                        f"step {position}: {system.describe_node(gnode)} "
-                        f"while T{current + 1} holds {op.entity!r}"
+                        f"step {position}: {label} "
+                        f"while T{current + 1} holds {entity!r}"
                     )
-                holder[op.entity] = txn
-            elif op.kind is OpKind.UNLOCK:
+                holder[entity] = txn
+                order = lock_orders.get(entity)
+                if order is None:
+                    lock_orders[entity] = [txn]
+                else:
+                    order.append(txn)
+            elif kind is unlock_kind:
                 holder.pop(op.entity, None)
-            masks[txn] |= 1 << node
-        self.steps = tuple(normalized)
+            masks[txn] = mask | (1 << node)
+        # The validated raw sequence; GlobalNode normalization happens
+        # lazily in :attr:`steps` — the end-of-run serializability
+        # verdict over a long open-system trace validates hundreds of
+        # thousands of steps and then only ever reads masks and lock
+        # orders, so wrapping every step up front was pure overhead.
+        self._raw_steps = steps
+        self._steps_cache: tuple[GlobalNode, ...] | None = None
         self._masks = tuple(masks)
+        self._lock_orders = lock_orders
+
+    @property
+    def steps(self) -> tuple[GlobalNode, ...]:
+        """The validated steps as :class:`GlobalNode` tuples."""
+        cached = self._steps_cache
+        if cached is None:
+            make = GlobalNode._make
+            cached = self._steps_cache = tuple(
+                step if step.__class__ is GlobalNode else make(step)
+                for step in self._raw_steps
+            )
+            self._raw_steps = None
+        return cached
 
     # ------------------------------------------------------------------
     # constructors
@@ -123,14 +185,20 @@ class Schedule:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.steps)
+        raw = self._raw_steps
+        return len(raw) if raw is not None else len(self._steps_cache)
 
     def __iter__(self):
         return iter(self.steps)
 
     def prefix(self) -> SystemPrefix:
-        """The system prefix executed by this (partial) schedule."""
-        return SystemPrefix(self.system, self._masks)
+        """The system prefix executed by this (partial) schedule.
+
+        The masks are down-sets by construction — validation accepted
+        every step only after its predecessors — so the prefix is built
+        on the trusted path, without re-proving that per transaction.
+        """
+        return SystemPrefix.trusted(self.system, self._masks)
 
     def is_complete(self) -> bool:
         return self.prefix().is_complete()
@@ -147,27 +215,30 @@ class Schedule:
 
     def lock_sequence(self, entity: Entity) -> list[int]:
         """Transaction indices in the order they lock ``entity``."""
-        order = []
-        for gnode in self.steps:
-            op = self.system[gnode.txn].ops[gnode.node]
-            if op.kind is OpKind.LOCK and op.entity == entity:
-                order.append(gnode.txn)
-        return order
+        return list(self._lock_orders.get(entity, ()))
 
     def lock_sequences(self) -> dict[Entity, list[int]]:
-        """All entities' lock sequences, computed in one pass.
+        """All entities' lock sequences (a fresh copy).
 
-        Equivalent to ``{e: lock_sequence(e) for e in entities}`` but
-        linear in the schedule length instead of quadratic — the D(S)
-        construction over the long traces of open-system runs needs
-        this.
+        Equivalent to ``{e: lock_sequence(e) for e in entities}``; the
+        table itself was recorded while the schedule validated, so this
+        is a copy, not a rescan — the D(S) construction over the long
+        traces of open-system runs leans on that.
         """
-        orders: dict[Entity, list[int]] = {}
-        for gnode in self.steps:
-            op = self.system[gnode.txn].ops[gnode.node]
-            if op.kind is OpKind.LOCK:
-                orders.setdefault(op.entity, []).append(gnode.txn)
-        return orders
+        return {
+            entity: list(order)
+            for entity, order in self._lock_orders.items()
+        }
+
+    def lock_sequences_view(self) -> dict[Entity, list[int]]:
+        """The lock-order table itself (borrowed; do not mutate).
+
+        For read-only hot-path consumers — the serializability verdict
+        iterates every per-entity locker list exactly once, and the
+        defensive copies of :meth:`lock_sequences` were its largest
+        remaining allocation.
+        """
+        return self._lock_orders
 
     def subsequence_of(self, txn: int) -> list[int]:
         """Node ids of transaction ``txn`` in schedule order."""

@@ -29,6 +29,13 @@ class TransactionSystem:
 
     Args:
         transactions: the member transactions; names must be distinct.
+        schema: optional pre-merged schema covering every member
+            transaction consistently. When given, the per-transaction
+            schema merge is skipped entirely — the caller vouches for
+            the placement (the open-system runtime passes the run
+            schema it already merged at construction, turning the
+            freeze of a long run from one merge per transaction into
+            O(1)).
 
     Raises:
         ValueError: on duplicate names or conflicting entity placement.
@@ -36,13 +43,19 @@ class TransactionSystem:
 
     __slots__ = ("transactions", "schema", "_accessors")
 
-    def __init__(self, transactions: Sequence[Transaction]):
+    def __init__(
+        self,
+        transactions: Sequence[Transaction],
+        schema: DatabaseSchema | None = None,
+    ):
         names = [t.name for t in transactions]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate transaction names in {names}")
         self.transactions = tuple(transactions)
         first_schema = transactions[0].schema if transactions else None
-        if first_schema is not None and all(
+        if schema is not None:
+            pass
+        elif first_schema is not None and all(
             t.schema is first_schema for t in transactions
         ):
             # One shared schema object (the generated-workload and

@@ -316,6 +316,74 @@ class Transaction:
     # ------------------------------------------------------------------
 
     @classmethod
+    def trusted(
+        cls,
+        name: str,
+        ops: Sequence[Operation],
+        arcs: Iterable[tuple[int, int]],
+        schema: DatabaseSchema,
+        read_set: Iterable[Entity] = (),
+        op_sites: Sequence[str] | None = None,
+    ) -> "Transaction":
+        """Construct without validation — for generator-produced input.
+
+        The workload generator builds transactions that are valid *by
+        construction* (see :mod:`repro.sim.workload`): exactly one
+        Lock/Unlock pair per accessed entity with the actions between
+        them, per-site total orders, every arc forward in node-id
+        order, and a read set drawn from the accessed entities. For
+        such input this constructor skips the locking-discipline and
+        site-total-order validation and builds the Dag through
+        :meth:`Dag.trusted <repro.util.dag.Dag.trusted>` (no cycle
+        check, lazy closure), producing an object equal to what the
+        validating constructor returns — open-system arrivals are the
+        hot caller. ``schema`` is required: deriving a default would
+        need the validation pass this path exists to skip.
+
+        Feeding input that violates the invariants produces a silently
+        malformed transaction; use the normal constructor whenever the
+        input is not proven valid by construction.
+
+        ``op_sites`` optionally supplies the per-node site names (the
+        generator already resolved them to lay down the per-site
+        chains); when omitted they are looked up from the schema.
+        """
+        t = object.__new__(cls)
+        t.name = name
+        t.ops = tuple(ops)
+        t.schema = schema
+        t.dag = Dag.trusted(len(t.ops), arcs)
+        t.read_set = (
+            read_set if type(read_set) is frozenset else frozenset(read_set)
+        )
+        if op_sites is None:
+            site_of = schema.site_of
+            op_sites = [site_of(op.entity) for op in t.ops]
+        lock_node: dict[Entity, int] = {}
+        unlock_node: dict[Entity, int] = {}
+        groups: dict[str, list[int]] = {}
+        lock_kind = OpKind.LOCK
+        unlock_kind = OpKind.UNLOCK
+        for node, op in enumerate(t.ops):
+            kind = op.kind
+            entity = op.entity
+            if kind is lock_kind:
+                lock_node[entity] = node
+            elif kind is unlock_kind:
+                unlock_node[entity] = node
+            site = op_sites[node]
+            nodes = groups.get(site)
+            if nodes is None:
+                groups[site] = [node]
+            else:
+                nodes.append(node)
+        t._lock_node = lock_node
+        t._unlock_node = unlock_node
+        t._entities = frozenset(lock_node)
+        t._site_nodes = groups
+        return t
+
+    @classmethod
     def sequential(
         cls,
         name: str,

@@ -36,9 +36,9 @@ from repro.core.entity import DatabaseSchema
 from repro.core.system import TransactionSystem
 from repro.core.transaction import Transaction
 from repro.sim.workload import (
+    CompiledWorkload,
     WorkloadSpec,
     random_schema,
-    random_transaction,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -81,16 +81,24 @@ class OpenSystem:
         return len(self.transactions) - 1
 
     def frozen(self) -> TransactionSystem:
-        """The accumulated transactions as a real TransactionSystem."""
-        return TransactionSystem(self.transactions)
+        """The accumulated transactions as a real TransactionSystem.
+
+        The run schema already covers every member — it was merged from
+        the closed batch's and the arrival process's schemas at
+        simulator construction, and :meth:`append` admits only
+        transactions over it — so the freeze hands it over instead of
+        re-merging one schema per transaction (which made freezing a
+        long batch+arrival run linear in run length times schema size).
+        """
+        return TransactionSystem(self.transactions, schema=self.schema)
 
 
 class ArrivalProcess:
     """Injects freshly generated transactions via simulator events."""
 
     __slots__ = (
-        "sim", "spec", "_clock", "schema", "injected", "finished",
-        "_base_names",
+        "sim", "spec", "_clock", "schema", "compiled", "injected",
+        "finished", "_base_names", "_gen_rng",
     )
 
     def __init__(self, sim: "Simulator"):
@@ -130,6 +138,14 @@ class ArrivalProcess:
             for entity in shared:
                 placement[entity] = base_schema.site_of(entity)
             self.schema = DatabaseSchema(placement)
+        # Per-spec generation tables, compiled once: every arrival
+        # draws from them and builds its transaction on the trusted
+        # (validation-free) path — bit-identical to random_transaction.
+        self.compiled = CompiledWorkload(self.spec, self.schema)
+        # One Random reused across arrivals: re-seeding puts it in
+        # exactly the state a fresh Random(seed) would start in, minus
+        # the per-arrival object construction.
+        self._gen_rng = random.Random()
         self.injected = 0
         self.finished = False
         self._base_names: frozenset[str] = frozenset()
@@ -172,10 +188,9 @@ class ArrivalProcess:
 
     def _on_arrive(self) -> None:
         index = self.injected
-        rng = random.Random(self._arrival_seed(index))
-        txn = random_transaction(
-            self._name(index), rng, self.schema, self.spec
-        )
+        rng = self._gen_rng
+        rng.seed(self._arrival_seed(index))
+        txn = self.compiled.generate(self._name(index), rng)
         self.injected += 1
         self.sim.add_transaction(txn)
         self._schedule_next()

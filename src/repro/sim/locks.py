@@ -147,6 +147,21 @@ class SiteLockManager:
         if mode not in _MODES:
             raise ValueError(f"unknown lock mode {mode!r}")
         holders = self._holders.get(entity)
+        if holders is None:
+            # Free entity — the common case: the queue is empty by
+            # invariant (waiters exist only under a holder), so grant
+            # immediately with the cell bookkeeping inlined.
+            self._slot[entity] = self._next_slot
+            self._next_slot += 1
+            self._holders[entity] = {txn: mode}
+            held = self._txn_held.get(txn)
+            if held is None:
+                self._txn_held[txn] = {entity}
+            else:
+                held.add(entity)
+            if self.observer is not None:
+                self.observer.hold(entity, txn)
+            return True
         if holders and txn in holders:
             if mode == SHARED or holders[txn] == EXCLUSIVE:
                 raise ValueError(f"T{txn} already holds {entity!r}")
@@ -155,7 +170,7 @@ class SiteLockManager:
         if waited is not None and entity in waited:
             raise ValueError(f"T{txn} already waits for {entity!r}")
         if not holders:
-            # Free entity: the queue is empty by invariant, grant.
+            # A transiently empty cell (mid-grant): reuse it.
             self._new_holder_cell(entity)[txn] = mode
             self._index_add(self._txn_held, txn, entity)
             if self.observer is not None:
@@ -222,8 +237,16 @@ class SiteLockManager:
         self._index_discard(self._txn_held, txn, entity)
         if self.observer is not None:
             self.observer.unhold(entity, txn)
+        queue = self._queue.get(entity)
+        if queue is None:
+            # No waiters: nothing to cancel, nothing to grant.
+            if not holders:
+                del self._holders[entity]
+                del self._slot[entity]
+            return []
         # A pending upgrade of the releaser dies with its shared grant.
-        self._cancel_queued(txn, entity)
+        if txn in queue:
+            self._cancel_queued(txn, entity)
         granted = self._grant_from_queue(entity)
         self._drop_holder_cell_if_empty(entity)
         return granted

@@ -68,7 +68,9 @@ from __future__ import annotations
 
 import dataclasses
 import random
+from collections import deque
 from dataclasses import dataclass
+from heapq import heappop as _heappop, heappush as _heappush
 from types import MappingProxyType
 
 from repro.core.operations import OpKind
@@ -86,7 +88,7 @@ from repro.sim.policies import Decision, Policy, make_policy
 from repro.sim.replication import ReplicaManager
 from repro.sim.waitsfor import WaitsForGraph
 from repro.sim.workload import WorkloadSpec
-from repro.util.graphs import find_cycle
+from repro.util.graphs import find_cycle, find_cycle_ints
 
 __all__ = ["SimulationConfig", "Simulator", "simulate"]
 
@@ -179,16 +181,16 @@ class _Instance:
 
     Besides the dynamic fields, the instance carries the transaction's
     *compiled* hot data, precomputed once at injection: per-node entity
-    ids, per-node ancestor masks, the eid -> Lock-node table, the read
-    (shared-mode) eid set, the written eids in sorted order, and the
-    bitmask of nodes whose issue crosses sites (network delay).
+    ids, per-node direct-predecessor masks, the eid -> Lock-node table,
+    the read (shared-mode) eid set, the written eids in sorted order,
+    and the bitmask of nodes whose issue crosses sites (network delay).
     """
 
     __slots__ = (
         "index", "status", "timestamp", "attempt", "done", "issued",
         "waiting", "commit_time", "start_time", "exec_done_time",
         "prepared_since", "retained", "lock_sites", "pending_replicas",
-        "eids", "kinds", "anc", "succ", "roots_mask", "all_mask",
+        "eids", "kinds", "preds", "succ", "roots_mask", "all_mask",
         "lock_node_of", "shared_eids", "write_eids", "cross_mask",
     )
 
@@ -212,7 +214,7 @@ class _Instance:
         # compiled transaction data (filled by Simulator._compile)
         self.eids: list[int] = []
         self.kinds: list[OpKind] = []
-        self.anc: list[int] = []
+        self.preds: list[int] = []
         self.succ: list[int] = []
         self.roots_mask = 0
         self.all_mask = 0
@@ -271,6 +273,7 @@ class Simulator:
         }
         self._lock_tables_view = MappingProxyType(self._sites)
         self._site_names_view = tuple(self._site_names)
+        self._service_time = self.config.service_time
         self._primary_sid: list[int] = [
             self._site_ids[schema.site_of(name)]
             for name in self._entity_names
@@ -282,8 +285,12 @@ class Simulator:
         self._events_processed = 0
         self._inflight = 0
         self._retained_total = 0
-        self._trace: list[tuple[float, int, int, int, int]] = []
-        self._trace_seq = 0
+        # (txn, node, attempt) per completed operation, appended in
+        # dispatch order — which IS (time, seq) order, so the entries
+        # need carry neither. The bound append is cached: one call per
+        # simulated operation.
+        self._trace: list[tuple[int, int, int]] = []
+        self._trace_append = self._trace.append
         self._on_conflict = self.policy.on_conflict
         # Policies that never abort anyone on conflict (blocking,
         # detect, timeout — the base rule) skip the whole decision
@@ -297,6 +304,11 @@ class Simulator:
         # blocking policy's final deadlock verdict); the deadlock-free
         # policies skip the bookkeeping entirely.
         self._waits_for: WaitsForGraph | None = None
+        # Mutation count of the waits-for graph at the last detection
+        # scan that found no cycle (-1 = no clean scan yet): while the
+        # count stands still the graph is unchanged and a rescan would
+        # provably find nothing.
+        self._clean_scan_version = -1
         if self.policy.uses_detection or self.policy.name == "blocking":
             self._waits_for = WaitsForGraph()
             n_sites = len(self._site_names)
@@ -359,15 +371,21 @@ class Simulator:
         inst.kinds = [op.kind for op in ops]
         dag = t.dag
         n = len(ops)
-        anc = [dag.ancestors(u) for u in range(n)]
-        inst.anc = anc
-        inst.succ = [dag.successors(u) for u in range(n)]
+        # Readiness runs on *direct-predecessor* masks: a node is ready
+        # iff its predecessors completed, which — because the done set
+        # of an attempt is always a down-set — coincides with "all
+        # ancestors completed" at every step. Direct masks are stored
+        # on the Dag already (borrowed, not copied), so trusted
+        # transactions never materialize their transitive closure.
+        preds = dag.predecessor_masks()
+        inst.preds = preds
+        inst.succ = dag.successor_masks()
         roots = 0
         for node in range(n):
-            if not anc[node]:
+            if not preds[node]:
                 roots |= 1 << node
         inst.roots_mask = roots
-        inst.all_mask = dag.all_nodes_mask()
+        inst.all_mask = (1 << n) - 1
         inst.lock_node_of = {
             eid_of[entity]: t.lock_node(entity) for entity in t.entities
         }
@@ -383,11 +401,11 @@ class Simulator:
             mask = 0
             for node in range(n):
                 here = primary[eids[node]]
-                preds = dag.predecessors(node)
-                while preds:
-                    low = preds & -preds
+                bits = preds[node]
+                while bits:
+                    low = bits & -bits
                     pred = low.bit_length() - 1
-                    preds ^= low
+                    bits ^= low
                     if primary[eids[pred]] != here:
                         mask |= 1 << node
                         break
@@ -402,8 +420,17 @@ class Simulator:
         self._registry.register(kind, handler)
 
     def schedule(self, delay: float, payload: tuple) -> None:
-        """Schedule ``payload`` at ``now + delay``."""
-        self._queue.push(self._now + delay, payload)
+        """Schedule ``payload`` at ``now + delay``.
+
+        Inlines :meth:`EventQueue.push` — one schedule per simulated
+        operation makes the extra frame measurable.
+        """
+        time = self._now + delay
+        if not (time >= 0):
+            raise ValueError(f"event time must be non-negative, got {time}")
+        queue = self._queue
+        _heappush(queue._heap, (time, queue._seq, payload))
+        queue._seq += 1
 
     @property
     def now(self) -> float:
@@ -630,16 +657,23 @@ class Simulator:
         self._issue_nodes(inst, pending)
 
     def _issue_nodes(self, inst: _Instance, pending: int) -> None:
-        """Issue the ready subset of the ``pending`` node mask."""
+        """Issue the ready subset of the ``pending`` node mask.
+
+        The non-Lock body of ``_issue_one`` is inlined for the
+        overwhelmingly common case (an action or unlock at an up site):
+        one event per operation makes this the single hottest loop of a
+        run, and the extra call frame was measurable.
+        """
         not_done = ~inst.done
-        anc = inst.anc
+        preds = inst.preds
+        kinds = inst.kinds
         net_delay = self._net_delay
         cross = inst.cross_mask
         while pending:
             low = pending & -pending
             node = low.bit_length() - 1
             pending ^= low
-            if anc[node] & not_done:
+            if preds[node] & not_done:
                 continue
             inst.issued |= low
             if net_delay > 0 and cross >> node & 1:
@@ -647,9 +681,15 @@ class Simulator:
                     net_delay, ("issue", inst.index, node, inst.attempt)
                 )
                 continue
-            self._issue_one(inst, node)
-            if inst.status != _RUNNING:
-                return  # the request aborted us (wait-die)
+            if kinds[node] is _LOCK or self.failures is not None:
+                self._issue_one(inst, node)
+                if inst.status != _RUNNING:
+                    return  # the request aborted us (wait-die)
+                continue
+            self.schedule(
+                self._service_time,
+                ("op_done", inst.index, node, inst.attempt),
+            )
 
     def _issue_one(self, inst: _Instance, node: int) -> None:
         if inst.kinds[node] is _LOCK:
@@ -676,7 +716,7 @@ class Simulator:
                 self._abort(inst)
                 return
         self.schedule(
-            self.config.service_time,
+            self._service_time,
             ("op_done", inst.index, node, inst.attempt),
         )
 
@@ -733,7 +773,7 @@ class Simulator:
             site = self._site_list[sid]
             if site.request(inst.index, eid, mode):
                 self.schedule(
-                    self.config.service_time,
+                    self._service_time,
                     ("op_done", inst.index, node, inst.attempt),
                 )
                 return
@@ -922,7 +962,7 @@ class Simulator:
             return
         del inst.pending_replicas[eid]
         self.schedule(
-            self.config.service_time,
+            self._service_time,
             ("op_done", inst.index, node, inst.attempt),
         )
 
@@ -930,62 +970,120 @@ class Simulator:
     # event handlers
     # ------------------------------------------------------------------
 
-    def _on_grant(self, txn: int, eid: int, sid: int) -> None:
-        """A queued request of ``txn`` was granted by a release.
+    # ------------------------------------------------------------------
+    # grant / abort cascades
+    #
+    # A grant can wound the new holder, whose abort releases locks that
+    # grant further waiters, and so on — historically this ran as
+    # mutual recursion between ``_on_grant``, the waiter re-evaluation,
+    # and ``_abort``, which overflowed the Python stack under extreme
+    # contention (hundreds of waiters on one hot entity make the
+    # cascade exactly that deep). The cascade now runs as generator
+    # *frames* on an explicit deque: each frame yields the sub-cascades
+    # it used to call, and the driver drains the newest frame first, so
+    # the event order — and with it every digest-pinned artifact — is
+    # the recursive depth-first order, replayed without consuming the
+    # interpreter stack.
+    # ------------------------------------------------------------------
 
-        Besides waking the new holder, the remaining waiters re-run the
-        policy's conflict rule against the *new* holder: under
-        wound-wait an old transaction must not linger behind a young one
-        that just inherited the lock (it wounds it), and under wait-die
-        a young waiter behind a newly-granted older holder dies. Without
-        this re-evaluation the RSL schemes lose their deadlock-freedom
-        guarantee.
+    def _drive_cascade(self, root) -> None:
+        """Run one cascade to completion (LIFO worklist of frames)."""
+        child = next(root, None)
+        if child is None:
+            return  # the frame finished without spawning sub-cascades
+        stack = deque((root, child))
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            child = next(stack[-1], None)
+            if child is None:
+                pop()
+            else:
+                push(child)
+
+    def _on_grant(self, txn: int, eid: int, sid: int) -> None:
+        """A queued request of ``txn`` was granted by a release."""
+        task = self._grant_step(txn, eid, sid)
+        if task is not None:
+            self._drive_cascade(task)
+
+    def _grant_step(self, txn: int, eid: int, sid: int):
+        """Deliver one grant; returns the follow-up cascade frame.
+
+        The delivery itself — waking the new holder and completing (or
+        advancing) its Lock operation — is plain straight-line work and
+        runs right here; the return value is a worklist frame for
+        whatever may *cascade* from it (handing back a stale grant, or
+        re-evaluating the remaining waiters against the new holder), or
+        None when no follow-up is possible. Callers inside a cascade
+        yield the frame; the top-level entry point drives it.
         """
         inst = self._instances[txn]
         key = (eid, sid)
         if inst.status != _RUNNING or key not in inst.waiting:
-            # Stale grant. Legitimate under abort cascades: a recursive
-            # wound can abort the grantee (re-granting the entity) after
-            # this grant was recorded but before it was delivered — in
-            # that case the lock already moved on and there is nothing
-            # to do. If the grantee still holds the lock, hand it back
-            # rather than wedging the site.
+            # Stale grant. Legitimate under abort cascades: a wound
+            # deeper in the cascade can abort the grantee (re-granting
+            # the entity) after this grant was recorded but before it
+            # was delivered — in that case the lock already moved on
+            # and there is nothing to do. If the grantee still holds
+            # the lock, hand it back rather than wedging the site.
             site = self._site_list[sid]
             holders = site.holders_map(eid)
             if holders is None or txn not in holders:
-                return
-            for granted in site.release(txn, eid):
-                self._on_grant(granted, eid, sid)
-            return
+                return None
+            return self._stale_release_task(txn, eid, sid, site)
         self.result.wait_time += self._now - inst.waiting.pop(key)
         pending = inst.pending_replicas.get(eid)
         if pending is None:
             # Single-replica route (the fast path skipped the pending
             # set): this grant completes the Lock operation.
             self.schedule(
-                self.config.service_time,
+                self._service_time,
                 ("op_done", inst.index, inst.lock_node_of[eid],
                  inst.attempt),
             )
         else:
             pending.discard(sid)
             self._maybe_complete_lock(inst, inst.lock_node_of[eid], eid)
-        self._reevaluate_waiters(eid, sid, inst)
-
-    def _reevaluate_waiters(
-        self, eid: int, sid: int, holder: _Instance
-    ) -> None:
         if self._policy_pure_wait:
-            return  # every decision would be WAIT
+            return None  # every re-evaluation decision would be WAIT
         site = self._site_list[sid]
         queue = site.queue_map(eid)
         if not queue:
-            return
+            return None
+        return self._reevaluate_task(inst, eid, sid, site, queue)
+
+    def _stale_release_task(
+        self, txn: int, eid: int, sid: int, site: SiteLockManager
+    ):
+        """Hand a stale grant back to the queue; cascade frame."""
+        for granted in site.release(txn, eid):
+            task = self._grant_step(granted, eid, sid)
+            if task is not None:
+                yield task
+
+    def _reevaluate_task(
+        self,
+        inst: _Instance,
+        eid: int,
+        sid: int,
+        site: SiteLockManager,
+        queue: dict[int, str],
+    ):
+        """Re-run the policy for the waiters behind a fresh grant.
+
+        The remaining waiters re-run the policy's conflict rule against
+        the *new* holder ``inst``: under wound-wait an old transaction
+        must not linger behind a young one that just inherited the lock
+        (it wounds it), and under wait-die a young waiter behind a
+        newly-granted older holder dies. Without this re-evaluation the
+        RSL schemes lose their deadlock-freedom guarantee.
+        """
         instances = self._instances
         on_conflict = self._on_conflict
         key = (eid, sid)
         for waiter, wmode in list(queue.items()):
-            if holder.status != _RUNNING:
+            if inst.status != _RUNNING:
                 return  # the holder was wounded; releases re-grant
             w_inst = instances[waiter]
             if w_inst.status != _RUNNING or key not in w_inst.waiting:
@@ -1005,22 +1103,20 @@ class Simulator:
                 # conflicting writers, and that edge must be ordered
                 # now that the holder set changed (an old reader stuck
                 # behind young writers would otherwise wedge).
-                self._order_shared_waiter(w_inst, eid, sid)
+                yield self._order_shared_task(w_inst, eid, sid)
                 continue
-            decision = on_conflict(w_inst.timestamp, holder.timestamp)
+            decision = on_conflict(w_inst.timestamp, inst.timestamp)
             if decision is Decision.ABORT_HOLDER:
                 self.result.wounds += 1
-                self._abort(holder)
+                yield self._abort_task(inst)
                 return
             if decision is Decision.ABORT_SELF:
                 self.result.deaths += 1
-                self._abort(w_inst)
+                yield self._abort_task(w_inst)
 
-    def _order_shared_waiter(
-        self, w_inst: _Instance, eid: int, sid: int
-    ) -> None:
+    def _order_shared_task(self, w_inst: _Instance, eid: int, sid: int):
         """Re-run the policy for a shared waiter against the queued
-        writers ahead of it (its actual blockers)."""
+        writers ahead of it (its actual blockers); cascade frame."""
         site = self._site_list[sid]
         key = (eid, sid)
         for blocker in self._conflicting_ahead(site, eid, w_inst.index):
@@ -1034,19 +1130,19 @@ class Simulator:
             )
             if decision is Decision.ABORT_HOLDER:
                 self.result.wounds += 1
-                self._abort(b_inst)
+                yield self._abort_task(b_inst)
             elif decision is Decision.ABORT_SELF:
                 self.result.deaths += 1
-                self._abort(w_inst)
+                yield self._abort_task(w_inst)
                 return
 
     def _on_op_done(self, txn: int, node: int, attempt: int) -> None:
         inst = self._instances[txn]
         if inst.status != _RUNNING or inst.attempt != attempt:
             return  # stale event from an aborted attempt
-        inst.done |= 1 << node
-        self._trace.append((self._now, self._trace_seq, txn, node, attempt))
-        self._trace_seq += 1
+        done = inst.done | 1 << node
+        inst.done = done
+        self._trace_append((txn, node, attempt))
         if inst.kinds[node] is _UNLOCK:
             eid = inst.eids[node]
             lock_sites = inst.lock_sites[eid]
@@ -1059,22 +1155,69 @@ class Simulator:
                 self._retained_total += len(lock_sites)
             else:
                 site_list = self._site_list
+                drive = self._drive_cascade
+                grant_step = self._grant_step
                 for sid in lock_sites:
                     for granted in site_list[sid].release(txn, eid):
-                        self._on_grant(granted, eid, sid)
-        if inst.done == inst.all_mask:
+                        task = grant_step(granted, eid, sid)
+                        if task is not None:
+                            drive(task)
+                if inst.status != _RUNNING or inst.attempt != attempt:
+                    # The release cascade wounded *us*: a grant it
+                    # delivered can make this instance the new holder
+                    # of a cell it was blocked on and an older waiter
+                    # wounds it. The abort already reset done/issued,
+                    # so the local `done` snapshot below is stale —
+                    # issuing from it would lock entities for an
+                    # aborted attempt.
+                    return
+        if done == inst.all_mask:
             self.commit.on_execution_complete(inst)
-        else:
-            # Only direct successors of the completed node can have
-            # become ready — no full pending rescan.
-            newly = inst.succ[node] & ~inst.issued
-            if newly:
-                self._issue_nodes(inst, newly)
+            return
+        # Only direct successors of the completed node can have become
+        # ready — no full pending rescan. The issue loop is the body of
+        # ``_issue_nodes``, inlined: this handler runs once per
+        # simulated operation and the call frame was measurable.
+        pending = inst.succ[node] & ~inst.issued
+        if not pending:
+            return
+        not_done = ~done
+        preds = inst.preds
+        kinds = inst.kinds
+        net_delay = self._net_delay
+        cross = inst.cross_mask
+        while pending:
+            low = pending & -pending
+            ready = low.bit_length() - 1
+            pending ^= low
+            if preds[ready] & not_done:
+                continue
+            inst.issued |= low
+            if net_delay > 0 and cross >> ready & 1:
+                self.schedule(
+                    net_delay, ("issue", inst.index, ready, inst.attempt)
+                )
+                continue
+            if kinds[ready] is _LOCK or self.failures is not None:
+                self._issue_one(inst, ready)
+                if inst.status != _RUNNING:
+                    return  # the request aborted us (wait-die)
+                continue
+            self.schedule(
+                self._service_time,
+                ("op_done", inst.index, ready, inst.attempt),
+            )
 
     def _abort(self, inst: _Instance) -> None:
         """Release everything, forget progress, schedule a restart."""
         if inst.status != _RUNNING:
-            return
+            return  # saves the frame; _abort_task re-checks for cascades
+        self._drive_cascade(self._abort_task(inst))
+
+    def _abort_task(self, inst: _Instance):
+        """Abort one transaction; frame of the cascade worklist."""
+        if inst.status != _RUNNING:
+            return  # an earlier frame of this cascade got it first
         inst.status = _ABORTED
         self.result.aborts += 1
         txn = inst.index
@@ -1084,14 +1227,18 @@ class Simulator:
                 # Cancelling a queued writer can expose a compatible
                 # read batch behind it; those grants must be delivered.
                 for grantee in site_list[sid].cancel_wait(txn, eid):
-                    self._on_grant(grantee, eid, sid)
+                    task = self._grant_step(grantee, eid, sid)
+                    if task is not None:
+                        yield task
             inst.waiting.clear()
         for sid, site in enumerate(self._site_list):
             released = site.release_all(txn)
             if released:
                 for eid, granted in released:
                     for grantee in granted:
-                        self._on_grant(grantee, eid, sid)
+                        task = self._grant_step(grantee, eid, sid)
+                        if task is not None:
+                            yield task
         inst.done = 0
         inst.issued = 0
         if inst.retained:
@@ -1181,16 +1328,34 @@ class Simulator:
                     for eid, sid in instances[txn].waiting:
                         holders = site_list[sid].holders_map(eid)
                         if holders:
-                            cached.update(sorted(holders))
+                            if len(holders) == 1:
+                                # Sole (exclusive) holder — the common
+                                # cell shape: inserting the one key
+                                # needs no sort to reproduce the
+                                # historical insertion sequence.
+                                cached.update(holders)
+                            else:
+                                cached.update(sorted(holders))
                 else:
                     cached = empty
                 memo[txn] = cached
             return cached
 
-        return find_cycle(sorted(wf_edges), successors)
+        return find_cycle_ints(
+            wf.blocked_sorted(), successors, len(instances)
+        )
 
     def _on_detect(self) -> None:
-        cycle = self._find_deadlock_cycle()
+        wf = self._waits_for
+        if wf is not None and wf.mutations == self._clean_scan_version:
+            # Not a single cell changed since a scan that found the
+            # graph acyclic, and edge deletions alone cannot create a
+            # cycle — this scan would provably find nothing.
+            cycle = None
+        else:
+            cycle = self._find_deadlock_cycle()
+            if cycle is None and wf is not None:
+                self._clean_scan_version = wf.mutations
         if cycle:
             instances = self._instances
             victim = max(cycle, key=lambda i: instances[i].timestamp)
@@ -1227,42 +1392,64 @@ class Simulator:
             self._queue.push(config.detection_interval, ("detect",))
 
         queue = self._queue
-        dispatch = self._registry.dispatch
+        heap = queue._heap  # borrowed: pop inline, one C call per event
+        heappop = _heappop
+        registry = self._registry
+        # Instrumentation (the waits-for invariant suite) shadows
+        # ``dispatch`` per registry instance; honour the wrapper when
+        # present, otherwise route events through the handler table
+        # directly — one dict hit and call per event instead of an
+        # extra frame. (A typo'd event kind then surfaces as KeyError
+        # rather than dispatch()'s RuntimeError; both are caller bugs.)
+        dispatch = registry.__dict__.get("dispatch")
+        handlers = registry._handlers
         result = self.result
         max_time = config.max_time
         max_events = config.max_events
         warmup_time = config.warmup_time
         track_failures = self.failures is not None
         events_processed = self._events_processed
-        while queue:
-            time, payload = queue.pop()
-            if time > max_time:
-                result.truncated = True
-                break
-            now = self._now
-            if time > now:
-                # Integrate the in-flight count over the steady-state
-                # window; the mean concurrency level falls out of it.
-                lo = warmup_time if warmup_time > now else now
-                if time > lo:
-                    result.inflight_area += self._inflight * (time - lo)
-                self._now = time
-            events_processed += 1
-            if events_processed > max_events:
-                result.truncated = True
-                break
-            dispatch(payload)
-            if (
-                track_failures
-                and self._retained_total == 0
-                and not self.has_uncommitted()
-            ):
-                # All work committed and every retained lock released:
-                # the only events left are future crash/recover pairs,
-                # which would inflate end_time and the crash count (or
-                # spuriously truncate the run at a tight horizon).
-                break
-        self._events_processed = events_processed
+        # The in-flight integral accumulates in a local and is flushed
+        # after the loop — one float add per event instead of an
+        # attribute read-modify-write.
+        inflight_area = result.inflight_area
+        try:
+            while heap:
+                time, _seq, payload = heappop(heap)
+                if time > max_time:
+                    result.truncated = True
+                    break
+                now = self._now
+                if time > now:
+                    # Integrate the in-flight count over the
+                    # steady-state window; the mean concurrency level
+                    # falls out of it.
+                    lo = warmup_time if warmup_time > now else now
+                    if time > lo:
+                        inflight_area += self._inflight * (time - lo)
+                    self._now = time
+                events_processed += 1
+                if events_processed > max_events:
+                    result.truncated = True
+                    break
+                if dispatch is not None:
+                    dispatch(payload)
+                else:
+                    handlers[payload[0]](*payload[1:])
+                if (
+                    track_failures
+                    and self._retained_total == 0
+                    and not self.has_uncommitted()
+                ):
+                    # All work committed and every retained lock
+                    # released: the only events left are future
+                    # crash/recover pairs, which would inflate end_time
+                    # and the crash count (or spuriously truncate the
+                    # run at a tight horizon).
+                    break
+        finally:
+            result.inflight_area = inflight_area
+            self._events_processed = events_processed
 
         self.result.end_time = self._now
         self.replicas.finalize()
@@ -1311,20 +1498,24 @@ class Simulator:
     # trace replay
     # ------------------------------------------------------------------
 
-    def _final_steps(self, committed_only: bool) -> list[GlobalNode]:
+    def _final_steps(self, committed_only: bool) -> list[tuple[int, int]]:
         # The trace is appended in dispatch order, which is already
         # (time, seq) order — the historical sort was a no-op and is
-        # gone.
+        # gone. Steps stay plain (txn, node) pairs: Schedule validates
+        # raw pairs and wraps them as GlobalNodes only on demand, so
+        # the end-of-run verdict over a long trace never constructs
+        # them at all.
         steps = []
+        append = steps.append
         instances = self._instances
-        for _time, _seq, txn, node, attempt in self._trace:
+        for txn, node, attempt in self._trace:
             inst = instances[txn]
             if committed_only and inst.status != _COMMITTED:
                 continue
             if inst.status == _ABORTED:
                 continue
             if attempt == inst.attempt:
-                steps.append(GlobalNode(txn, node))
+                append((txn, node))
         return steps
 
     def _check_serializability(self) -> bool | None:
@@ -1357,10 +1548,10 @@ class Simulator:
         so any serial order works for them).
         """
         sequences: dict[str, list[int]] = {}
-        for gnode in self._final_steps(False):
-            op = self.system[gnode.txn].ops[gnode.node]
+        for txn, node in self._final_steps(False):
+            op = self.system[txn].ops[node]
             if op.kind is OpKind.LOCK:
-                sequences.setdefault(op.entity, []).append(gnode.txn)
+                sequences.setdefault(op.entity, []).append(txn)
         read_sets = [t.read_set for t in self.system]
         # Reduced conflict graph: instead of all O(k^2) conflicting
         # pairs per entity, keep only last-writer -> reader and
@@ -1387,7 +1578,9 @@ class Simulator:
                     edges.setdefault(last_writer, set()).add(txn)
                 last_writer = txn
                 readers = []
-        return find_cycle(list(edges), lambda u: edges.get(u, ())) is None
+        return find_cycle_ints(
+            list(edges), lambda u: edges.get(u, ()), len(self.system)
+        ) is None
 
     def committed_schedule(self) -> Schedule:
         """The committed trace as a validated Schedule.

@@ -30,6 +30,8 @@ tests can assert ``incremental == from-scratch`` after every event.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+
 from repro.util.graphs import find_cycle
 
 __all__ = ["SiteCellObserver", "WaitsForGraph"]
@@ -38,7 +40,9 @@ __all__ = ["SiteCellObserver", "WaitsForGraph"]
 class WaitsForGraph:
     """Refcounted waiter -> holder edges, updated per cell mutation."""
 
-    __slots__ = ("_edges", "_waiters", "_holders")
+    __slots__ = (
+        "_edges", "_waiters", "_holders", "_blocked_sorted", "mutations",
+    )
 
     def __init__(self) -> None:
         # waiter -> {holder: refcount}; a waiter key exists only while
@@ -48,6 +52,20 @@ class WaitsForGraph:
         # tables, maintained through the observer protocol).
         self._waiters: dict[int, set[int]] = {}
         self._holders: dict[int, set[int]] = {}
+        # The _edges keys kept ascending (insort on first edge, bisect
+        # removal on last): the detector needs its DFS start order
+        # sorted on every scan, and under saturation the blocked set is
+        # hundreds strong while only a handful of waiters enter or
+        # leave it between scans — re-sorting per scan cost more than
+        # the searches themselves.
+        self._blocked_sorted: list[int] = []
+        # Monotone counter bumped on every cell mutation. A detection
+        # scan that found no cycle can be skipped entirely while the
+        # counter stands still: edge state is unchanged, and deletions
+        # alone cannot create a cycle — so "still acyclic" needs no
+        # proof. The detector records the counter value of its last
+        # clean scan.
+        self.mutations = 0
 
     def observer(self, key_base: int, stride: int) -> "SiteCellObserver":
         """An observer mapping entity ``eid`` to cell ``eid * stride +
@@ -60,11 +78,13 @@ class WaitsForGraph:
 
     def wait(self, key: int, txn: int) -> None:
         """``txn`` joined the cell's queue."""
+        self.mutations += 1
         holders = self._holders.get(key)
         if holders:
             counts = self._edges.get(txn)
             if counts is None:
                 counts = self._edges[txn] = {}
+                insort(self._blocked_sorted, txn)
             for holder in holders:
                 counts[holder] = counts.get(holder, 0) + 1
         waiters = self._waiters.get(key)
@@ -74,6 +94,7 @@ class WaitsForGraph:
 
     def unwait(self, key: int, txn: int) -> None:
         """``txn`` left the cell's queue (granted or cancelled)."""
+        self.mutations += 1
         waiters = self._waiters[key]
         waiters.discard(txn)
         if not waiters:
@@ -89,9 +110,12 @@ class WaitsForGraph:
                     del counts[holder]
             if not counts:
                 del self._edges[txn]
+                blocked = self._blocked_sorted
+                del blocked[bisect_left(blocked, txn)]
 
     def hold(self, key: int, txn: int) -> None:
         """``txn`` became a holder of the cell."""
+        self.mutations += 1
         waiters = self._waiters.get(key)
         if waiters:
             edges = self._edges
@@ -99,6 +123,7 @@ class WaitsForGraph:
                 counts = edges.get(waiter)
                 if counts is None:
                     counts = edges[waiter] = {}
+                    insort(self._blocked_sorted, waiter)
                 counts[txn] = counts.get(txn, 0) + 1
         holders = self._holders.get(key)
         if holders is None:
@@ -107,6 +132,7 @@ class WaitsForGraph:
 
     def unhold(self, key: int, txn: int) -> None:
         """``txn`` stopped holding the cell."""
+        self.mutations += 1
         holders = self._holders[key]
         holders.discard(txn)
         if not holders:
@@ -114,6 +140,7 @@ class WaitsForGraph:
         waiters = self._waiters.get(key)
         if waiters:
             edges = self._edges
+            blocked = self._blocked_sorted
             for waiter in waiters:
                 counts = edges[waiter]
                 remaining = counts[txn] - 1
@@ -123,6 +150,7 @@ class WaitsForGraph:
                     del counts[txn]
                 if not counts:
                     del edges[waiter]
+                    del blocked[bisect_left(blocked, waiter)]
 
     # ------------------------------------------------------------------
     # queries
@@ -131,6 +159,14 @@ class WaitsForGraph:
     def waiters(self) -> list[int]:
         """The transactions currently having at least one edge."""
         return list(self._edges)
+
+    def blocked_sorted(self) -> list[int]:
+        """The blocked transactions in ascending id order.
+
+        A borrowed view of the incrementally maintained list — always
+        equal to ``sorted(self._edges)``; callers must not mutate it.
+        """
+        return self._blocked_sorted
 
     def cycle(self) -> list[int] | None:
         """One directed cycle (waiter ids, in order), or None.

@@ -26,8 +26,10 @@ controls the locking style:
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from functools import lru_cache
+from itertools import accumulate
 
 from repro.core.entity import DatabaseSchema, Entity
 from repro.core.operations import Operation, OpKind
@@ -35,6 +37,7 @@ from repro.core.system import TransactionSystem
 from repro.core.transaction import Transaction
 
 __all__ = [
+    "CompiledWorkload",
     "WorkloadSpec",
     "random_schema",
     "random_system",
@@ -311,6 +314,177 @@ def random_transaction(
     # entity's nodes are colocated (they always are — same entity), so
     # the construction is already well formed.
     return Transaction(name, sequence, arcs, schema, read_set)
+
+
+class CompiledWorkload:
+    """One spec's generation tables, precomputed once per run.
+
+    ``random_transaction`` recomputes several spec/schema constants on
+    every call — the sorted entity pool, the hotspot weights, each
+    operation label, every ``site_of`` lookup — which dominates
+    per-arrival cost in open-system runs. Compiling the spec hoists all
+    of it: the pool and weights become shared tuples, the per-entity
+    ``Lx``/``A.x``/``Ux`` :class:`Operation` objects are built once and
+    reused (they are immutable), and entity-to-site routing is one dict
+    hit. :meth:`generate` then draws from the RNG in *exactly* the
+    sequence ``random_transaction`` does — the draw stream is part of a
+    workload's identity, so a compiled generator reproduces the naive
+    one bit for bit — and assembles the result through
+    ``Transaction.trusted`` (the construction invariants hold by the
+    same argument as for ``random_transaction``, so re-validation would
+    only re-prove them).
+    """
+
+    __slots__ = (
+        "spec", "schema", "pool", "weights", "site_of", "lock_op",
+        "unlock_op", "action_op",
+    )
+
+    def __init__(self, spec: WorkloadSpec, schema: DatabaseSchema):
+        self.spec = spec
+        self.schema = schema
+        self.pool: list[Entity] = list(schema.entities_sorted())
+        self.weights: tuple[float, ...] | None = (
+            _hotspot_weights(len(self.pool), spec.hotspot_skew)
+            if spec.hotspot_skew > 0
+            else None
+        )
+        self.site_of: dict[Entity, str] = {
+            entity: schema.site_of(entity) for entity in self.pool
+        }
+        self.lock_op = {e: Operation.lock(e) for e in self.pool}
+        self.unlock_op = {e: Operation.unlock(e) for e in self.pool}
+        self.action_op = {e: Operation.action(e) for e in self.pool}
+
+    # ------------------------------------------------------------------
+    # draw-identical ports of the module-level helpers
+    # ------------------------------------------------------------------
+
+    def _pick_entities(self, rng: random.Random) -> list[Entity]:
+        # Mirrors module-level _pick_entities. The linear accumulate
+        # scan becomes prefix sums + bisect: the prefix sums are the
+        # same left-to-right float additions the scan performed, and
+        # bisect_left finds the first index with ``point <=
+        # prefix[index]`` — the scan's stopping rule — so every pick
+        # (and every draw) is bit-identical.
+        pool = self.pool
+        lo, hi = self.spec.entities_per_txn
+        count = min(rng.randint(lo, hi), len(pool))
+        weights = self.weights
+        if weights is None:
+            return rng.sample(pool, count)
+        cand_e = list(pool)
+        cand_w = list(weights)
+        chosen: list[Entity] = []
+        uniform = rng.uniform
+        for _ in range(count):
+            prefix = list(accumulate(cand_w))
+            point = uniform(0, prefix[-1])
+            index = bisect_left(prefix, point)
+            if index < len(cand_e):
+                chosen.append(cand_e[index])
+                del cand_e[index]
+                del cand_w[index]
+        return chosen
+
+    def _reference_sequence(
+        self, rng: random.Random, entities: list[Entity]
+    ) -> list[Operation]:
+        # Mirrors module-level _reference_sequence with precompiled
+        # Operation objects (reused — they are immutable).
+        spec = self.spec
+        lo, hi = spec.actions_per_entity
+        lock_op = self.lock_op
+        unlock_op = self.unlock_op
+        action_op = self.action_op
+        chains = {}
+        for entity in entities:
+            n_actions = rng.randint(lo, hi)
+            chain = [lock_op[entity]]
+            if n_actions:
+                chain.extend([action_op[entity]] * n_actions)
+            chain.append(unlock_op[entity])
+            chains[entity] = chain
+
+        if spec.shape in ("two_phase", "ordered_2pl"):
+            ordered = sorted(entities) if spec.shape == "ordered_2pl" else (
+                rng.sample(entities, len(entities))
+            )
+            sequence = [lock_op[entity] for entity in ordered]
+            middles = [op for e in ordered for op in chains[e][1:-1]]
+            rng.shuffle(middles)
+            sequence.extend(middles)
+            release = ordered[:]
+            if spec.shape != "ordered_2pl":
+                rng.shuffle(release)
+            sequence.extend(
+                unlock_op[entity] for entity in reversed(release)
+            )
+            return sequence
+
+        # Per-entity iterators replace the cursor dict: next() on a
+        # list iterator is one C call, and each chain is consumed
+        # exactly once in order — the same sequence the cursor walk
+        # produced.
+        cursors = {entity: iter(chains[entity]) for entity in entities}
+        remaining = [entity for entity in entities for _ in chains[entity]]
+        rng.shuffle(remaining)
+        return [next(cursors[entity]) for entity in remaining]
+
+    def generate(self, name: str, rng: random.Random) -> Transaction:
+        """One arrival's transaction; equal to ``random_transaction``'s.
+
+        Given the same ``rng`` state, the result compares equal to
+        ``random_transaction(name, rng, self.schema, self.spec)`` —
+        ops, arcs, schema, read set, and site grouping included (the
+        property suite pins this).
+        """
+        spec = self.spec
+        accessed = self._pick_entities(rng)
+        if not accessed:
+            accessed = [rng.choice(self.pool)]
+        read_set: frozenset[Entity] = frozenset()
+        if spec.read_fraction > 0:
+            read_fraction = spec.read_fraction
+            read_set = frozenset(
+                entity
+                for entity in accessed
+                if rng.random() < read_fraction
+            )
+        sequence = self._reference_sequence(rng, list(accessed))
+
+        if spec.shape == "sequential":
+            arcs = [(i, i + 1) for i in range(len(sequence) - 1)]
+            return Transaction.trusted(
+                name, sequence, arcs, self.schema, read_set
+            )
+
+        site_of = self.site_of
+        op_sites = [site_of[op.entity] for op in sequence]
+        arcs = []
+        append_arc = arcs.append
+        last_at_site: dict[str, int] = {}
+        for index, site in enumerate(op_sites):
+            prev = last_at_site.get(site)
+            if prev is not None:
+                append_arc((prev, index))
+            last_at_site[site] = index
+
+        # Cross-site arcs: one draw per cross-site (u, v) pair, in
+        # (u, v) order — the draw sequence is workload identity.
+        cross_p = spec.cross_arc_p
+        random_draw = rng.random
+        n_ops = len(sequence)
+        for u in range(n_ops):
+            site_u = op_sites[u]
+            for v in range(u + 1, n_ops):
+                if site_u != op_sites[v] and random_draw() < cross_p:
+                    append_arc((u, v))
+
+        arcs.extend(_structural_arcs(spec, sequence))
+        return Transaction.trusted(
+            name, sequence, arcs, self.schema, read_set, op_sites
+        )
 
 
 def random_system(

@@ -41,7 +41,10 @@ class Dag:
         ValueError: if an arc endpoint is out of range or a self-loop.
     """
 
-    __slots__ = ("n", "_succ", "_pred", "_desc", "_anc", "_arcs", "_topo")
+    __slots__ = (
+        "n", "_succ", "_pred", "_desc", "_anc", "_arcs", "_arc_src",
+        "_topo",
+    )
 
     def __init__(self, n: int, arcs: Iterable[tuple[int, int]] = ()):
         self.n = n
@@ -60,7 +63,48 @@ class Dag:
         self._succ = succ
         self._pred = pred
         self._arcs = frozenset(arc_set)
+        self._arc_src = None
         self._desc, self._anc = self._compute_closure()
+
+    @classmethod
+    def trusted(cls, n: int, arcs: Iterable[tuple[int, int]] = ()) -> "Dag":
+        """Construct without validation, deferring the closure.
+
+        The caller guarantees every arc ``(u, v)`` satisfies
+        ``0 <= u < v < n`` — forward in node-id order, hence acyclic
+        with no self-loops. The workload generator produces exactly
+        such arcs (every arc follows the reference sequence), which is
+        what lets open-system arrivals skip Kahn's algorithm and the
+        transitive closure entirely: the simulator's hot path consumes
+        only the direct successor/predecessor masks. The closure (and
+        the cached topological order) is computed lazily on first use,
+        so the resulting Dag answers every query exactly like a
+        validated one.
+        """
+        dag = object.__new__(cls)
+        dag.n = n
+        arc_list = arcs if type(arcs) is list else list(arcs)
+        succ = [0] * n
+        pred = [0] * n
+        for u, v in arc_list:
+            # Duplicate arcs just re-set the same bits, so the masks
+            # need no dedup pass; the canonical frozenset (which does
+            # dedup) is materialized only if someone asks for it.
+            succ[u] |= 1 << v
+            pred[v] |= 1 << u
+        dag._succ = succ
+        dag._pred = pred
+        dag._arcs = None
+        dag._arc_src = arc_list
+        dag._desc = None
+        dag._anc = None
+        dag._topo = None
+        return dag
+
+    def _ensure_closure(self) -> None:
+        """Materialize the lazy closure of a trusted Dag."""
+        if self._anc is None:
+            self._desc, self._anc = self._compute_closure()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -127,7 +171,11 @@ class Dag:
     @property
     def arcs(self) -> frozenset[tuple[int, int]]:
         """The direct (non-transitive) arcs as given at construction."""
-        return self._arcs
+        arcs = self._arcs
+        if arcs is None:
+            arcs = self._arcs = frozenset(self._arc_src)
+            self._arc_src = None
+        return arcs
 
     def successors(self, u: int) -> int:
         """Bitmask of direct successors of ``u``."""
@@ -139,14 +187,41 @@ class Dag:
 
     def descendants(self, u: int) -> int:
         """Bitmask of all nodes strictly after ``u`` in the partial order."""
+        if self._desc is None:
+            self._ensure_closure()
         return self._desc[u]
 
     def ancestors(self, u: int) -> int:
         """Bitmask of all nodes strictly before ``u`` in the partial order."""
+        if self._anc is None:
+            self._ensure_closure()
         return self._anc[u]
+
+    def successor_masks(self) -> list[int]:
+        """Per-node direct-successor bitmasks, indexed by node id.
+
+        A borrowed view of internal state — callers must not mutate it.
+        Bulk accessor for hot paths that would otherwise call
+        :meth:`successors` once per node.
+        """
+        return self._succ
+
+    def predecessor_masks(self) -> list[int]:
+        """Per-node direct-predecessor bitmasks (borrowed; do not
+        mutate). Available without materializing the closure, which is
+        what makes linear schedule replay free of it."""
+        return self._pred
+
+    def ancestor_masks(self) -> list[int]:
+        """Per-node ancestor bitmasks (borrowed; do not mutate)."""
+        if self._anc is None:
+            self._ensure_closure()
+        return self._anc
 
     def precedes(self, u: int, v: int) -> bool:
         """Return True if ``u`` strictly precedes ``v`` (u ≺ v)."""
+        if self._desc is None:
+            self._ensure_closure()
         return bool(self._desc[u] >> v & 1)
 
     def comparable(self, u: int, v: int) -> bool:
@@ -160,8 +235,11 @@ class Dag:
     def cached_topological_order(self) -> list[int]:
         """The topological order computed at construction (no rebuild).
 
-        Callers must not mutate the returned list.
+        Callers must not mutate the returned list. Trusted Dags compute
+        it on first use.
         """
+        if self._topo is None:
+            self._topo = self.topological_order()
         return self._topo
 
     # ------------------------------------------------------------------
@@ -305,7 +383,7 @@ class Dag:
     def transitive_reduction(self) -> "Dag":
         """Return the Hasse diagram (unique minimal arc set, same order)."""
         reduced: list[tuple[int, int]] = []
-        for u, v in self._arcs:
+        for u, v in self.arcs:
             # (u, v) is redundant iff some direct successor w != v of u
             # already reaches v.
             redundant = False
@@ -327,7 +405,7 @@ class Dag:
 
     def with_arcs(self, extra: Iterable[tuple[int, int]]) -> "Dag":
         """Return a new Dag with ``extra`` arcs added (must stay acyclic)."""
-        return Dag(self.n, list(self._arcs) + list(extra))
+        return Dag(self.n, list(self.arcs) + list(extra))
 
     def restricted_to(self, mask: int) -> "Dag":
         """Induced sub-DAG on ``mask``, renumbered by increasing old id.
@@ -339,7 +417,7 @@ class Dag:
         index = {u: i for i, u in enumerate(members)}
         arcs = [
             (index[u], index[v])
-            for u, v in self._arcs
+            for u, v in self.arcs
             if u in index and v in index
         ]
         return Dag(len(members), arcs)
@@ -351,13 +429,13 @@ class Dag:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Dag):
             return NotImplemented
-        return self.n == other.n and self._arcs == other._arcs
+        return self.n == other.n and self.arcs == other.arcs
 
     def __hash__(self) -> int:
-        return hash((self.n, self._arcs))
+        return hash((self.n, self.arcs))
 
     def __repr__(self) -> str:
-        return f"Dag(n={self.n}, arcs={sorted(self._arcs)})"
+        return f"Dag(n={self.n}, arcs={sorted(self.arcs)})"
 
 
 class DagBuilder:

@@ -15,6 +15,7 @@ from typing import TypeVar
 __all__ = [
     "Digraph",
     "find_cycle",
+    "find_cycle_ints",
     "has_cycle",
     "simple_cycles_undirected",
     "strongly_connected_components",
@@ -150,6 +151,55 @@ def find_cycle(
                     break
             if not advanced:
                 color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def find_cycle_ints(
+    nodes: Iterable[int], successors, n: int
+) -> list[int] | None:
+    """:func:`find_cycle` specialized to int nodes in ``[0, n)``.
+
+    Byte-for-byte the same DFS — same start order, same successor
+    expansion, same first cycle returned — with the color map stored in
+    a flat ``bytearray`` instead of a dict. The deadlock detector runs
+    one such search per detection tick over transaction ids, and the
+    end-of-run serializability verdicts run one over a whole open-system
+    history; the dict hashing was a measurable share of both.
+    """
+    # WHITE=0, GRAY=1, BLACK=2
+    color = bytearray(n)
+    parent: dict[int, int] = {}
+
+    for start in nodes:
+        if color[start]:
+            continue
+        stack: list[tuple[int, Iterator[int]]] = [
+            (start, iter(successors(start)))
+        ]
+        color[start] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                c = color[nxt]
+                if c == 1:
+                    # unwind the gray path from node back to nxt
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+                if c == 0:
+                    color[nxt] = 1
+                    parent[nxt] = node
+                    stack.append((nxt, iter(successors(nxt))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
                 stack.pop()
     return None
 

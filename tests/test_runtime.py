@@ -179,10 +179,18 @@ class TestFastPathSurface:
                 Simulator(deadlock_pair(), policy)._waits_for is not None
             )
 
-    def test_trace_is_recorded_in_sorted_order(self):
+    def test_trace_entries_are_bare_and_replayable(self):
+        # The trace is appended in dispatch order — which *is*
+        # (time, seq) order — so entries carry only (txn, node,
+        # attempt), and the committed replay is a legal Schedule
+        # without any re-sorting.
         sim = Simulator(deadlock_pair(), "wound-wait")
         sim.run()
-        assert sim._trace == sorted(sim._trace)
+        assert sim._trace
+        assert all(len(entry) == 3 for entry in sim._trace)
+        n = len(sim.system)
+        assert all(0 <= txn < n for txn, _node, _att in sim._trace)
+        sim.committed_schedule()  # replays without IllegalScheduleError
 
 
 class TestTraceReplay:
