@@ -36,6 +36,15 @@ Usage:
     python benchmarks/bench_core_speed.py --check BASE   # regression gate
     python benchmarks/bench_core_speed.py --merge BASE   # keep BASE's
                                                          # other runs/modes
+    python benchmarks/bench_core_speed.py --overhead     # observability
+                                                         # cost report
+
+``--overhead`` measures the observability layer instead of recording a
+baseline: each probed scenario runs plain, with a disabled
+``ObserveConfig`` (must be free — same digest, ops/sec delta within
+``--overhead-tolerance``), and fully instrumented (tracer + sampler;
+same digest, overhead reported as a percentage). Exit code 1 if the
+disabled mode costs anything beyond noise or any digest diverges.
 
 ``--check`` compares the fresh numbers against the same mode of the
 ``current`` run recorded in the baseline file: behaviour digests must
@@ -241,6 +250,63 @@ def run_mode(quick: bool, repeats: int) -> dict[str, dict]:
     return results
 
 
+def run_overhead(quick: bool, repeats: int, tolerance: float) -> list[str]:
+    """Measure the observability layer's cost; returns violations.
+
+    Three runs per scenario: plain, observability *configured but
+    disabled* (the zero-cost claim: nothing attaches, so the delta is
+    pure timing noise), and fully instrumented (tracer + sampler, the
+    honest price of turning everything on). All three must produce the
+    same behaviour digest.
+    """
+    import dataclasses
+
+    from repro.sim.observe import ObserveConfig
+
+    def with_observe(builder, observe):
+        def build():
+            system, policy, config = builder()
+            return system, policy, dataclasses.replace(
+                config, observe=observe
+            )
+        return build
+
+    errors = []
+    scenarios = _scenarios(quick)
+    for name in ("closed", "open"):
+        builder = scenarios[name]
+        plain = run_scenario(builder, repeats)
+        disabled = run_scenario(
+            with_observe(builder, ObserveConfig()), repeats
+        )
+        traced = run_scenario(
+            with_observe(
+                builder, ObserveConfig(trace=True, metrics_window=25.0)
+            ),
+            repeats,
+        )
+        for label, entry in (("disabled", disabled), ("traced", traced)):
+            if entry["digest"] != plain["digest"]:
+                errors.append(
+                    f"{name}/{label}: behaviour digest diverged from the "
+                    f"plain run ({plain['digest']} -> {entry['digest']})"
+                )
+        disabled_delta = 1.0 - disabled["ops_per_sec"] / plain["ops_per_sec"]
+        traced_overhead = plain["ops_per_sec"] / traced["ops_per_sec"] - 1.0
+        print(
+            f"  {name:<10} plain {plain['ops_per_sec']:>10.0f} ops/s | "
+            f"disabled delta {disabled_delta:+7.1%} | "
+            f"traced overhead {traced_overhead:+7.1%}"
+        )
+        if disabled_delta > tolerance:
+            errors.append(
+                f"{name}: disabled observability cost "
+                f"{disabled_delta:.1%} > {tolerance:.0%} — the disabled "
+                f"path is supposed to be free"
+            )
+    return errors
+
+
 def check_regression(
     fresh: dict[str, dict], baseline_path: Path, mode: str, tolerance: float
 ) -> list[str]:
@@ -290,10 +356,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline JSON to compare against (CI gate)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed ops/sec regression (default 0.25)")
+    parser.add_argument("--overhead", action="store_true",
+                        help="measure observability cost instead of "
+                             "recording a baseline")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.30,
+                        help="allowed disabled-observability ops/sec "
+                             "delta — generous, it's timing noise "
+                             "(default 0.30)")
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
     repeats = args.repeats or (2 if args.quick else 1)
+
+    if args.overhead:
+        print(
+            f"bench_core_speed: observability overhead, mode={mode} "
+            f"repeats={repeats}"
+        )
+        errors = run_overhead(args.quick, repeats, args.overhead_tolerance)
+        if errors:
+            for err in errors:
+                print(f"OVERHEAD: {err}", file=sys.stderr)
+            return 1
+        print(
+            "overhead gate: ok (disabled observability within "
+            f"{args.overhead_tolerance:.0%} noise)"
+        )
+        return 0
+
     print(f"bench_core_speed: mode={mode} repeats={repeats}")
     fresh = run_mode(args.quick, repeats)
 

@@ -19,7 +19,11 @@ Subcommands:
   shows steady-state throughput and latency percentiles.
 * ``sweep`` — run a declarative grid (policy x commit protocol x
   replica protocol x arrival rate x failure rate x seeds) on a
-  multiprocessing pool, with optional JSON/CSV output.
+  multiprocessing pool, with optional JSON/CSV output and opt-in
+  per-cell metrics columns (``--cell-metrics``).
+* ``trace FILE`` — summarize a trace written by ``simulate
+  --trace-out/--trace-jsonl`` (either Chrome ``trace_event`` JSON or
+  JSONL).
 * ``sat DIMACS-LIKE`` — encode a 3SAT′ formula as two transactions and
   demonstrate the Theorem 2 equivalence.
 * ``figures`` — run the paper-figure demonstrations.
@@ -28,6 +32,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.io.textfmt import parse_system
@@ -89,10 +94,63 @@ def _workload_spec(args: argparse.Namespace):
     )
 
 
+def _observe_config(args: argparse.Namespace):
+    """Observability config from simulate flags, or None."""
+    from repro.sim.observe import ObserveConfig
+
+    want_trace = bool(args.trace_out or args.trace_jsonl)
+    if not (want_trace or args.metrics_out or args.flight_recorder):
+        return None
+    return ObserveConfig(
+        trace=want_trace,
+        trace_capacity=args.trace_capacity,
+        metrics_window=args.metrics_window if args.metrics_out else 0.0,
+        flight_recorder=args.flight_recorder,
+        flight_events=args.flight_events,
+        flight_cascade_threshold=args.flight_cascade,
+    )
+
+
+def _suffixed(path: str, suffix: str) -> str:
+    if not suffix:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}-{suffix}{ext}"
+
+
+def _export_observability(sim, args, suffix: str) -> None:
+    """Write the requested trace/metrics/flight outputs of one run."""
+    import json
+
+    hub = sim.observe
+    if hub.tracer is not None:
+        if args.trace_out:
+            path = _suffixed(args.trace_out, suffix)
+            n = hub.tracer.export_chrome(path)
+            print(f"wrote {path} ({n} trace events)")
+        if args.trace_jsonl:
+            path = _suffixed(args.trace_jsonl, suffix)
+            n = hub.tracer.export_jsonl(path)
+            print(f"wrote {path} ({n} records)")
+    if hub.sampler is not None and args.metrics_out:
+        path = _suffixed(args.metrics_out, suffix)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(sim.result.timeseries, fh, indent=2)
+        print(
+            f"wrote {path} "
+            f"({len(sim.result.timeseries['windows'])} windows)"
+        )
+    if hub.flight is not None and hub.flight.dumps:
+        print(
+            f"flight recorder: {len(hub.flight.dumps)} dump(s) in "
+            f"{hub.flight.out_dir}"
+        )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.system import TransactionSystem
     from repro.sim.metrics import SimulationResult
-    from repro.sim.runtime import SimulationConfig, simulate
+    from repro.sim.runtime import SimulationConfig, Simulator
 
     open_system = args.arrival_rate > 0
     if args.file is None and not open_system:
@@ -104,6 +162,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     system = (
         _load_system(args.file) if args.file else TransactionSystem([])
     )
+    observe = _observe_config(args)
+    multi = len(args.policies) * len(args.commit) > 1
     results = []
     for policy in args.policies:
         for protocol in args.commit:
@@ -124,12 +184,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 # so closed-batch (FILE) runs need it too.
                 workload=_workload_spec(args),
                 workload_seed=args.workload_seed,
+                observe=observe,
             )
-            results.append(simulate(system, policy, config))
+            sim = Simulator(system, policy, config)
+            results.append(sim.run())
+            if observe is not None:
+                _export_observability(
+                    sim, args, f"{policy}-{protocol}" if multi else ""
+                )
     if open_system:
         print(SimulationResult.open_summary_table(results))
     else:
         print(SimulationResult.summary_table(results))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.observe.trace import summarize_trace
+
+    print(summarize_trace(args.file))
     return 0
 
 
@@ -141,9 +214,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         write_csv,
         write_json,
     )
+    from repro.sim.observe import ObserveConfig
     from repro.sim.runtime import SimulationConfig
     from repro.util.render import format_table
 
+    observe = (
+        ObserveConfig(metrics_window=args.cell_metrics)
+        if args.cell_metrics > 0
+        else None
+    )
     spec = SweepSpec(
         policies=tuple(args.policies),
         protocols=tuple(args.commit),
@@ -161,6 +240,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             warmup_time=args.warmup,
             workload_seed=args.workload_seed,
             max_time=args.max_time,
+            observe=observe,
         ),
     )
     cells = spec.cells()
@@ -521,6 +601,57 @@ def build_parser() -> argparse.ArgumentParser:
         "sites (no reads served until a copy validates)",
     )
     _add_open_system_args(p)
+    obs = p.add_argument_group(
+        "observability",
+        "zero-cost when unused: no flag attaches no probes",
+    )
+    obs.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="export a Chrome trace_event JSON (open in Perfetto or "
+        "chrome://tracing)",
+    )
+    obs.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        help="export the structured event trace as JSONL",
+    )
+    obs.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        help="tracer ring-buffer size (older records are dropped)",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the windowed metrics time series as JSON",
+    )
+    obs.add_argument(
+        "--metrics-window",
+        type=float,
+        default=25.0,
+        help="aggregation window of the metrics sampler (sim time)",
+    )
+    obs.add_argument(
+        "--flight-recorder",
+        metavar="DIR",
+        help="dump last-N events + a waits-for DOT snapshot here on "
+        "deadlock detection, crashes, and abort cascades",
+    )
+    obs.add_argument(
+        "--flight-events",
+        type=int,
+        default=256,
+        help="events each flight-recorder dump retains",
+    )
+    obs.add_argument(
+        "--flight-cascade",
+        type=int,
+        default=25,
+        metavar="DEPTH",
+        help="abort-cascade depth that triggers a flight dump",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -584,10 +715,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", help="write spec + per-cell records here")
     p.add_argument("--csv", help="write per-cell records here")
+    p.add_argument(
+        "--cell-metrics",
+        type=float,
+        default=0.0,
+        metavar="WINDOW",
+        help="attach the metrics sampler to every cell with this "
+        "window; records (JSON/CSV) gain peak-pressure columns",
+    )
     _add_open_system_args(
         p, max_transactions_default=200, single_rate=False
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize a trace file written by simulate",
+    )
+    p.add_argument("file", help="Chrome trace_event JSON or JSONL trace")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("show", help="render a system (text/json/dot)")
     p.add_argument("file")

@@ -60,6 +60,35 @@ def _record(cell, result: SimulationResult) -> dict:
     }
 
 
+def _metrics_columns(result: SimulationResult) -> dict:
+    """Peak-pressure columns from the observability sampler.
+
+    Present only when the sweep's base config enabled the sampler
+    (``observe=ObserveConfig(metrics_window=...)``) — then every cell
+    carries a series, so the records stay rectangular.
+    """
+    windows = result.timeseries["windows"]
+    return {
+        "metrics_window": result.timeseries["window"],
+        "metrics_windows": len(windows),
+        "peak_inflight": max(
+            (w["inflight_mean"] for w in windows), default=0.0
+        ),
+        "peak_blocked": max(
+            (w["blocked_mean"] for w in windows), default=0.0
+        ),
+        "peak_wf_edges": max(
+            (w["wf_edges"] for w in windows), default=0
+        ),
+        "peak_queue_depth": max(
+            (w["max_queue_depth"] for w in windows), default=0
+        ),
+        "peak_abort_rate": max(
+            (w["abort_rate"] for w in windows), default=0.0
+        ),
+    }
+
+
 def sweep_records(
     spec: SweepSpec, results: list[SimulationResult]
 ) -> list[dict]:
@@ -69,9 +98,13 @@ def sweep_records(
         raise ValueError(
             f"{len(results)} results for {len(cells)} cells"
         )
-    return [
-        _record(cell, result) for cell, result in zip(cells, results)
-    ]
+    records = []
+    for cell, result in zip(cells, results):
+        record = _record(cell, result)
+        if result.timeseries is not None:
+            record.update(_metrics_columns(result))
+        records.append(record)
+    return records
 
 
 def write_json(

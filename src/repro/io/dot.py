@@ -8,7 +8,12 @@ from repro.core.system import TransactionSystem
 from repro.core.transaction import Transaction
 from repro.util.graphs import Digraph
 
-__all__ = ["d_graph_to_dot", "system_to_dot", "transaction_to_dot"]
+__all__ = [
+    "d_graph_to_dot",
+    "system_to_dot",
+    "transaction_to_dot",
+    "waits_for_to_dot",
+]
 
 
 def _quote(text: str) -> str:
@@ -61,6 +66,30 @@ def digraph_to_dot(graph: Digraph, name: str = "G", labeler=str) -> str:
     for u, v, label in graph.arcs():
         attr = f" [label={_quote(str(label))}]" if label is not None else ""
         lines.append(f"  {ids[u]} -> {ids[v]}{attr};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def waits_for_to_dot(
+    edges: dict[int, "set[int]"],
+    name: str = "waits_for",
+    labeler=lambda txn: f"T{txn}",
+) -> str:
+    """A waits-for snapshot (``{waiter: holders}``) as a digraph.
+
+    The flight recorder's post-mortem format: every transaction that
+    appears as a waiter or a holder becomes a node, every waiter ->
+    holder pair an arc.
+    """
+    nodes = set(edges)
+    for holders in edges.values():
+        nodes.update(holders)
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for txn in sorted(nodes):
+        lines.append(f"  n{txn} [label={_quote(labeler(txn))}];")
+    for waiter in sorted(edges):
+        for holder in sorted(edges[waiter]):
+            lines.append(f"  n{waiter} -> n{holder};")
     lines.append("}")
     return "\n".join(lines) + "\n"
 

@@ -34,6 +34,13 @@ which the run integrates per protocol.
 Every run records a trace of committed operations which replays as a
 legal :class:`repro.core.Schedule`, so runtime serializability is
 checked with the same D(S) machinery the theory uses.
+
+An observability layer (:mod:`repro.sim.observe`, enabled through
+``SimulationConfig(observe=ObserveConfig(...))``) taps the run's probe
+stream for structured event traces (JSONL / Chrome ``trace_event``),
+windowed simulated-time metrics attached to the result, and a flight
+recorder that dumps the recent past on deadlocks, crashes, and abort
+cascades — at zero cost when disabled.
 """
 
 from repro.sim.arrivals import ArrivalProcess, OpenSystem
@@ -49,6 +56,14 @@ from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
 from repro.sim.metrics import SimulationResult, percentile, percentiles
+from repro.sim.observe import (
+    EventTracer,
+    FlightRecorder,
+    MetricsSampler,
+    ObserveConfig,
+    ObserverHub,
+    ProbeSink,
+)
 from repro.sim.replication import (
     ReplicaControl,
     ReplicaManager,
@@ -85,11 +100,17 @@ __all__ = [
     "CommitProtocol",
     "DetectionPolicy",
     "EventQueue",
+    "EventTracer",
     "FailureInjector",
+    "FlightRecorder",
     "HandlerRegistry",
     "InstantCommit",
+    "MetricsSampler",
+    "ObserveConfig",
+    "ObserverHub",
     "OpenSystem",
     "Policy",
+    "ProbeSink",
     "PresumedAbortCommit",
     "ReplicaControl",
     "ReplicaManager",

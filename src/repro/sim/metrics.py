@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
 from dataclasses import dataclass, field
 
@@ -11,10 +13,11 @@ __all__ = ["SimulationResult", "percentile", "percentiles"]
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (0 for an empty list).
+    """Nearest-rank percentile of ``values``.
 
     ``q`` is in percent: ``percentile(vals, 95)`` is the smallest value
-    such that at least 95% of the samples are <= it.
+    such that at least 95% of the samples are <= it. Empty ``values``
+    yields 0.0.
     """
     return percentiles(values, (q,))[0]
 
@@ -27,7 +30,8 @@ def percentiles(
     Equivalent to ``[percentile(values, q) for q in qs]`` but the input
     is sorted a single time however many quantiles are requested (the
     p50/p95/p99 reporting path used to sort the same list three times).
-    Empty input yields 0.0 for every quantile.
+    Empty ``values`` yields 0.0 for every requested quantile; empty
+    ``qs`` yields an empty list either way.
     """
     if not values:
         return [0.0] * len(qs)
@@ -112,6 +116,9 @@ class SimulationResult:
         write_avail_area: same for the write rule.
         service_avail_area: same for both rules at once — divided by
             ``end_time`` this is the headline availability metric.
+        timeseries: windowed metrics recorded by the observability
+            sampler (:class:`repro.sim.observe.MetricsSampler`), as a
+            plain-JSON dict; None unless the run enabled it.
     """
 
     policy: str
@@ -150,6 +157,39 @@ class SimulationResult:
     read_avail_area: float = 0.0
     write_avail_area: float = 0.0
     service_avail_area: float = 0.0
+    timeseries: dict | None = None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The result as a plain-JSON dict (tuples become lists)."""
+        data = dataclasses.asdict(self)
+        data["deadlock_cycle"] = list(data["deadlock_cycle"])
+        return data
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON text round-trippable through :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Unknown keys are ignored, so records written by newer versions
+        (or sweep records carrying extra columns) still load.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        if "deadlock_cycle" in kwargs:
+            kwargs["deadlock_cycle"] = tuple(kwargs["deadlock_cycle"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def _availability(self, area: float) -> float:
         if self.end_time <= 0:

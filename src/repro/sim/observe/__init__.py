@@ -1,0 +1,37 @@
+"""Zero-cost observability: probes, tracing, metrics, flight recorder.
+
+The package splits into the attach-time interposition machinery
+(:mod:`~repro.sim.observe.probes` — :class:`ObserveConfig`,
+:class:`ObserverHub`, :class:`ProbeSink`) and three stock consumers:
+
+* :class:`EventTracer` (:mod:`~repro.sim.observe.trace`) — bounded
+  ring buffer of structured events with JSONL and Chrome
+  ``trace_event`` exporters;
+* :class:`MetricsSampler` (:mod:`~repro.sim.observe.sampler`) —
+  windowed simulated-time series of concurrency, blocking, waits-for
+  pressure, queue depths, and abort rates, attached to the result as
+  ``result.timeseries``;
+* :class:`FlightRecorder` (:mod:`~repro.sim.observe.flight`) —
+  anomaly-triggered dumps of the last-N events plus a waits-for DOT
+  snapshot.
+
+Enable any of them through ``SimulationConfig(observe=
+ObserveConfig(...))``; with the field unset the simulator runs the
+exact pre-observability instruction stream (no flag checks on any hot
+path — see the :mod:`~repro.sim.observe.probes` docstring for why
+disabled mode is provably free).
+"""
+
+from repro.sim.observe.flight import FlightRecorder
+from repro.sim.observe.probes import ObserveConfig, ObserverHub, ProbeSink
+from repro.sim.observe.sampler import MetricsSampler
+from repro.sim.observe.trace import EventTracer
+
+__all__ = [
+    "EventTracer",
+    "FlightRecorder",
+    "MetricsSampler",
+    "ObserveConfig",
+    "ObserverHub",
+    "ProbeSink",
+]

@@ -1,0 +1,325 @@
+"""Probe configuration and the attach-time interposition machinery.
+
+The observability layer is **zero-cost when disabled** by construction:
+no hot-path code ever tests an "is tracing on?" flag. Instead, every
+probe is installed by *interposition* when — and only when — an
+:class:`ObserverHub` attaches to a simulator:
+
+* the run loop's per-event seam: :class:`~repro.sim.events.
+  HandlerRegistry` deliberately has no ``__slots__`` so an instance
+  attribute can shadow ``dispatch``; the hub installs a wrapper that
+  emits an ``event`` probe and then routes to the handler table;
+* lock-cell mutations: every :class:`~repro.sim.locks.SiteLockManager`
+  already carries an (optional) observer consulted at each grant /
+  wait / release; the hub replaces it with a tee that forwards to the
+  original observer (the incremental waits-for graph, when present)
+  and then emits ``wait``/``unwait``/``hold``/``unhold`` probes;
+* result counters: the hub swaps ``sim.result.__class__`` to a
+  subclass whose ``__setattr__`` emits a ``counter`` probe for the
+  monitored cause/health counters (wounds, deaths, timeouts, detected,
+  crash/unavailable/commit aborts, crashes, waits, commit messages,
+  prepared blocks) — every one of those counters is incremented by the
+  runtime immediately *before* the abort it explains, which is what
+  lets the tracer attribute abort causes with a LIFO stack;
+* transaction lifecycle: the hub shadows the instance methods the
+  runtime and its subsystems invoke through attribute lookup
+  (``add_transaction``, ``mark_prepared``, ``finish_commit``,
+  ``_abort_task``) with wrappers emitting ``arrive`` / ``prepared`` /
+  ``commit`` / ``abort`` probes.
+
+With ``config.observe`` unset, none of this exists and the simulator
+executes byte-for-byte the same instructions as before the layer was
+added — the transparency suite pins digest equality for the enabled
+mode too, since probes only *observe* (they draw no randomness,
+schedule no events, and mutate no simulation state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["ObserveConfig", "ObserverHub", "ProbeSink"]
+
+
+@dataclass(frozen=True)
+class ObserveConfig:
+    """What to observe during a run.
+
+    Attributes:
+        trace: keep a structured event trace (bounded ring buffer).
+        trace_capacity: ring-buffer size of the tracer; older records
+            are dropped once the buffer is full.
+        metrics_window: width (in simulated time) of the metrics
+            sampler's aggregation windows; 0 disables the sampler.
+        flight_recorder: directory for flight-recorder dumps; None
+            disables the recorder.
+        flight_events: how many trailing probe records a dump retains.
+        flight_cascade_threshold: aborts within a single dispatched
+            event that count as an abort cascade worth dumping.
+    """
+
+    trace: bool = False
+    trace_capacity: int = 65536
+    metrics_window: float = 0.0
+    flight_recorder: str | None = None
+    flight_events: int = 256
+    flight_cascade_threshold: int = 25
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any consumer is requested at all."""
+        return bool(
+            self.trace or self.metrics_window > 0 or self.flight_recorder
+        )
+
+
+class ProbeSink:
+    """Interface of a probe consumer.
+
+    Probes arrive as ``on_probe(kind, time, args)`` with ``kind`` one
+    of:
+
+    ========== ============================== ==========================
+    kind       args                           meaning
+    ========== ============================== ==========================
+    event      the raw event payload tuple    an event left the queue
+    wait       (sid, eid, txn)                txn queued at a lock cell
+    unwait     (sid, eid, txn)                txn left the queue
+    hold       (sid, eid, txn)                txn became a lock holder
+    unhold     (sid, eid, txn)                txn released the cell
+    counter    (name, new_value)              a result counter changed
+    arrive     (txn,)                         open-system arrival
+    prepared   (txn,)                         txn entered PREPARED
+    commit     (txn,)                         txn committed
+    abort      (txn, attempt)                 txn aborted this attempt
+    ========== ============================== ==========================
+    """
+
+    def bind(self, sim) -> None:
+        """Called once at attach time with the simulator."""
+
+    def on_probe(self, kind: str, time: float, args: tuple) -> None:
+        raise NotImplementedError
+
+    def finalize(self, sim, result: SimulationResult) -> None:
+        """Called once after the run loop drains."""
+
+
+#: Result counters whose writes emit ``counter`` probes. Each abort
+#: *cause* counter is bumped by the runtime immediately before the
+#: abort it explains, so the probe stream carries enough order to
+#: attribute causes.
+MONITORED_COUNTERS = frozenset({
+    "wounds", "deaths", "timeouts", "detected", "crash_aborts",
+    "unavailable_aborts", "commit_aborts", "crashes", "waits",
+    "commit_messages", "prepared_blocks",
+})
+
+
+class _CountedResult(SimulationResult):
+    """A result whose monitored counter writes emit probes.
+
+    Installed by ``result.__class__`` swap at attach time and swapped
+    back at finalize (so sweep workers can pickle the result).
+    """
+
+    _probe = None  # set per instance at attach
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name in MONITORED_COUNTERS and self._probe is not None:
+            self._probe(name, value)
+
+
+class ObserverHub:
+    """Builds the configured sinks and interposes them on a simulator.
+
+    Construction wires nothing; :meth:`attach` installs every probe.
+    Extra custom sinks may be passed alongside the configured ones::
+
+        hub = ObserverHub(sim, ObserveConfig(trace=True), [my_sink])
+        hub.attach()
+        sim.observe = hub   # so run() finalizes it
+    """
+
+    def __init__(self, sim, config: ObserveConfig, extra_sinks=()):
+        # Local imports: the consumers import io/dot machinery the hot
+        # path never needs, and keeping them here keeps the probes
+        # module dependency-light.
+        from repro.sim.observe.flight import FlightRecorder
+        from repro.sim.observe.sampler import MetricsSampler
+        from repro.sim.observe.trace import EventTracer
+
+        self.sim = sim
+        self.config = config
+        self.tracer: EventTracer | None = (
+            EventTracer(config.trace_capacity) if config.trace else None
+        )
+        self.sampler: MetricsSampler | None = (
+            MetricsSampler(config.metrics_window, sim.config.warmup_time)
+            if config.metrics_window > 0
+            else None
+        )
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(
+                config.flight_recorder,
+                last_n=config.flight_events,
+                cascade_threshold=config.flight_cascade_threshold,
+            )
+            if config.flight_recorder
+            else None
+        )
+        self._sinks: list[ProbeSink] = [
+            sink
+            for sink in (self.tracer, self.sampler, self.flight)
+            if sink is not None
+        ]
+        self._sinks.extend(extra_sinks)
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, args: tuple) -> None:
+        t = self.sim._now
+        for sink in self._sinks:
+            sink.on_probe(kind, t, args)
+
+    def _on_counter(self, name: str, value) -> None:
+        self._emit("counter", (name, value))
+
+    # ------------------------------------------------------------------
+    # interposition
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Install every probe on the simulator (idempotent)."""
+        if self._attached:
+            return
+        self._attached = True
+        sim = self.sim
+        for sink in self._sinks:
+            sink.bind(sim)
+        sinks = tuple(self._sinks)
+
+        # 1. Per-event probe through the registry's dispatch seam.
+        registry = sim._registry
+        handlers = registry._handlers  # shared dict; grows in place
+
+        def dispatch(payload, _handlers=handlers, _sinks=sinks, _sim=sim):
+            now = _sim._now
+            for sink in _sinks:
+                sink.on_probe("event", now, payload)
+            _handlers[payload[0]](*payload[1:])
+
+        registry.dispatch = dispatch
+
+        # 2. Lock-cell probes: tee in front of each site's observer.
+        for sid, site in enumerate(sim._site_list):
+            site.observer = _TeeCellObserver(self, sid, site.observer)
+
+        # 3. Counter probes via the result-class swap.
+        result = sim.result
+        result.__class__ = _CountedResult
+        object.__setattr__(result, "_probe", self._on_counter)
+
+        # 4. Lifecycle probes via instance-method shadowing. All four
+        # originals are invoked through attribute lookup at call time
+        # (by the commit protocols, the arrival process, and the abort
+        # cascade driver), so shadowing intercepts every call site.
+        emit = self._emit
+
+        orig_add = sim.add_transaction
+
+        def add_transaction(txn):
+            index = orig_add(txn)
+            emit("arrive", (index,))
+            return index
+
+        sim.add_transaction = add_transaction
+
+        orig_prepared = sim.mark_prepared
+
+        def mark_prepared(inst):
+            orig_prepared(inst)
+            emit("prepared", (inst.index,))
+
+        sim.mark_prepared = mark_prepared
+
+        orig_commit = sim.finish_commit
+
+        def finish_commit(inst):
+            orig_commit(inst)
+            emit("commit", (inst.index,))
+
+        sim.finish_commit = finish_commit
+
+        # _abort_task is a generator function; the runtime drives a
+        # freshly created generator immediately (LIFO cascade), and
+        # the task body aborts iff the instance is still RUNNING at
+        # creation — so emitting here, under the same guard, reports
+        # exactly the aborts that happen.
+        from repro.sim.runtime import _RUNNING
+
+        orig_abort_task = sim._abort_task
+
+        def _abort_task(inst):
+            if inst.status == _RUNNING:
+                emit("abort", (inst.index, inst.attempt))
+            return orig_abort_task(inst)
+
+        sim._abort_task = _abort_task
+
+    def finalize(self) -> None:
+        """Flush sinks onto the result and restore picklability."""
+        sim = self.sim
+        result = sim.result
+        for sink in self._sinks:
+            sink.finalize(sim, result)
+        if result.__class__ is _CountedResult:
+            if "_probe" in result.__dict__:
+                del result.__dict__["_probe"]
+            result.__class__ = SimulationResult
+
+
+class _TeeCellObserver:
+    """Forwards cell mutations to the original observer, then probes.
+
+    The original observer (the incremental waits-for graph's per-site
+    adapter) runs first so every probe fires against fully updated
+    graph state.
+    """
+
+    __slots__ = ("_hub", "_sid", "_inner")
+
+    def __init__(self, hub: ObserverHub, sid: int, inner):
+        self._hub = hub
+        self._sid = sid
+        self._inner = inner
+
+    def wait(self, entity: int, txn: int) -> None:
+        inner = self._inner
+        if inner is not None:
+            inner.wait(entity, txn)
+        self._hub._emit("wait", (self._sid, entity, txn))
+
+    def unwait(self, entity: int, txn: int) -> None:
+        inner = self._inner
+        if inner is not None:
+            inner.unwait(entity, txn)
+        self._hub._emit("unwait", (self._sid, entity, txn))
+
+    def hold(self, entity: int, txn: int) -> None:
+        inner = self._inner
+        if inner is not None:
+            inner.hold(entity, txn)
+        self._hub._emit("hold", (self._sid, entity, txn))
+
+    def unhold(self, entity: int, txn: int) -> None:
+        inner = self._inner
+        if inner is not None:
+            inner.unhold(entity, txn)
+        self._hub._emit("unhold", (self._sid, entity, txn))

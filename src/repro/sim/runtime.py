@@ -40,6 +40,14 @@ The subsystems register their own event kinds on the runtime's
 :class:`~repro.sim.events.HandlerRegistry`, so the main loop is a pure
 dispatcher and never enumerates event types.
 
+Observability (:mod:`repro.sim.observe`) rides on top: when
+``config.observe`` requests it, an :class:`~repro.sim.observe.
+ObserverHub` interposes probes on the dispatch seam, the lock-cell
+observers, the result counters, and the lifecycle methods — tracing,
+metrics time series, and flight-recorder dumps all come from that
+stream. With the field unset nothing attaches and the hot paths are
+untouched.
+
 Fast-path architecture: at construction the simulator *interns* the
 schema — entities and sites are mapped to dense integer ids in sorted
 name order — and compiles each transaction's hot data (per-node entity
@@ -84,6 +92,7 @@ from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import EXCLUSIVE, SHARED, SiteLockManager
 from repro.sim.metrics import SimulationResult
+from repro.sim.observe import ObserveConfig, ObserverHub
 from repro.sim.policies import Decision, Policy, make_policy
 from repro.sim.replication import ReplicaManager
 from repro.sim.waitsfor import WaitsForGraph
@@ -151,6 +160,10 @@ class SimulationConfig:
         max_time: hard stop for the simulated clock.
         max_events: hard stop on processed events.
         seed: RNG seed (arrivals and jitter).
+        observe: observability configuration
+            (:class:`~repro.sim.observe.ObserveConfig`); None (the
+            default) attaches nothing, leaving every hot path exactly
+            as fast — and every digest exactly as it was — without it.
     """
 
     service_time: float = 1.0
@@ -174,6 +187,7 @@ class SimulationConfig:
     max_time: float = 100_000.0
     max_events: int = 1_000_000
     seed: int = 0
+    observe: ObserveConfig | None = None
 
 
 class _Instance:
@@ -351,6 +365,14 @@ class Simulator:
             )
         if self.arrivals is not None:
             self.arrivals.attach()
+        # Observability attaches last, once every subsystem wired its
+        # handlers and observers: all probing is interposition (see
+        # repro.sim.observe.probes), so when the field is unset the
+        # simulator runs the exact uninstrumented instruction stream.
+        self.observe: ObserverHub | None = None
+        if self.config.observe is not None and self.config.observe.enabled:
+            self.observe = ObserverHub(self, self.config.observe)
+            self.observe.attach()
 
     def _register_core_handlers(self) -> None:
         reg = self._registry
@@ -1492,6 +1514,8 @@ class Simulator:
             inst.start_time for inst in self._instances
         ]
         self.result.serializable = self._check_serializability()
+        if self.observe is not None:
+            self.observe.finalize()
         return self.result
 
     # ------------------------------------------------------------------

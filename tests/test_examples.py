@@ -88,3 +88,13 @@ class TestBankingAudit:
         assert "safe and deadlock-free? False" in out
         assert "certified now? True" in out
         assert "0 deadlocks, 0 non-serializable" in out
+
+
+class TestTracingRun:
+    def test_observability_story(self, capsys):
+        out = run_example("tracing_run", capsys)
+        assert "identical to the unobserved run: True" in out
+        assert "abort causes: detected=" in out
+        assert "chrome trace:" in out
+        assert "integrates back to the run's own aggregate: True" in out
+        assert "deadlock-detected" in out

@@ -90,6 +90,13 @@ class TestPercentiles:
     def test_empty_yields_zero_per_quantile(self):
         assert percentiles([], (50, 95, 99)) == [0.0, 0.0, 0.0]
 
+    def test_empty_quantile_list_yields_empty(self):
+        # No quantiles requested -> nothing to compute, with or
+        # without data (mirrors the docstrings of both functions).
+        assert percentiles([], ()) == []
+        assert percentiles([1.0, 2.0, 3.0], ()) == []
+        assert percentiles([], []) == []
+
     def test_input_not_mutated(self):
         values = [3.0, 1.0, 2.0]
         percentiles(values, (50,))

@@ -74,3 +74,59 @@ class TestToText:
         report = audit_system(system)
         if report.ok and report.lock_order is None:
             assert "regardless" in report.to_text()
+
+
+class TestResultSerialization:
+    """SimulationResult.to_json / from_json round trip."""
+
+    def _populated_result(self):
+        from repro.sim import SimulationConfig, simulate
+
+        config = SimulationConfig(seed=11, detection_interval=4.0)
+        result = simulate(broken_system(), "detect", config)
+        assert result.committed == 2  # the deadlock was broken
+        return result
+
+    def test_round_trip_is_identity(self):
+        from repro.sim.metrics import SimulationResult
+
+        result = self._populated_result()
+        clone = SimulationResult.from_json(result.to_json())
+        assert clone == result
+        # Tuple-typed fields come back as tuples, not JSON lists.
+        assert isinstance(clone.deadlock_cycle, tuple)
+
+    def test_round_trip_preserves_timeseries(self):
+        from repro.sim import ObserveConfig, SimulationConfig, simulate
+        from repro.sim.metrics import SimulationResult
+
+        config = SimulationConfig(
+            seed=11,
+            detection_interval=4.0,
+            observe=ObserveConfig(metrics_window=5.0),
+        )
+        result = simulate(broken_system(), "detect", config)
+        assert result.timeseries is not None
+        clone = SimulationResult.from_json(result.to_json(indent=2))
+        assert clone.timeseries == result.timeseries
+        assert clone == result
+
+    def test_from_dict_ignores_unknown_keys(self):
+        from repro.sim.metrics import SimulationResult
+
+        data = self._populated_result().to_dict()
+        data["peak_inflight"] = 3.5  # a sweep-record extra column
+        data["format_version"] = 99
+        clone = SimulationResult.from_dict(data)
+        assert clone == self._populated_result()
+
+    def test_derived_metrics_survive(self):
+        from repro.sim.metrics import SimulationResult
+
+        result = self._populated_result()
+        clone = SimulationResult.from_json(result.to_json())
+        assert clone.throughput == result.throughput
+        assert (
+            clone.latency_percentiles("total")
+            == result.latency_percentiles("total")
+        )
