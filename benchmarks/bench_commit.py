@@ -11,14 +11,26 @@ commit path costs on a contended distributed workload:
   participant, and retained PREPARED locks convert contention into
   blocked-on-coordinator time;
 * ``presumed-abort`` — same decisions at the same times, strictly
-  fewer messages whenever rounds abort (the abort path is silent).
+  fewer messages whenever rounds abort (the abort path is silent);
+* ``paxos-commit`` — Gray & Lamport's non-blocking commit: the 2F+1
+  acceptor bank doubles the message bill but masks coordinator
+  crashes, so prepared holders stop stalling on a dead coordinator.
 
 Crashes (failure injection) add abort cascades, blocked participants,
 and coordinator-recovery delays on top.
 
-The protocol x failure-rate x policy x seed matrix is declared as a
-:class:`repro.experiments.SweepSpec` and executed by the sweep runner —
-the same machinery `repro sweep` exposes on the command line.
+Two matrices are declared as :class:`repro.experiments.SweepSpec`
+grids and executed by the sweep runner — the same machinery `repro
+sweep` exposes on the command line:
+
+* EXP-COMMIT — protocol x failure-rate x policy x seed on a
+  moderately contended workload (message bills, commit latency);
+* EXP-FAILOVER — protocol x failure-rate on a hot, slow-network
+  workload with long repairs, where coordinator crashes strand
+  prepared holders with waiters queued behind them. This is the
+  stall curve: paxos-commit's mean blocked-on-coordinator time sits
+  strictly below two-phase and presumed-abort at every nonzero
+  failure rate, flattening as takeovers absorb the stalls.
 """
 
 import dataclasses
@@ -31,7 +43,7 @@ from repro.sim.runtime import SimulationConfig, simulate
 from repro.sim.workload import WorkloadSpec, random_system
 
 POLICIES = ["wound-wait", "wait-die"]
-PROTOCOLS = ["instant", "two-phase", "presumed-abort"]
+PROTOCOLS = ["instant", "two-phase", "presumed-abort", "paxos-commit"]
 FAILURE_RATES = [0.0, 0.02]
 SEEDS = range(6)
 
@@ -157,6 +169,114 @@ def test_commit_report():
             assert pa["msgs"] <= tp["msgs"]
             assert pa["committed"] == tp["committed"]
 
+    # Paxos Commit at F=1 pays the acceptor bank in messages, not in
+    # latency: with the coordinator up, majority is learned the moment
+    # 2PC's coordinator would have collected the direct vote.
+    for rate in FAILURE_RATES:
+        for policy in POLICIES:
+            px = by_key[("paxos-commit", rate, policy)]
+            tp = by_key[("two-phase", rate, policy)]
+            assert px["msgs"] > tp["msgs"]
+            assert px["committed"] == tp["committed"]
+    for policy in POLICIES:
+        px0 = by_key[("paxos-commit", 0.0, policy)]
+        tp0 = by_key[("two-phase", 0.0, policy)]
+        assert px0["commit_lat"] == pytest.approx(tp0["commit_lat"])
+        assert px0["blocked"] == pytest.approx(tp0["blocked"])
+
+
+# ----------------------------------------------------------------------
+# EXP-FAILOVER — the stall curve: blocked-on-coordinator time and
+# availability vs failure rate, all four protocols.
+# ----------------------------------------------------------------------
+
+# A hot workload over a slow network with long repairs: prepared
+# windows are wide, waiters queue behind retained locks, and a
+# crashed coordinator strands them for ~repair_time under 2PC but
+# only ~commit_timeout + one phase-1 round trip under Paxos Commit.
+FAILOVER_WORKLOAD = WorkloadSpec(
+    n_transactions=10,
+    n_entities=4,
+    n_sites=3,
+    entities_per_txn=(2, 4),
+    actions_per_entity=(0, 1),
+    hotspot_skew=2.0,
+    shape="random",
+)
+FAILOVER_RATES = (0.0, 0.03, 0.06)
+FAILOVER_SEEDS = tuple(range(10))
+
+FAILOVER_SPEC = SweepSpec(
+    policies=("wound-wait",),
+    protocols=tuple(PROTOCOLS),
+    arrival_rates=(0.0,),
+    failure_rates=FAILOVER_RATES,
+    seeds=FAILOVER_SEEDS,
+    workload=FAILOVER_WORKLOAD,
+    base=SimulationConfig(
+        network_delay=1.0,
+        commit_timeout=3.0,
+        repair_time=25.0,
+        workload_seed=5,
+    ),
+)
+
+
+def test_commit_failover_sweep():
+    results = run_sweep(FAILOVER_SPEC)
+    n = len(FAILOVER_SEEDS)
+    agg: dict[tuple[str, float], dict] = {}
+    for cell, r in zip(FAILOVER_SPEC.cells(), results):
+        assert not r.truncated
+        a = agg.setdefault(
+            (cell.protocol, cell.failure_rate),
+            dict(blocked=0.0, avail=0.0, takeovers=0, committed=0,
+                 msgs=0, acceptor=0),
+        )
+        a["blocked"] += r.prepared_block_time / n
+        a["avail"] += r.availability / n
+        a["takeovers"] += r.coordinator_takeovers
+        a["committed"] += r.committed
+        a["msgs"] += r.commit_messages
+        a["acceptor"] += r.acceptor_messages
+
+    print()
+    print(f"[EXP-FAILOVER] stall curve ({n} seeds, wound-wait, "
+          f"repair 25 >> commit timeout 3):")
+    print(f"  {'protocol':15s} {'f-rate':6s} {'blocked':>8s} "
+          f"{'avail':>6s} {'t-over':>6s} {'msgs':>5s} {'acc':>5s}")
+    for rate in FAILOVER_RATES:
+        for protocol in PROTOCOLS:
+            a = agg[(protocol, rate)]
+            print(f"  {protocol:15s} {rate:<6g} {a['blocked']:8.1f} "
+                  f"{a['avail']:6.3f} {a['takeovers']:6d} "
+                  f"{a['msgs']:5d} {a['acceptor']:5d}")
+
+    for rate in FAILOVER_RATES:
+        # Instant commit has no prepared window at any rate.
+        assert agg[("instant", rate)]["blocked"] == 0.0
+        # Every protocol drains the batch even under heavy crashing.
+        for protocol in PROTOCOLS:
+            expected = FAILOVER_WORKLOAD.n_transactions * n
+            assert agg[(protocol, rate)]["committed"] == expected
+
+    # Without failures the three voting protocols coincide exactly.
+    assert agg[("paxos-commit", 0.0)]["blocked"] == pytest.approx(
+        agg[("two-phase", 0.0)]["blocked"]
+    )
+    assert agg[("paxos-commit", 0.0)]["takeovers"] == 0
+
+    # The headline: at every nonzero failure rate, takeovers fire and
+    # paxos-commit's mean blocked-on-coordinator time sits strictly
+    # below both 2PC variants — the stall curve flattens.
+    for rate in FAILOVER_RATES:
+        if rate == 0.0:
+            continue
+        px = agg[("paxos-commit", rate)]
+        assert px["takeovers"] > 0
+        assert px["blocked"] < agg[("two-phase", rate)]["blocked"]
+        assert px["blocked"] < agg[("presumed-abort", rate)]["blocked"]
+
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_protocol_run_benchmark(benchmark, protocol):
@@ -169,7 +289,9 @@ def test_protocol_run_benchmark(benchmark, protocol):
     assert result.committed == len(system)
 
 
-@pytest.mark.parametrize("protocol", ["two-phase", "presumed-abort"])
+@pytest.mark.parametrize(
+    "protocol", ["two-phase", "presumed-abort", "paxos-commit"]
+)
 def test_protocol_crash_benchmark(benchmark, protocol):
     system = _workload()
 

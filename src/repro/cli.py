@@ -9,7 +9,8 @@ Subcommands:
   prefix search.
 * ``simulate [FILE]`` — run the discrete-event simulator under one or
   more contention policies, optionally with an atomic-commit protocol
-  (``--commit two-phase presumed-abort``), fault injection
+  (``--commit two-phase presumed-abort paxos-commit``), replicate runs
+  (``--runs 5`` re-seeds and re-suffixes every output), fault injection
   (``--failure-rate``), and replication (``--replication 3
   --replica-protocol quorum --read-fraction 0.6``: reads take shared
   locks on one/a quorum of replicas, writes exclusive locks on
@@ -94,18 +95,29 @@ def _workload_spec(args: argparse.Namespace):
     )
 
 
-def _observe_config(args: argparse.Namespace):
-    """Observability config from simulate flags, or None."""
+def _observe_config(args: argparse.Namespace, suffix: str = ""):
+    """Observability config from simulate flags, or None.
+
+    The flight-recorder directory is consumed while the run executes
+    (dumps are written the moment a trigger fires), so — unlike the
+    trace/metrics paths, which are suffixed at export time — it must be
+    suffixed *here*, per run, or every run of a multi-run invocation
+    would dump into the same directory and overwrite its predecessors'
+    ``dump-NNN`` files.
+    """
     from repro.sim.observe import ObserveConfig
 
     want_trace = bool(args.trace_out or args.trace_jsonl)
     if not (want_trace or args.metrics_out or args.flight_recorder):
         return None
+    flight = args.flight_recorder
+    if flight:
+        flight = _suffixed(flight, suffix)
     return ObserveConfig(
         trace=want_trace,
         trace_capacity=args.trace_capacity,
         metrics_window=args.metrics_window if args.metrics_out else 0.0,
-        flight_recorder=args.flight_recorder,
+        flight_recorder=flight,
         flight_events=args.flight_events,
         flight_cascade_threshold=args.flight_cascade,
     )
@@ -162,36 +174,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     system = (
         _load_system(args.file) if args.file else TransactionSystem([])
     )
-    observe = _observe_config(args)
-    multi = len(args.policies) * len(args.commit) > 1
+    runs = max(1, args.runs)
+    grid = len(args.policies) * len(args.commit) > 1
     results = []
     for policy in args.policies:
         for protocol in args.commit:
-            config = SimulationConfig(
-                seed=args.seed,
-                max_time=args.max_time,
-                network_delay=args.network_delay,
-                commit_protocol=protocol,
-                commit_timeout=args.commit_timeout,
-                failure_rate=args.failure_rate,
-                repair_time=args.repair_time,
-                replica_protocol=args.replica_protocol,
-                catchup_time=args.catchup_time,
-                arrival_rate=args.arrival_rate,
-                max_transactions=args.max_transactions,
-                warmup_time=args.warmup,
-                # The workload spec also carries the replication factor,
-                # so closed-batch (FILE) runs need it too.
-                workload=_workload_spec(args),
-                workload_seed=args.workload_seed,
-                observe=observe,
-            )
-            sim = Simulator(system, policy, config)
-            results.append(sim.run())
-            if observe is not None:
-                _export_observability(
-                    sim, args, f"{policy}-{protocol}" if multi else ""
+            for run in range(runs):
+                parts = []
+                if grid:
+                    parts.append(f"{policy}-{protocol}")
+                if runs > 1:
+                    parts.append(f"run{run}")
+                suffix = "-".join(parts)
+                observe = _observe_config(args, suffix)
+                config = SimulationConfig(
+                    seed=args.seed + run,
+                    max_time=args.max_time,
+                    network_delay=args.network_delay,
+                    commit_protocol=protocol,
+                    commit_timeout=args.commit_timeout,
+                    commit_fault_tolerance=args.commit_fault_tolerance,
+                    failure_rate=args.failure_rate,
+                    repair_time=args.repair_time,
+                    replica_protocol=args.replica_protocol,
+                    catchup_time=args.catchup_time,
+                    arrival_rate=args.arrival_rate,
+                    max_transactions=args.max_transactions,
+                    warmup_time=args.warmup,
+                    # The workload spec also carries the replication
+                    # factor, so closed-batch (FILE) runs need it too.
+                    workload=_workload_spec(args),
+                    workload_seed=args.workload_seed,
+                    observe=observe,
                 )
+                sim = Simulator(system, policy, config)
+                results.append(sim.run())
+                if observe is not None:
+                    _export_observability(sim, args, suffix)
     if open_system:
         print(SimulationResult.open_summary_table(results))
     else:
@@ -234,6 +253,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base=SimulationConfig(
             network_delay=args.network_delay,
             commit_timeout=args.commit_timeout,
+            commit_fault_tolerance=args.commit_fault_tolerance,
             repair_time=args.repair_time,
             catchup_time=args.catchup_time,
             max_transactions=args.max_transactions,
@@ -558,13 +578,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=["blocking", "wound-wait", "wait-die", "detect"],
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="independent replicates per policy x protocol combination "
+        "(seeds SEED..SEED+N-1); observability outputs gain a -runK "
+        "suffix so no replicate overwrites another",
+    )
     p.add_argument("--max-time", type=float, default=100_000.0)
     p.add_argument("--network-delay", type=float, default=0.0)
     p.add_argument(
         "--commit",
         nargs="+",
         default=["instant"],
-        choices=["instant", "two-phase", "presumed-abort"],
+        choices=["instant", "paxos-commit", "presumed-abort", "two-phase"],
         help="atomic-commit protocol(s) to run each policy under",
     )
     p.add_argument(
@@ -572,6 +600,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=6.0,
         help="vote-collection/retry period of the 2PC protocols",
+    )
+    p.add_argument(
+        "--commit-fault-tolerance",
+        type=int,
+        default=1,
+        metavar="F",
+        help="failures Paxos Commit masks: 2F+1 acceptor sites per "
+        "round (F=0 degenerates to 2PC; other protocols ignore it)",
     )
     p.add_argument(
         "--failure-rate",
@@ -665,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--commit",
         nargs="+",
         default=["instant"],
-        choices=["instant", "two-phase", "presumed-abort"],
+        choices=["instant", "paxos-commit", "presumed-abort", "two-phase"],
     )
     p.add_argument(
         "--replica-protocols",
@@ -694,6 +730,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-time", type=float, default=100_000.0)
     p.add_argument("--network-delay", type=float, default=0.0)
     p.add_argument("--commit-timeout", type=float, default=6.0)
+    p.add_argument(
+        "--commit-fault-tolerance",
+        type=int,
+        default=1,
+        metavar="F",
+        help="Paxos Commit acceptor-bank size is 2F+1 (other "
+        "protocols ignore it)",
+    )
     p.add_argument("--repair-time", type=float, default=10.0)
     p.add_argument(
         "--catchup-time",

@@ -37,6 +37,8 @@ def _record(cell, result: SimulationResult) -> dict:
         "aborts": result.aborts,
         "crashes": result.crashes,
         "commit_messages": result.commit_messages,
+        "acceptor_messages": result.acceptor_messages,
+        "coordinator_takeovers": result.coordinator_takeovers,
         "end_time": result.end_time,
         "throughput": result.throughput,
         "steady_throughput": result.steady_throughput,

@@ -12,6 +12,11 @@ process inject traffic over the schema derived from the same
 ``workload_seed``. Either way a cell depends only on picklable spec
 data, which is what lets :func:`run_sweep` fan cells out to worker
 processes without any shared state.
+
+The commit-protocol axis accepts every registered protocol name
+(including ``paxos-commit``); knobs that are not grid axes — e.g.
+``commit_fault_tolerance``, Paxos Commit's F — ride in ``base`` and
+apply to every cell via :meth:`SweepSpec.cell_config`.
 """
 
 from __future__ import annotations

@@ -15,7 +15,12 @@ operation finished" means for durability:
   on the coordinator, and wound-wait must not wound a prepared holder;
 * ``presumed-abort`` — 2PC with the presumed-abort optimisation: an
   aborting coordinator writes nothing and notifies nobody, so the
-  abort path costs zero messages (participants presume abort).
+  abort path costs zero messages (participants presume abort);
+* ``paxos-commit`` — Gray & Lamport's non-blocking commit: votes are
+  registered at 2F+1 acceptor sites and any up acceptor takes over a
+  round whose leader stays down past ``commit_timeout``, so a
+  coordinator crash is masked instead of stalling prepared holders.
+  At F=0 (``commit_fault_tolerance=0``) it is message-for-message 2PC.
 
 Protocols interact with the runtime only through its public surface
 (``register_handler``, ``schedule``, ``mark_prepared``,
@@ -31,12 +36,14 @@ from repro.sim.commit.base import (
     register_protocol,
 )
 from repro.sim.commit.instant import InstantCommit
+from repro.sim.commit.paxos import PaxosCommit
 from repro.sim.commit.presumed_abort import PresumedAbortCommit
 from repro.sim.commit.twophase import TwoPhaseCommit
 
 __all__ = [
     "CommitProtocol",
     "InstantCommit",
+    "PaxosCommit",
     "PresumedAbortCommit",
     "TwoPhaseCommit",
     "make_protocol",

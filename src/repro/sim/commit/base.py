@@ -6,6 +6,13 @@ handlers for its own event kinds. The runtime then calls
 :meth:`on_execution_complete` when a transaction finishes the last
 operation of its partial order, and the protocol decides when (and
 whether) that transaction commits.
+
+Protocols compose by subclassing: ``presumed-abort`` flips 2PC's
+abort-notification convention, and ``paxos-commit`` replaces its
+single-coordinator vote registry with a 2F+1-acceptor bank plus leader
+failover while inheriting the prepare/release machinery. Registered
+names are sorted by :func:`protocol_names`, which is the order every
+"for each protocol" surface (CLI choices, conformance tests) sees.
 """
 
 from __future__ import annotations

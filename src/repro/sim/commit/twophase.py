@@ -136,7 +136,9 @@ class TwoPhaseCommit(CommitProtocol):
                 self._delay(round.coordinator, site),
                 ("cm_release", txn, site, round.attempt),
             )
-            sim.result.commit_messages += 1  # the participant's ACK
+            # The participant's ACK is counted when it actually
+            # processes the decision (see _on_release) — a down
+            # participant has not acknowledged anything yet.
 
     def _decide_abort(self, txn: int, round: _Round) -> None:
         sim = self.sim
@@ -201,6 +203,7 @@ class TwoPhaseCommit(CommitProtocol):
             )
             return
         sim.release_retained(inst, site)
+        sim.result.commit_messages += 1  # the participant's ACK
         if not inst.retained:
             self._rounds.pop(txn, None)
 

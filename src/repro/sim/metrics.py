@@ -78,6 +78,15 @@ class SimulationResult:
         wait_time: total simulated time spent waiting for locks.
         commit_messages: commit-protocol messages sent (PREPARE, VOTE,
             COMMIT/ABORT, ACK, and retransmissions).
+        acceptor_messages: the subset of ``commit_messages`` addressed
+            to or relayed by Paxos Commit acceptors (votes to the 2F+1
+            registrars, accepted-state relays to the leader, and
+            phase-1 recovery round trips after a takeover). Zero for
+            the non-replicated-coordinator protocols.
+        coordinator_takeovers: commit rounds whose leadership moved to
+            another acceptor site because the current leader stayed
+            down past ``commit_timeout`` (Paxos Commit's non-blocking
+            path; always zero for 2PC, which can only stall).
         prepared_blocks: lock conflicts where a wound was downgraded to
             a wait because the holder was PREPARED (or committed with
             its release message still in flight).
@@ -142,6 +151,8 @@ class SimulationResult:
     waits: int = 0
     wait_time: float = 0.0
     commit_messages: int = 0
+    acceptor_messages: int = 0
+    coordinator_takeovers: int = 0
     prepared_blocks: int = 0
     prepared_block_time: float = 0.0
     latencies: list[float] = field(default_factory=list)

@@ -129,10 +129,17 @@ class SimulationConfig:
         timeout: lock-wait deadline for the timeout policy.
         detection_interval: period of the wait-for-graph scan for the
             detection policy.
-        commit_protocol: atomic-commit protocol name
-            (``instant``, ``two-phase``, ``presumed-abort``).
+        commit_protocol: atomic-commit protocol name (``instant``,
+            ``two-phase``, ``presumed-abort``, ``paxos-commit``).
         commit_timeout: retry/vote-collection period of the two-phase
-            protocols.
+            protocols; for ``paxos-commit`` it is also the takeover
+            deadline — a round whose leader stays down this long is
+            adopted by the next up acceptor.
+        commit_fault_tolerance: F of Paxos Commit: each round runs
+            2F+1 acceptor sites (clamped to the schema's site count),
+            so decisions survive F simultaneous site failures. F=0
+            degenerates to a single coordinator-sited acceptor —
+            message-for-message 2PC. Ignored by the other protocols.
         failure_rate: per-site crash rate (crashes per unit time);
             0 disables fault injection entirely.
         repair_time: mean downtime of a crashed site.
@@ -175,6 +182,7 @@ class SimulationConfig:
     detection_interval: float = 8.0
     commit_protocol: str = "instant"
     commit_timeout: float = 6.0
+    commit_fault_tolerance: int = 1
     failure_rate: float = 0.0
     repair_time: float = 10.0
     replica_protocol: str = "rowa"
@@ -567,6 +575,34 @@ class Simulator:
             })
         ]
         return names[coordinator_sid], participants
+
+    def acceptor_sites(self, coordinator: str, count: int) -> tuple[str, ...]:
+        """``count`` acceptor sites, drawn deterministically from the
+        schema.
+
+        The rotation starts at the coordinator's site (so F=0 yields
+        exactly the coordinator, reproducing a single-registrar 2PC
+        round) and continues through the schema's sorted site order,
+        wrapping. ``count`` is clamped to the site count: a 3-site
+        schema cannot seat 5 acceptors. Seed-free and independent of
+        run history — every attempt of a transaction, and every leader
+        of a round, derives the same acceptor set.
+        """
+        names = self._site_names
+        n = len(names)
+        count = max(1, min(count, n))
+        start = self._site_ids[coordinator]
+        return tuple(names[(start + k) % n] for k in range(count))
+
+    def leader_takeover(self, txn: int, new_leader: str) -> None:
+        """Record that a commit round's leadership moved.
+
+        The seam non-blocking protocols report through when a down
+        coordinator is deposed: the counter feeds the results layer,
+        and observability (when attached) sees the subsequent protocol
+        traffic under the new leader's site.
+        """
+        self.result.coordinator_takeovers += 1
 
     def mark_prepared(self, inst: _Instance) -> None:
         """Enter the PREPARED window: unabortable, locks retained."""

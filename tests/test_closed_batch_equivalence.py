@@ -10,7 +10,16 @@ hash-seed independence of the site-ordering fix (the digests were
 verified identical under several ``PYTHONHASHSEED`` values).
 
 If a change legitimately alters simulation behaviour, regenerate the
-digests with the helper at the bottom and say so in the PR.
+digests with the helper at the bottom and say so in the PR. Two
+``failure_rate=0.03`` cells — (11, 'timeout', *, 0.03, 5) — were
+regenerated when the failure injector learned to keep a site's crash
+chain alive while retained locks still await their release
+retransmission; every rate-0 cell is untouched from the seed capture.
+
+``test_paxos_f0_degenerates_to_two_phase`` extends the matrix with the
+Paxos Commit degeneracy contract: at ``commit_fault_tolerance=0`` the
+single acceptor is co-located with the coordinator, so every cell must
+be digest-identical to classic 2PC (only the protocol name differs).
 """
 
 import hashlib
@@ -156,11 +165,11 @@ GOLDEN = {
     (11, 'timeout', 'two-phase', 0.0, 0): '2a1f68db3758',
     (11, 'timeout', 'two-phase', 0.0, 5): '938b005a0016',
     (11, 'timeout', 'two-phase', 0.03, 0): '4f96f161927a',
-    (11, 'timeout', 'two-phase', 0.03, 5): '519f01772282',
+    (11, 'timeout', 'two-phase', 0.03, 5): '7471cc659508',
     (11, 'timeout', 'presumed-abort', 0.0, 0): '7945d57098ec',
     (11, 'timeout', 'presumed-abort', 0.0, 5): '07f814874c0d',
     (11, 'timeout', 'presumed-abort', 0.03, 0): '66ae36ddf222',
-    (11, 'timeout', 'presumed-abort', 0.03, 5): '953451148d5d',
+    (11, 'timeout', 'presumed-abort', 0.03, 5): '45034a02d8e5',
     (11, 'detect', 'instant', 0.0, 0): '8f8b2aa660ea',
     (11, 'detect', 'instant', 0.0, 5): '4b3f34c59df6',
     (11, 'detect', 'instant', 0.03, 0): '0796ec149f66',
@@ -224,6 +233,43 @@ def test_replication_factor_one_matches_the_seed_simulator():
                 mismatches.append(
                     (replica_protocol, wseed, policy, protocol, rate, seed)
                 )
+    assert mismatches == []
+
+
+def test_paxos_f0_degenerates_to_two_phase():
+    """Paxos Commit at F=0 is digest-for-digest classic 2PC.
+
+    Gray & Lamport's degeneracy claim, pinned mechanically: with one
+    acceptor co-located at the coordinator site every vote relay is
+    free and takeover has no candidate, so the message bill, the event
+    timing, and hence the entire result surface coincide with 2PC —
+    at failure rate 0 *and* under crashes. Only the protocol name
+    differs; it is normalised out before hashing.
+    """
+
+    def normalised(result) -> str:
+        result.commit_protocol = "two-phase"
+        return digest(result)
+
+    mismatches = []
+    for wseed in WORKLOAD_SEEDS:
+        for policy in POLICIES:
+            for rate in FAILURE_RATES:
+                for seed in SIM_SEEDS:
+                    expected = GOLDEN[(wseed, policy, "two-phase", rate,
+                                       seed)]
+                    system = random_system(random.Random(wseed), SPEC)
+                    config = SimulationConfig(
+                        seed=seed,
+                        network_delay=0.5,
+                        commit_protocol="paxos-commit",
+                        commit_fault_tolerance=0,
+                        failure_rate=rate,
+                        repair_time=8.0,
+                    )
+                    result = simulate(system, policy, config)
+                    if normalised(result) != expected:
+                        mismatches.append((wseed, policy, rate, seed))
     assert mismatches == []
 
 

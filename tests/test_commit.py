@@ -8,6 +8,7 @@ from repro.core.system import TransactionSystem
 from repro.sim.commit import (
     CommitProtocol,
     InstantCommit,
+    PaxosCommit,
     PresumedAbortCommit,
     TwoPhaseCommit,
     make_protocol,
@@ -49,7 +50,7 @@ def shared_x_pair() -> TransactionSystem:
 class TestRegistry:
     def test_names(self):
         assert protocol_names() == [
-            "instant", "presumed-abort", "two-phase"
+            "instant", "paxos-commit", "presumed-abort", "two-phase"
         ]
 
     def test_make_protocol(self):
@@ -58,6 +59,7 @@ class TestRegistry:
         assert isinstance(
             make_protocol("presumed-abort"), PresumedAbortCommit
         )
+        assert isinstance(make_protocol("paxos-commit"), PaxosCommit)
 
     def test_unknown_protocol(self):
         with pytest.raises(KeyError, match="unknown commit protocol"):
@@ -261,6 +263,50 @@ class TestPreparedWindow:
         sim.abort_from_commit(runner)
         assert runner.status == _RUNNING
         assert sim.result.commit_aborts == 0
+
+
+class TestAckAccounting:
+    def test_ack_counted_at_delivery_not_at_decision(self):
+        """The regression: ``_decide_commit`` used to charge every
+        participant's ACK the instant the decision was taken, crediting
+        acknowledgements from a participant that was *down* and had not
+        even received the decision. The ACK now lands when the
+        participant actually processes ``cm_release``."""
+        from repro.sim.commit.twophase import _Round
+
+        sim = Simulator(
+            deadlock_pair(),
+            "wound-wait",
+            SimulationConfig(
+                commit_protocol="two-phase", network_delay=0.5
+            ),
+        )
+        # Make site_is_up() consult the per-site flags (no injector).
+        sim.failures = object()
+        proto = sim.commit
+        round = _Round(0, "s1", frozenset({"s1", "s2"}))
+        round.votes = {"s1", "s2"}
+        proto._rounds[0] = round
+        inst = sim.instance(0)
+        sim.mark_prepared(inst)
+        sim._mark_site("s2", False)  # participant down at decision time
+
+        proto._decide_commit(0, round)
+        # Exactly the two RELEASE sends — no ACK from anyone yet, and
+        # in particular none from the crashed s2.
+        assert sim.result.commit_messages == 2
+
+        proto._on_release(0, "s1", 0)
+        assert sim.result.commit_messages == 3  # s1's ACK
+
+        proto._on_release(0, "s2", 0)
+        # s2 is down: the decision is retransmitted (one message), but
+        # still no ACK — the participant never saw it.
+        assert sim.result.commit_messages == 4
+
+        sim._mark_site("s2", True)
+        proto._on_release(0, "s2", 0)
+        assert sim.result.commit_messages == 5  # s2's ACK, at delivery
 
 
 class TestPresumedAbort:

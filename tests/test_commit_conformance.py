@@ -1,0 +1,118 @@
+"""Conformance battery: invariants every commit protocol must hold.
+
+Parametrized over ``protocol_names()`` — a protocol added to the
+registry is automatically under test here, with no edits. Each
+invariant is checked across policies, seeds, and failure rates:
+
+* a finished run leaves every site's lock tables empty (retained
+  locks drain; nothing leaks across aborts, crashes, or takeovers);
+* the final states partition: every instance is committed, none is
+  half-aborted, and the ledger (``committed``/``total``/latency list
+  lengths) agrees with the instance states;
+* ``aborts_by_cause`` partitions ``aborts`` exactly;
+* message accounting: ``instant`` is message-free, the voting
+  protocols pay for every committed multi-site round, acceptor
+  traffic is a subset of the commit ledger and exists only for
+  ``paxos-commit``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.entity import DatabaseSchema
+from repro.core.system import TransactionSystem
+from repro.sim.commit import protocol_names
+from repro.sim.runtime import _COMMITTED, SimulationConfig, Simulator
+from repro.sim.workload import WorkloadSpec, random_system
+
+from tests.helpers import seq
+
+TWO_SITE_SCHEMA = DatabaseSchema.from_groups({"s1": ["x"], "s2": ["y"]})
+
+SPEC = WorkloadSpec(
+    n_transactions=6,
+    n_entities=6,
+    n_sites=3,
+    entities_per_txn=(2, 3),
+    actions_per_entity=(0, 1),
+    hotspot_skew=1.0,
+)
+
+
+def workloads():
+    yield "deadlock-pair", TransactionSystem(
+        [
+            seq("T1", ["Lx", "Ly", "Ux", "Uy"], TWO_SITE_SCHEMA),
+            seq("T2", ["Ly", "Lx", "Uy", "Ux"], TWO_SITE_SCHEMA),
+        ]
+    )
+    yield "generated", random_system(random.Random(7), SPEC)
+
+
+def finished_runs(protocol):
+    """Yield (sim, result) for every completed cell of the matrix."""
+    for _name, system in workloads():
+        for policy in ("wound-wait", "timeout"):
+            for failure_rate in (0.0, 0.02):
+                for s in range(3):
+                    sim = Simulator(
+                        system,
+                        policy,
+                        SimulationConfig(
+                            seed=s,
+                            commit_protocol=protocol,
+                            network_delay=0.5,
+                            commit_timeout=6.0,
+                            failure_rate=failure_rate,
+                            repair_time=8.0,
+                        ),
+                    )
+                    result = sim.run()
+                    assert not result.truncated
+                    assert not result.deadlocked
+                    yield sim, result
+
+
+@pytest.mark.parametrize("protocol", protocol_names())
+class TestConformance:
+    def test_locks_drain_at_end(self, protocol):
+        for sim, _result in finished_runs(protocol):
+            for name, site in sim._sites.items():
+                assert site.involved() == [], (protocol, name)
+
+    def test_final_states_partition(self, protocol):
+        for sim, result in finished_runs(protocol):
+            statuses = [inst.status for inst in sim._instances]
+            assert all(status is _COMMITTED for status in statuses)
+            assert result.committed == result.total == len(statuses)
+            assert len(result.latencies) == result.committed
+            assert len(result.exec_latencies) == result.committed
+            assert len(result.commit_latencies) == result.committed
+            # No instance still holds or waits for anything.
+            for inst in sim._instances:
+                assert inst.retained == set()
+                assert inst.waiting == {}
+
+    def test_aborts_by_cause_partition(self, protocol):
+        for _sim, result in finished_runs(protocol):
+            assert sum(result.aborts_by_cause.values()) == result.aborts
+            assert result.unavailable_aborts <= result.crash_aborts
+
+    def test_message_accounting(self, protocol):
+        for _sim, result in finished_runs(protocol):
+            if protocol == "instant":
+                assert result.commit_messages == 0
+                assert result.acceptor_messages == 0
+                assert all(c == 0.0 for c in result.commit_latencies)
+                continue
+            # Every workload above spans sites, so committed rounds
+            # paid messages (at least PREPARE+VOTE per remote
+            # participant of every committed transaction).
+            assert result.commit_messages > 0
+            assert result.acceptor_messages <= result.commit_messages
+            if protocol == "paxos-commit":
+                assert result.acceptor_messages > 0
+            else:
+                assert result.acceptor_messages == 0
+                assert result.coordinator_takeovers == 0

@@ -220,3 +220,77 @@ class TestEndToEnd:
         assert base.latencies == tweaked.latencies
         assert base.end_time == tweaked.end_time
         assert base.aborts == tweaked.aborts
+
+
+class TestChainContinuation:
+    """A recovery is the only point where a site's crash chain can
+    end; these pin the continuation decision (``_work_pending``)."""
+
+    def test_work_pending_sources(self):
+        sim = Simulator(cross_pair(), "wound-wait", failure_config())
+        injector = sim.failures
+        assert injector._work_pending()  # the batch is uncommitted
+        sim.result.committed = len(sim.system)
+        assert not injector._work_pending()
+        # All transactions committed, but a commit decision is still
+        # retransmitting to a down participant: the protocol
+        # conversation is alive and its targets can crash again.
+        sim._retained_total = 1
+        assert injector._work_pending()
+
+    def test_chain_survives_idle_open_system_gaps(self):
+        """A recovery landing in an idle gap of a slow arrival process
+        (everything injected so far committed, more traffic on the
+        clock) must reschedule the site's next crash — otherwise fault
+        injection silently dies early in any long low-rate run."""
+        from repro.sim.workload import WorkloadSpec
+
+        spec = WorkloadSpec(
+            n_entities=8,
+            n_sites=3,
+            entities_per_txn=(2, 3),
+            actions_per_entity=(0, 1),
+            hotspot_skew=0.5,
+        )
+        config = SimulationConfig(
+            seed=2,
+            arrival_rate=0.01,  # idle gaps ~100 time units
+            max_transactions=12,
+            workload=spec,
+            failure_rate=0.02,
+            repair_time=5.0,
+            commit_protocol="two-phase",
+            network_delay=0.5,
+        )
+        sim = Simulator(TransactionSystem([]), "wound-wait", config)
+        handlers = sim._registry._handlers
+        idle_recoveries: list[float] = []
+        crash_times: list[float] = []
+        orig_recover = handlers["site_recover"]
+        orig_crash = handlers["site_crash"]
+
+        def on_recover(site):
+            injected_all_done = (
+                sim.result.committed >= sim.result.injected
+                and not sim.arrivals.finished
+            )
+            if injected_all_done:
+                idle_recoveries.append(sim._now)
+            orig_recover(site)
+
+        def on_crash(site):
+            crash_times.append(sim._now)
+            orig_crash(site)
+
+        handlers["site_recover"] = on_recover
+        handlers["site_crash"] = on_crash
+        result = sim.run()
+        assert result.committed == result.injected == 12
+        # The kill-switch: if an idle-gap recovery ended its site's
+        # chain, each of the 3 sites could contribute at most ONE such
+        # recovery before fault injection died for the rest of the run.
+        # A surviving chain produces them throughout the ~1200-unit
+        # span (this seed yields ~80).
+        assert len(idle_recoveries) > 3 * len(sim.site_names())
+        # And crashes demonstrably continue after early idle gaps.
+        assert sum(1 for t in crash_times if t > idle_recoveries[2]) > 10

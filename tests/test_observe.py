@@ -247,6 +247,49 @@ class TestCli:
         assert (tmp_path / "run-wound-wait-instant.jsonl").exists()
         assert (tmp_path / "run-wait-die-instant.jsonl").exists()
 
+    def test_replicate_runs_get_distinct_flight_dirs(
+        self, tmp_path, capsys
+    ):
+        """--runs N must not funnel every replicate's flight dumps
+        into one directory: the dump files are numbered from zero per
+        run, so a shared directory silently overwrites run 0's
+        evidence with run 1's."""
+        rc = main([
+            "simulate",
+            "--arrival-rate", "0.5",
+            "--max-transactions", "30",
+            "--policies", "wound-wait",
+            "--failure-rate", "0.05",
+            "--runs", "2",
+            "--flight-recorder", str(tmp_path / "flight"),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        for run in ("flight-run0", "flight-run1"):
+            run_dir = tmp_path / run
+            assert run_dir.is_dir(), f"{run} missing"
+            assert any(run_dir.iterdir()), f"{run} has no dumps"
+        assert not (tmp_path / "flight").exists()
+
+    def test_policy_grid_gets_distinct_flight_dirs(
+        self, tmp_path, capsys
+    ):
+        rc = main([
+            "simulate",
+            "--arrival-rate", "0.5",
+            "--max-transactions", "30",
+            "--policies", "wound-wait", "wait-die",
+            "--failure-rate", "0.05",
+            "--flight-recorder", str(tmp_path / "flight"),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        for cell in ("wound-wait-instant", "wait-die-instant"):
+            cell_dir = tmp_path / f"flight-{cell}"
+            assert cell_dir.is_dir(), f"{cell} missing"
+            assert any(cell_dir.iterdir()), f"{cell} has no dumps"
+        assert not (tmp_path / "flight").exists()
+
     def test_sweep_cell_metrics_columns(self, tmp_path, capsys):
         out_json = tmp_path / "sweep.json"
         rc = main([
