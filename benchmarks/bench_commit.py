@@ -185,6 +185,58 @@ def test_commit_report():
         assert px0["blocked"] == pytest.approx(tp0["blocked"])
 
 
+def test_commit_attribution_report():
+    """Where the commit protocols spend the latency they charge.
+
+    One representative cell per protocol under the latency-attribution
+    engine: the conserved segment decomposition pins *which* segment a
+    protocol's cost lands in — instant commit has no coordinator or
+    commit-round time by construction, the voting protocols pay a
+    commit round, and under crashes 2PC's stalls surface as
+    blocked-on-coordinator time.
+    """
+    from repro.sim.observe import ObserveConfig
+    from repro.sim.runtime import Simulator
+
+    system = _workload()
+    decompositions = {}
+    for protocol in PROTOCOLS:
+        for rate in FAILURE_RATES:
+            config = dataclasses.replace(
+                _config(protocol, rate, seed=0),
+                observe=ObserveConfig(attribution=True),
+            )
+            sim = Simulator(system, "wound-wait", config)
+            result = sim.run()
+            summary = result.attribution
+            assert summary["conservation"]["exact"] is True
+            decompositions[(protocol, rate)] = summary["segments"]
+
+    print()
+    print("[EXP-COMMIT/attribution] latency segments by protocol "
+          "(wound-wait, seed 0, totals over commits):")
+    print(f"  {'protocol':15s} {'f-rate':6s} {'lock-wait':>9s} "
+          f"{'coord':>7s} {'fanout':>7s} {'service':>8s} {'commit':>7s}")
+    for (protocol, rate), seg in decompositions.items():
+        print(f"  {protocol:15s} {rate:<6g} {seg['lock_wait']:9.1f} "
+              f"{seg['coordinator']:7.1f} {seg['fanout']:7.1f} "
+              f"{seg['service']:8.1f} {seg['commit']:7.1f}")
+
+    for rate in FAILURE_RATES:
+        # Instant commit: no commit round, no coordinator to wait on.
+        instant = decompositions[("instant", rate)]
+        assert instant["commit"] == 0.0
+        assert instant["coordinator"] == 0.0
+        # Every voting protocol pays a commit round.
+        for protocol in ("two-phase", "presumed-abort", "paxos-commit"):
+            assert decompositions[(protocol, rate)]["commit"] > 0.0
+    # Crashes convert 2PC waits into blocked-on-coordinator time.
+    assert (
+        decompositions[("two-phase", 0.02)]["coordinator"]
+        > decompositions[("two-phase", 0.0)]["coordinator"]
+    )
+
+
 # ----------------------------------------------------------------------
 # EXP-FAILOVER — the stall curve: blocked-on-coordinator time and
 # availability vs failure rate, all four protocols.

@@ -42,9 +42,12 @@ Usage:
 ``--overhead`` measures the observability layer instead of recording a
 baseline: each probed scenario runs plain, with a disabled
 ``ObserveConfig`` (must be free — same digest, ops/sec delta within
-``--overhead-tolerance``), and fully instrumented (tracer + sampler;
-same digest, overhead reported as a percentage). Exit code 1 if the
-disabled mode costs anything beyond noise or any digest diverges.
+``--overhead-tolerance``), fully instrumented (tracer + sampler +
+attribution; same digest, overhead reported as a percentage), and
+sampled (``sample_every=8``; same digest, must not cost more than the
+fully traced mode plus the tolerance). Exit code 1 if the disabled
+mode costs anything beyond noise, the sampled mode exceeds the traced
+mode, or any digest diverges.
 
 ``--check`` compares the fresh numbers against the same mode of the
 ``current`` run recorded in the baseline file: behaviour digests must
@@ -253,10 +256,13 @@ def run_mode(quick: bool, repeats: int) -> dict[str, dict]:
 def run_overhead(quick: bool, repeats: int, tolerance: float) -> list[str]:
     """Measure the observability layer's cost; returns violations.
 
-    Three runs per scenario: plain, observability *configured but
+    Four runs per scenario: plain, observability *configured but
     disabled* (the zero-cost claim: nothing attaches, so the delta is
-    pure timing noise), and fully instrumented (tracer + sampler, the
-    honest price of turning everything on). All three must produce the
+    pure timing noise), fully instrumented (tracer + sampler +
+    attribution, the honest price of turning everything on), and
+    *sampled* (the same instrumentation at ``sample_every=8`` — the
+    escape hatch for traced production runs, which must cost no more
+    than the fully traced mode plus noise). All four must produce the
     same behaviour digest.
     """
     import dataclasses
@@ -281,11 +287,28 @@ def run_overhead(quick: bool, repeats: int, tolerance: float) -> list[str]:
         )
         traced = run_scenario(
             with_observe(
-                builder, ObserveConfig(trace=True, metrics_window=25.0)
+                builder,
+                ObserveConfig(
+                    trace=True, metrics_window=25.0, attribution=True
+                ),
             ),
             repeats,
         )
-        for label, entry in (("disabled", disabled), ("traced", traced)):
+        sampled = run_scenario(
+            with_observe(
+                builder,
+                ObserveConfig(
+                    trace=True, metrics_window=25.0, attribution=True,
+                    sample_every=8,
+                ),
+            ),
+            repeats,
+        )
+        checks = (
+            ("disabled", disabled), ("traced", traced),
+            ("sampled", sampled),
+        )
+        for label, entry in checks:
             if entry["digest"] != plain["digest"]:
                 errors.append(
                     f"{name}/{label}: behaviour digest diverged from the "
@@ -293,16 +316,27 @@ def run_overhead(quick: bool, repeats: int, tolerance: float) -> list[str]:
                 )
         disabled_delta = 1.0 - disabled["ops_per_sec"] / plain["ops_per_sec"]
         traced_overhead = plain["ops_per_sec"] / traced["ops_per_sec"] - 1.0
+        sampled_overhead = (
+            plain["ops_per_sec"] / sampled["ops_per_sec"] - 1.0
+        )
         print(
             f"  {name:<10} plain {plain['ops_per_sec']:>10.0f} ops/s | "
             f"disabled delta {disabled_delta:+7.1%} | "
-            f"traced overhead {traced_overhead:+7.1%}"
+            f"traced overhead {traced_overhead:+7.1%} | "
+            f"sampled overhead {sampled_overhead:+7.1%}"
         )
         if disabled_delta > tolerance:
             errors.append(
                 f"{name}: disabled observability cost "
                 f"{disabled_delta:.1%} > {tolerance:.0%} — the disabled "
                 f"path is supposed to be free"
+            )
+        if sampled_overhead > traced_overhead + tolerance:
+            errors.append(
+                f"{name}: sampled tracing cost {sampled_overhead:.1%} "
+                f"exceeds full tracing ({traced_overhead:.1%}) by more "
+                f"than {tolerance:.0%} — sampling is supposed to bound "
+                f"overhead, not add it"
             )
     return errors
 

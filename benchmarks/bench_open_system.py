@@ -87,6 +87,61 @@ def test_open_system_report():
         assert high["aborts"] > 10 * low["aborts"]
 
 
+def test_open_system_attribution_report():
+    """How the latency mix shifts as offered load crosses capacity.
+
+    The attribution engine decomposes the same curve the report above
+    prints: at a stable rate, latency is mostly service; overloaded,
+    lock-wait and admission queueing dominate and wasted (aborted)
+    work blows up — with the hotspot named.
+    """
+    import dataclasses
+
+    from repro.core.system import TransactionSystem
+    from repro.sim.observe import ObserveConfig
+    from repro.sim.runtime import Simulator
+
+    shares = {}
+    for rate in (0.2, 1.6):
+        config = dataclasses.replace(
+            SPEC.base,
+            seed=0,
+            arrival_rate=rate,
+            workload=SPEC.workload,
+            observe=ObserveConfig(attribution=True),
+        )
+        sim = Simulator(TransactionSystem([]), "wound-wait", config)
+        summary = sim.run().attribution
+        assert summary["conservation"]["exact"] is True
+        segments = summary["segments"]
+        total = sum(segments.values())
+        shares[rate] = {
+            "queueing": (
+                (segments["admission"] + segments["lock_wait"]) / total
+            ),
+            "wasted": summary["aborts"]["wasted_fraction"],
+            "hotspot": summary["hotspot"],
+        }
+
+    print()
+    print("[EXP-OPEN/attribution] latency mix vs offered load "
+          "(wound-wait, seed 0):")
+    print(f"  {'rate':>5s} {'queueing':>9s} {'wasted':>7s}  hotspot")
+    for rate, entry in shares.items():
+        hot = entry["hotspot"]
+        label = (
+            f"{hot['entity']} ({hot['share']:.0%})" if hot else "-"
+        )
+        print(f"  {rate:5.1f} {entry['queueing']:9.1%} "
+              f"{entry['wasted']:7.1%}  {label}")
+
+    # Overload shows up as queueing share and wasted work, not as
+    # slower service.
+    assert shares[1.6]["queueing"] > shares[0.2]["queueing"]
+    assert shares[1.6]["wasted"] > shares[0.2]["wasted"]
+    assert shares[1.6]["hotspot"] is not None
+
+
 @pytest.mark.parametrize("policy", POLICIES)
 def test_open_system_benchmark(benchmark, policy):
     from repro.experiments import run_cell

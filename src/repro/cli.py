@@ -2,9 +2,14 @@
 
 Subcommands:
 
-* ``analyze FILE`` — static safety-and-deadlock-freedom analysis of a
-  transaction system in the text format (Theorem 3 pairs + Theorem 4
-  cycles), with certificates for refutations.
+* ``analyze FILE`` — polymorphic on the file's content.  For a
+  transaction system in the text format: static safety-and-deadlock-
+  freedom analysis (Theorem 3 pairs + Theorem 4 cycles), with
+  certificates for refutations.  For a JSONL trace written by
+  ``simulate --trace-jsonl``: offline latency attribution — the
+  conserved segment decomposition, hot-cell/convoy profile, blame
+  graph (``--dot``), and abort-cost report, with ``--check`` gating
+  exact conservation for CI.
 * ``deadlock FILE`` — exhaustive deadlock search and Theorem 1 deadlock-
   prefix search.
 * ``simulate [FILE]`` — run the discrete-event simulator under one or
@@ -21,10 +26,13 @@ Subcommands:
 * ``sweep`` — run a declarative grid (policy x commit protocol x
   replica protocol x arrival rate x failure rate x seeds) on a
   multiprocessing pool, with optional JSON/CSV output and opt-in
-  per-cell metrics columns (``--cell-metrics``).
+  per-cell metrics columns (``--cell-metrics``) and contention-
+  attribution columns (``--cell-attribution``: hotspot share,
+  wasted-work fraction, blame-graph size).
 * ``trace FILE`` — summarize a trace written by ``simulate
   --trace-out/--trace-jsonl`` (either Chrome ``trace_event`` JSON or
-  JSONL).
+  JSONL); JSONL summaries include the top blocking cells and the
+  abort-cause breakdown.
 * ``sat DIMACS-LIKE`` — encode a 3SAT′ formula as two transactions and
   demonstrate the Theorem 2 equivalence.
 * ``figures`` — run the paper-figure demonstrations.
@@ -46,7 +54,74 @@ def _load_system(path: str):
         return parse_system(handle.read())
 
 
+def _is_trace_artifact(path: str) -> bool:
+    """True when the file's first non-blank line is a JSON object.
+
+    The transaction-system text format never starts a line with ``{``,
+    while both trace exports do (JSONL records and the Chrome
+    ``trace_event`` document), so one line of content sniffing routes
+    ``analyze`` without a mode flag.
+    """
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                return isinstance(json.loads(line), dict)
+            except ValueError:
+                return False
+    return False
+
+
+def _analyze_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.observe.attribution import analyze_trace, render_report
+
+    try:
+        summary, engine = analyze_trace(args.file)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(summary, top=args.top))
+    if args.dot:
+        from repro.io.dot import blame_graph_to_dot
+
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(blame_graph_to_dot(engine.blame_edge_list()))
+        print(f"wrote {args.dot}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    if args.check:
+        conservation = summary["conservation"]
+        failures = []
+        if not conservation["exact"]:
+            failures.append("segment sums do not equal measured latency")
+        if conservation["min_service"] < -1e-9:
+            failures.append(
+                f"negative service segment ({conservation['min_service']:g})"
+            )
+        if summary["blame"]["edge_count"] == 0:
+            failures.append("blame graph is empty")
+        if failures:
+            print("check FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(
+            f"check OK: {conservation['transactions']} transactions "
+            f"conserve exactly, {summary['blame']['edge_count']} blame "
+            "edges"
+        )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if _is_trace_artifact(args.file):
+        return _analyze_trace(args)
     from repro.analysis.reporting import audit_system
 
     system = _load_system(args.file)
@@ -108,7 +183,13 @@ def _observe_config(args: argparse.Namespace, suffix: str = ""):
     from repro.sim.observe import ObserveConfig
 
     want_trace = bool(args.trace_out or args.trace_jsonl)
-    if not (want_trace or args.metrics_out or args.flight_recorder):
+    want_attribution = bool(args.attribution or args.attribution_out)
+    if not (
+        want_trace
+        or want_attribution
+        or args.metrics_out
+        or args.flight_recorder
+    ):
         return None
     flight = args.flight_recorder
     if flight:
@@ -120,6 +201,8 @@ def _observe_config(args: argparse.Namespace, suffix: str = ""):
         flight_recorder=flight,
         flight_events=args.flight_events,
         flight_cascade_threshold=args.flight_cascade,
+        attribution=want_attribution,
+        sample_every=args.trace_sample,
     )
 
 
@@ -157,6 +240,15 @@ def _export_observability(sim, args, suffix: str) -> None:
             f"flight recorder: {len(hub.flight.dumps)} dump(s) in "
             f"{hub.flight.out_dir}"
         )
+    if hub.attribution is not None:
+        from repro.sim.observe.attribution import render_report
+
+        print(render_report(sim.result.attribution))
+        if args.attribution_out:
+            path = _suffixed(args.attribution_out, suffix)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(sim.result.attribution, fh, indent=2)
+            print(f"wrote {path}")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -237,11 +329,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim.runtime import SimulationConfig
     from repro.util.render import format_table
 
-    observe = (
-        ObserveConfig(metrics_window=args.cell_metrics)
-        if args.cell_metrics > 0
-        else None
-    )
+    observe = None
+    if args.cell_metrics > 0 or args.cell_attribution:
+        observe = ObserveConfig(
+            metrics_window=args.cell_metrics,
+            attribution=args.cell_attribution,
+        )
     spec = SweepSpec(
         policies=tuple(args.policies),
         protocols=tuple(args.commit),
@@ -555,8 +648,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="static pair + fixed-k analysis")
-    p.add_argument("file", help="transaction system in text format")
+    p = sub.add_parser(
+        "analyze",
+        help="static pair + fixed-k analysis of a system file, or "
+        "offline latency attribution of a JSONL trace",
+    )
+    p.add_argument(
+        "file",
+        help="transaction system in text format, or a JSONL trace "
+        "written by simulate --trace-jsonl (detected by content)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="rows per section of the trace-attribution report",
+    )
+    p.add_argument(
+        "--dot",
+        metavar="PATH",
+        help="write the time-weighted blame graph as Graphviz DOT "
+        "(trace files only)",
+    )
+    p.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the attribution summary as JSON (trace files only)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless segment sums conserve exactly and the "
+        "blame graph is nonempty (trace files only; the CI gate)",
+    )
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("deadlock", help="exhaustive deadlock search")
@@ -670,6 +794,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregation window of the metrics sampler (sim time)",
     )
     obs.add_argument(
+        "--attribution",
+        action="store_true",
+        help="attach the latency-attribution engine and print the "
+        "contention report (segment decomposition, hot cells, blame "
+        "graph, abort cost) after the run",
+    )
+    obs.add_argument(
+        "--attribution-out",
+        metavar="PATH",
+        help="also write the attribution summary as JSON (implies "
+        "--attribution)",
+    )
+    obs.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sample 1-in-N transactions into the tracer and "
+        "attribution streams to bound traced-run overhead; abort-"
+        "cause counts stay exact, time aggregates become estimates "
+        "(default 1 = everything)",
+    )
+    obs.add_argument(
         "--flight-recorder",
         metavar="DIR",
         help="dump last-N events + a waits-for DOT snapshot here on "
@@ -766,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="WINDOW",
         help="attach the metrics sampler to every cell with this "
         "window; records (JSON/CSV) gain peak-pressure columns",
+    )
+    p.add_argument(
+        "--cell-attribution",
+        action="store_true",
+        help="attach the latency-attribution engine to every cell; "
+        "records (JSON/CSV) gain hotspot-share, wasted-work, and "
+        "blame-graph columns",
     )
     _add_open_system_args(
         p, max_transactions_default=200, single_rate=False

@@ -91,6 +91,40 @@ def _metrics_columns(result: SimulationResult) -> dict:
     }
 
 
+def _attribution_columns(result: SimulationResult) -> dict:
+    """Contention-analytics columns from the attribution engine.
+
+    Present only when the sweep's base config enabled attribution
+    (``observe=ObserveConfig(attribution=True)``) — then every cell
+    carries a summary, so the records stay rectangular.
+    """
+    attribution = result.attribution
+    segments = attribution["segments"]
+    segment_total = sum(segments.values())
+    hotspot = attribution["hotspot"]
+    aborts = attribution["aborts"]
+    return {
+        "hot_entity": hotspot["entity"] if hotspot else "",
+        "hot_entity_share": hotspot["share"] if hotspot else 0.0,
+        "hot_entity_blocked": (
+            hotspot["blocked_time"] if hotspot else 0.0
+        ),
+        "lock_wait_share": (
+            segments["lock_wait"] / segment_total if segment_total else 0.0
+        ),
+        "commit_share": (
+            (segments["coordinator"] + segments["commit"]) / segment_total
+            if segment_total
+            else 0.0
+        ),
+        "wasted_fraction": aborts["wasted_fraction"],
+        "wasted_time": aborts["wasted_time"],
+        "blame_edges": attribution["blame"]["edge_count"],
+        "blame_time": attribution["blame"]["total_time"],
+        "conservation_exact": attribution["conservation"]["exact"],
+    }
+
+
 def sweep_records(
     spec: SweepSpec, results: list[SimulationResult]
 ) -> list[dict]:
@@ -105,6 +139,8 @@ def sweep_records(
         record = _record(cell, result)
         if result.timeseries is not None:
             record.update(_metrics_columns(result))
+        if result.attribution is not None:
+            record.update(_attribution_columns(result))
         records.append(record)
     return records
 

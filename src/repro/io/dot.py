@@ -9,6 +9,7 @@ from repro.core.transaction import Transaction
 from repro.util.graphs import Digraph
 
 __all__ = [
+    "blame_graph_to_dot",
     "d_graph_to_dot",
     "system_to_dot",
     "transaction_to_dot",
@@ -90,6 +91,43 @@ def waits_for_to_dot(
     for waiter in sorted(edges):
         for holder in sorted(edges[waiter]):
             lines.append(f"  n{waiter} -> n{holder};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def blame_graph_to_dot(
+    edges: list,
+    name: str = "blame",
+    labeler=lambda txn: f"T{txn}",
+) -> str:
+    """A time-weighted blame graph as a digraph.
+
+    ``edges`` is the attribution engine's edge list (dicts with
+    ``waiter``/``holder``/``site``/``entity``/``time``, see
+    :meth:`~repro.sim.observe.attribution.LatencyAttribution.\
+blame_edge_list`).  Unlike :func:`waits_for_to_dot` — an unweighted
+    instant snapshot — each arc here carries the total simulated time
+    the waiter spent blocked behind the holder on that cell, with
+    ``penwidth`` scaled to the heaviest edge so hot dependencies jump
+    out visually.
+    """
+    nodes: set[int] = set()
+    for edge in edges:
+        nodes.add(edge["waiter"])
+        nodes.add(edge["holder"])
+    heaviest = max((edge["time"] for edge in edges), default=0.0)
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for txn in sorted(nodes):
+        lines.append(f"  n{txn} [label={_quote(labeler(txn))}];")
+    for edge in edges:
+        label = (
+            f"{edge['entity']}@{edge['site']} {edge['time']:.3g}"
+        )
+        width = 1.0 + 3.0 * (edge["time"] / heaviest if heaviest else 0.0)
+        lines.append(
+            f"  n{edge['waiter']} -> n{edge['holder']}"
+            f" [label={_quote(label)}, penwidth={width:.2f}];"
+        )
     lines.append("}")
     return "\n".join(lines) + "\n"
 

@@ -128,6 +128,11 @@ class SimulationResult:
         timeseries: windowed metrics recorded by the observability
             sampler (:class:`repro.sim.observe.MetricsSampler`), as a
             plain-JSON dict; None unless the run enabled it.
+        attribution: contention analytics recorded by the latency
+            attribution engine (:class:`repro.sim.observe.
+            LatencyAttribution`) — conserved latency segments, hot
+            cells, blame graph, abort cost — as a plain-JSON dict;
+            None unless the run enabled it.
     """
 
     policy: str
@@ -169,6 +174,7 @@ class SimulationResult:
     write_avail_area: float = 0.0
     service_avail_area: float = 0.0
     timeseries: dict | None = None
+    attribution: dict | None = None
 
     # ------------------------------------------------------------------
     # serialization

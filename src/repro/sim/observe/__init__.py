@@ -2,7 +2,7 @@
 
 The package splits into the attach-time interposition machinery
 (:mod:`~repro.sim.observe.probes` — :class:`ObserveConfig`,
-:class:`ObserverHub`, :class:`ProbeSink`) and three stock consumers:
+:class:`ObserverHub`, :class:`ProbeSink`) and four stock consumers:
 
 * :class:`EventTracer` (:mod:`~repro.sim.observe.trace`) — bounded
   ring buffer of structured events with JSONL and Chrome
@@ -13,15 +13,27 @@ The package splits into the attach-time interposition machinery
   ``result.timeseries``;
 * :class:`FlightRecorder` (:mod:`~repro.sim.observe.flight`) —
   anomaly-triggered dumps of the last-N events plus a waits-for DOT
-  snapshot.
+  snapshot;
+* :class:`LatencyAttribution` (:mod:`~repro.sim.observe.attribution`)
+  — critical-path latency attribution: conserved per-transaction
+  segment decomposition, per-cell contention profiles with
+  hot-entity/convoy detection, a time-weighted blame graph, and
+  abort-cost accounting, attached as ``result.attribution`` (online)
+  or replayed over a saved JSONL trace (``repro analyze``).
 
 Enable any of them through ``SimulationConfig(observe=
 ObserveConfig(...))``; with the field unset the simulator runs the
 exact pre-observability instruction stream (no flag checks on any hot
 path — see the :mod:`~repro.sim.observe.probes` docstring for why
-disabled mode is provably free).
+disabled mode is provably free). ``ObserveConfig(sample_every=N)``
+bounds the traced-run overhead by 1-in-N transaction sampling of the
+tracer and attribution streams.
 """
 
+from repro.sim.observe.attribution import (
+    LatencyAttribution,
+    LatencyAttributor,
+)
 from repro.sim.observe.flight import FlightRecorder
 from repro.sim.observe.probes import ObserveConfig, ObserverHub, ProbeSink
 from repro.sim.observe.sampler import MetricsSampler
@@ -30,6 +42,8 @@ from repro.sim.observe.trace import EventTracer
 __all__ = [
     "EventTracer",
     "FlightRecorder",
+    "LatencyAttribution",
+    "LatencyAttributor",
     "MetricsSampler",
     "ObserveConfig",
     "ObserverHub",

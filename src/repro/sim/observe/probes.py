@@ -25,7 +25,24 @@ probe is installed by *interposition* when — and only when — an
   runtime and its subsystems invoke through attribute lookup
   (``add_transaction``, ``mark_prepared``, ``finish_commit``,
   ``_abort_task``) with wrappers emitting ``arrive`` / ``prepared`` /
-  ``commit`` / ``abort`` probes.
+  ``commit`` / ``abort`` probes;
+* scheduling boundaries: ``sim.schedule`` is likewise an instance
+  method invoked through attribute lookup by every send site (the
+  issue/op fan-out, commit protocols, failure injection), so the hub
+  shadows it with a wrapper emitting a ``sched`` probe — the payload
+  at *send* time. Paired with the later ``event`` dispatch probe this
+  exposes every service interval and network hop (queueing/fan-out
+  boundaries) without any hot-path test in the disabled mode.
+
+When 1-in-N transaction sampling is requested (``sample_every > 1``),
+the hub withholds the per-transaction probes of unsampled
+transactions from the *sample-aware* sinks (the tracer and the
+attribution engine) while global probes — counters, detector and
+crash events — and every ``abort`` / ``prepared`` / ``commit`` probe
+still flow, keeping the LIFO abort-cause pairing and
+blocked-on-coordinator classification exact. Whole-stream consumers
+(the metrics sampler, the flight recorder, custom sinks) always see
+everything.
 
 With ``config.observe`` unset, none of this exists and the simulator
 executes byte-for-byte the same instructions as before the layer was
@@ -58,6 +75,12 @@ class ObserveConfig:
         flight_events: how many trailing probe records a dump retains.
         flight_cascade_threshold: aborts within a single dispatched
             event that count as an abort cascade worth dumping.
+        attribution: run the latency-attribution engine
+            (:mod:`repro.sim.observe.attribution`); the run's result
+            gains an ``attribution`` block.
+        sample_every: 1-in-N transaction sampling for the sample-aware
+            sinks (tracer, attribution) — 1 observes everything.
+            Sampled attribution is marked as an estimate.
     """
 
     trace: bool = False
@@ -66,12 +89,23 @@ class ObserveConfig:
     flight_recorder: str | None = None
     flight_events: int = 256
     flight_cascade_threshold: int = 25
+    attribution: bool = False
+    sample_every: int = 1
+
+    def __post_init__(self):
+        if self.sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )
 
     @property
     def enabled(self) -> bool:
         """Whether any consumer is requested at all."""
         return bool(
-            self.trace or self.metrics_window > 0 or self.flight_recorder
+            self.trace
+            or self.metrics_window > 0
+            or self.flight_recorder
+            or self.attribution
         )
 
 
@@ -85,6 +119,8 @@ class ProbeSink:
     kind       args                           meaning
     ========== ============================== ==========================
     event      the raw event payload tuple    an event left the queue
+    sched      the raw event payload tuple    an event was scheduled
+                                              (probe time = send time)
     wait       (sid, eid, txn)                txn queued at a lock cell
     unwait     (sid, eid, txn)                txn left the queue
     hold       (sid, eid, txn)                txn became a lock holder
@@ -117,6 +153,35 @@ MONITORED_COUNTERS = frozenset({
     "commit_messages", "prepared_blocks",
 })
 
+#: payload index of the transaction id per ``event``/``sched`` payload
+#: kind; kinds absent from the table (``detect``, ``arrive``,
+#: ``site_crash``/``site_recover``) are global and never sampled out.
+EVENT_TXN_ARG = {
+    "begin": 1, "issue": 1, "op_done": 1, "restart": 1, "timeout": 1,
+    "replica_req": 1, "cm_prepare": 1, "cm_vote": 1, "cm_retry": 1,
+    "cm_release": 1, "cm_learn": 1, "cm_state": 1,
+}
+
+#: probe kinds delivered to sample-aware sinks for *every*
+#: transaction even under 1-in-N sampling: counters and aborts keep
+#: the LIFO cause pairing exact; prepared/commit keep the
+#: blocked-on-coordinator holder classification exact.
+_SAMPLE_ALWAYS = frozenset({"counter", "abort", "prepared", "commit"})
+
+_CELL_PROBES = frozenset({"wait", "unwait", "hold", "unhold"})
+
+
+def _sample_keep(kind: str, args: tuple, every: int) -> bool:
+    """Whether a probe reaches the sample-aware sinks (1-in-N)."""
+    if kind in _SAMPLE_ALWAYS:
+        return True
+    if kind == "event" or kind == "sched":
+        idx = EVENT_TXN_ARG.get(args[0])
+        return idx is None or args[idx] % every == 0
+    if kind == "arrive":
+        return args[0] % every == 0
+    return args[2] % every == 0  # cell probes: (sid, eid, txn)
+
 
 class _CountedResult(SimulationResult):
     """A result whose monitored counter writes emit probes.
@@ -148,6 +213,7 @@ class ObserverHub:
         # Local imports: the consumers import io/dot machinery the hot
         # path never needs, and keeping them here keeps the probes
         # module dependency-light.
+        from repro.sim.observe.attribution import LatencyAttributor
         from repro.sim.observe.flight import FlightRecorder
         from repro.sim.observe.sampler import MetricsSampler
         from repro.sim.observe.trace import EventTracer
@@ -171,12 +237,35 @@ class ObserverHub:
             if config.flight_recorder
             else None
         )
+        self.attribution: LatencyAttributor | None = (
+            LatencyAttributor(sample_every=config.sample_every)
+            if config.attribution
+            else None
+        )
         self._sinks: list[ProbeSink] = [
             sink
-            for sink in (self.tracer, self.sampler, self.flight)
+            for sink in (
+                self.tracer, self.sampler, self.flight, self.attribution
+            )
             if sink is not None
         ]
         self._sinks.extend(extra_sinks)
+        # 1-in-N sampling: the tracer and the attribution engine are
+        # sample-aware; whole-stream sinks always see everything.
+        self._every = config.sample_every
+        if self._every > 1:
+            aware = [
+                s
+                for s in (self.tracer, self.attribution)
+                if s is not None
+            ]
+            self._full: tuple = tuple(
+                s for s in self._sinks if s not in aware
+            )
+            self._sampled: tuple = tuple(aware)
+        else:
+            self._full = tuple(self._sinks)
+            self._sampled = ()
         self._attached = False
 
     # ------------------------------------------------------------------
@@ -185,8 +274,11 @@ class ObserverHub:
 
     def _emit(self, kind: str, args: tuple) -> None:
         t = self.sim._now
-        for sink in self._sinks:
+        for sink in self._full:
             sink.on_probe(kind, t, args)
+        if self._sampled and _sample_keep(kind, args, self._every):
+            for sink in self._sampled:
+                sink.on_probe(kind, t, args)
 
     def _on_counter(self, name: str, value) -> None:
         self._emit("counter", (name, value))
@@ -209,13 +301,44 @@ class ObserverHub:
         registry = sim._registry
         handlers = registry._handlers  # shared dict; grows in place
 
-        def dispatch(payload, _handlers=handlers, _sinks=sinks, _sim=sim):
-            now = _sim._now
-            for sink in _sinks:
-                sink.on_probe("event", now, payload)
-            _handlers[payload[0]](*payload[1:])
+        if not self._sampled:
+            def dispatch(
+                payload, _handlers=handlers, _sinks=sinks, _sim=sim
+            ):
+                now = _sim._now
+                for sink in _sinks:
+                    sink.on_probe("event", now, payload)
+                _handlers[payload[0]](*payload[1:])
+        else:
+            def dispatch(
+                payload, _handlers=handlers, _full=self._full,
+                _sampled=self._sampled, _sim=sim, _every=self._every,
+                _txn_arg=EVENT_TXN_ARG.get,
+            ):
+                now = _sim._now
+                for sink in _full:
+                    sink.on_probe("event", now, payload)
+                idx = _txn_arg(payload[0])
+                if idx is None or payload[idx] % _every == 0:
+                    for sink in _sampled:
+                        sink.on_probe("event", now, payload)
+                _handlers[payload[0]](*payload[1:])
 
         registry.dispatch = dispatch
+
+        # 1b. Scheduling probes: ``sim.schedule`` is invoked through
+        # attribute lookup by every send site, so an instance-attribute
+        # shadow exposes each payload at *send* time — the opening
+        # boundary of every service interval and network hop.
+        orig_schedule = sim.schedule
+
+        def schedule(
+            delay, payload, _orig=orig_schedule, _emit=self._emit
+        ):
+            _emit("sched", payload)
+            _orig(delay, payload)
+
+        sim.schedule = schedule
 
         # 2. Lock-cell probes: tee in front of each site's observer.
         for sid, site in enumerate(sim._site_list):

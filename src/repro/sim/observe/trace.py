@@ -61,10 +61,10 @@ def iter_formatted(records, entity_names, site_names):
     """
     causes: list[str] = []
     for time, kind, args in records:
-        if kind == "event":
+        if kind == "event" or kind == "sched":
             yield {
                 "t": time,
-                "kind": "event",
+                "kind": kind,
                 "event": args[0],
                 "args": list(args[1:]),
             }
@@ -325,8 +325,13 @@ def _span(values) -> tuple[float, float]:
     return (lo or 0.0, hi or 0.0)
 
 
-def summarize_trace(path: str) -> str:
-    """A human-readable summary of a trace file."""
+def summarize_trace(path: str, top_k: int = 5) -> str:
+    """A human-readable summary of a trace file.
+
+    JSONL traces additionally get an abort-cause breakdown and a
+    top-``top_k`` blocking (entity, site) table — enough to diagnose a
+    saved trace without the full ``repro analyze`` replay.
+    """
     fmt, items = load_trace(path)
     lines = [f"{path}: {fmt} trace, {len(items)} records"]
     if not items:
@@ -376,4 +381,44 @@ def summarize_trace(path: str) -> str:
                 f"T{txn} x{n}" for txn, n in waiters.most_common(5)
             )
             lines.append(f"  most-blocked transactions: {top}")
+        blocking = _blocking_cells(items, hi)
+        if blocking:
+            lines.append(
+                f"  top blocking cells (entity@site, of "
+                f"{len(blocking)}):"
+            )
+            for (entity, site), (blocked, waits) in sorted(
+                blocking.items(), key=lambda kv: (-kv[1][0], kv[0])
+            )[:top_k]:
+                lines.append(
+                    f"    {entity}@{site:<12} blocked {blocked:>10.2f}"
+                    f"  waits {waits}"
+                )
     return "\n".join(lines)
+
+
+def _blocking_cells(items, end: float) -> dict:
+    """Blocked time and wait counts per (entity, site) of a JSONL
+    trace; waits still open when the ring ends are charged to its last
+    timestamp."""
+    open_waits: dict[tuple, float] = {}
+    cells: dict[tuple, list] = {}
+    for rec in items:
+        kind = rec["kind"]
+        if kind == "wait":
+            key = (rec["site"], rec["entity"], rec["txn"])
+            open_waits[key] = rec["t"]
+            cell = cells.setdefault((rec["entity"], rec["site"]), [0.0, 0])
+            cell[1] += 1
+        elif kind == "unwait":
+            key = (rec["site"], rec["entity"], rec["txn"])
+            t0 = open_waits.pop(key, None)
+            if t0 is not None:
+                cell = cells.setdefault(
+                    (rec["entity"], rec["site"]), [0.0, 0]
+                )
+                cell[0] += rec["t"] - t0
+    for (site, entity, _txn), t0 in open_waits.items():
+        cell = cells.setdefault((entity, site), [0.0, 0])
+        cell[0] += max(end - t0, 0.0)
+    return {key: tuple(value) for key, value in cells.items()}

@@ -42,11 +42,14 @@ dispatcher and never enumerates event types.
 
 Observability (:mod:`repro.sim.observe`) rides on top: when
 ``config.observe`` requests it, an :class:`~repro.sim.observe.
-ObserverHub` interposes probes on the dispatch seam, the lock-cell
+ObserverHub` interposes probes on the dispatch seam, the schedule
+seam (:meth:`Simulator.schedule` is shadowed so every enqueued event
+emits a ``sched`` probe at send time, which lets consumers tell
+in-flight network messages from idle waiting), the lock-cell
 observers, the result counters, and the lifecycle methods — tracing,
-metrics time series, and flight-recorder dumps all come from that
-stream. With the field unset nothing attaches and the hot paths are
-untouched.
+metrics time series, flight-recorder dumps, and latency attribution
+all come from that stream. With the field unset nothing attaches and
+the hot paths are untouched.
 
 Fast-path architecture: at construction the simulator *interns* the
 schema — entities and sites are mapped to dense integer ids in sorted
@@ -454,6 +457,12 @@ class Simulator:
 
         Inlines :meth:`EventQueue.push` — one schedule per simulated
         operation makes the extra frame measurable.
+
+        This is also an observability seam: when observers are
+        attached, :meth:`ObserverHub.attach` shadows this method on
+        the instance with a wrapper that emits a ``sched`` probe
+        before enqueueing, so consumers see message *send* times, not
+        just deliveries.
         """
         time = self._now + delay
         if not (time >= 0):

@@ -207,6 +207,36 @@ def test_closed_batch_matches_the_seed_simulator():
     assert mismatches == []
 
 
+def test_attribution_enabled_matches_the_seed_simulator():
+    """The full golden matrix with the attribution engine attached.
+
+    Latency attribution is a probe consumer: enabling it (with the
+    tracer alongside) must leave every digest in the matrix untouched,
+    while conserving every cell's latency split exactly.
+    """
+    from repro.sim.observe import ObserveConfig
+    from repro.sim.runtime import Simulator
+
+    mismatches = []
+    for (wseed, policy, protocol, rate, seed), expected in GOLDEN.items():
+        system = random_system(random.Random(wseed), SPEC)
+        config = SimulationConfig(
+            seed=seed,
+            network_delay=0.5,
+            commit_protocol=protocol,
+            failure_rate=rate,
+            repair_time=8.0,
+            observe=ObserveConfig(trace=True, attribution=True),
+        )
+        sim = Simulator(system, policy, config)
+        result = sim.run()
+        if digest(result) != expected:
+            mismatches.append((wseed, policy, protocol, rate, seed))
+        assert sim.observe.attribution.engine.check() == []
+        assert result.attribution["conservation"]["exact"] is True
+    assert mismatches == []
+
+
 def test_replication_factor_one_matches_the_seed_simulator():
     """The replication_factor=1 column of the matrix.
 

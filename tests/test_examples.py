@@ -98,3 +98,13 @@ class TestTracingRun:
         assert "chrome trace:" in out
         assert "integrates back to the run's own aggregate: True" in out
         assert "deadlock-detected" in out
+
+
+class TestContentionAnalysis:
+    def test_contention_story(self, capsys):
+        out = run_example("contention_analysis", capsys)
+        assert "conserved exactly" in out and "True" in out
+        assert "designed hotspot: e0; detected: e0" in out
+        assert "blocked" in out and "behind" in out
+        assert "wound:" in out
+        assert "reproduces the online summary: True" in out

@@ -120,6 +120,7 @@ class TestDigestTransparency:
                 metrics_window=20.0,
                 flight_recorder=str(tmp_path / name),
                 flight_cascade_threshold=3,
+                attribution=True,
             ),
         )
         sim = Simulator(system2, policy2, observed_cfg)
@@ -129,6 +130,29 @@ class TestDigestTransparency:
         # The consumers actually saw the run.
         assert len(sim.observe.tracer) > 0
         assert observed.timeseries is not None
+        assert observed.attribution is not None
+        assert observed.attribution["conservation"]["exact"] is True
+
+    @pytest.mark.parametrize("name", sorted(_scenarios()))
+    def test_sampled_run_is_bit_identical(self, name):
+        """1-in-N sampling drops probe *delivery*, never behaviour:
+        the sampled run must match the plain digest exactly too."""
+        builder = _scenarios()[name]
+        system, policy, config = builder()
+        plain = simulate(system, policy, config)
+
+        system2, policy2, config2 = builder()
+        sampled_cfg = dataclasses.replace(
+            config2,
+            observe=ObserveConfig(
+                trace=True, attribution=True, sample_every=8
+            ),
+        )
+        sim = Simulator(system2, policy2, sampled_cfg)
+        sampled = sim.run()
+
+        assert digest_fields(sampled) == digest_fields(plain)
+        assert sampled.attribution["sampled"] is True
 
     def test_all_disabled_config_attaches_nothing(self):
         system, policy, config = _scenarios()["closed"]()
