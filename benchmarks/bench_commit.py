@@ -354,3 +354,135 @@ def test_protocol_crash_benchmark(benchmark, protocol):
 
     result = benchmark(run)
     assert result.committed == len(system)
+
+
+# ----------------------------------------------------------------------
+# EXP-PARTITION — availability vs partition duration: committed
+# throughput of 2PC/rowa vs Paxos Commit/quorum through a network cut.
+# ----------------------------------------------------------------------
+
+# A replicated workload over five sites with one site scripted out of
+# the network for a varying window. ROWA writes need every replica, so
+# the cut stalls them until the heal; a majority-quorum system keeps
+# writing on the big side, and Paxos Commit's acceptor bank keeps
+# deciding — committed throughput degrades gracefully instead of
+# cratering for the whole episode.
+PARTITION_WORKLOAD = WorkloadSpec(
+    n_transactions=25,
+    n_entities=10,
+    n_sites=5,
+    entities_per_txn=(2, 3),
+    actions_per_entity=(0, 1),
+    hotspot_skew=0.5,
+    read_fraction=0.1,
+    replication_factor=3,
+)
+PARTITION_DURATIONS = (0.0, 40.0, 80.0)
+PARTITION_SEEDS = tuple(range(8))
+PARTITION_CONFIGS = (
+    ("two-phase", "rowa"),
+    ("presumed-abort", "rowa"),
+    ("paxos-commit", "rowa"),
+    ("paxos-commit", "quorum"),
+)
+
+
+def _partition_config(protocol, replica, duration, seed):
+    from repro.sim.network import NetworkConfig
+
+    network = None
+    if duration > 0:
+        # A snappy failure detector: rounds touching the cut-off site
+        # suspect it after ~one retry and reroute, instead of stalling
+        # for a large fraction of the episode.
+        network = NetworkConfig(
+            partition_schedule=((10.0, duration, ("s0",)),),
+            retransmit_timeout=1.0,
+            suspect_timeout=4.0,
+        )
+    return SimulationConfig(
+        seed=seed,
+        workload=PARTITION_WORKLOAD,
+        commit_protocol=protocol,
+        replica_protocol=replica,
+        network_delay=0.5,
+        commit_timeout=3.0,
+        workload_seed=5,
+        network=network,
+    )
+
+
+def test_partition_availability_report():
+    from repro.sim.runtime import Simulator
+
+    system = random_system(random.Random(5), PARTITION_WORKLOAD)
+    expected = len(system)
+    start = 10.0
+
+    throughput: dict[tuple[str, str, float], float] = {}
+    in_window: dict[tuple[str, str, float], float] = {}
+    for protocol, replica in PARTITION_CONFIGS:
+        for duration in PARTITION_DURATIONS:
+            committed = end_time = window = 0.0
+            for seed in PARTITION_SEEDS:
+                sim = Simulator(
+                    system, "wound-wait",
+                    _partition_config(protocol, replica, duration, seed),
+                )
+                r = sim.run()
+                assert not r.truncated
+                # Post-heal convergence: the full batch always commits.
+                assert r.committed == expected
+                if duration > 0:
+                    assert r.partitions == 1
+                committed += r.committed
+                end_time += r.end_time
+                window += sum(
+                    1 for inst in sim._instances
+                    if start <= inst.commit_time <= start + duration
+                )
+            throughput[(protocol, replica, duration)] = (
+                committed / end_time
+            )
+            in_window[(protocol, replica, duration)] = (
+                window / (duration * len(PARTITION_SEEDS))
+                if duration > 0 else 0.0
+            )
+
+    print()
+    print(f"[EXP-PARTITION] availability vs partition duration "
+          f"({len(PARTITION_SEEDS)} seeds, factor-3 replication, one "
+          f"site cut off at t=10; whole-run and in-window committed "
+          f"throughput):")
+    header = " ".join(
+        f"{d:>8g} {'in-win':>7s}" for d in PARTITION_DURATIONS
+    )
+    print(f"  {'protocol':15s} {'replica':8s} {header}")
+    for protocol, replica in PARTITION_CONFIGS:
+        row = " ".join(
+            f"{throughput[(protocol, replica, d)]:8.4f} "
+            f"{in_window[(protocol, replica, d)]:7.4f}"
+            for d in PARTITION_DURATIONS
+        )
+        print(f"  {protocol:15s} {replica:8s} {row}")
+
+    # The headline: while the cut is up, the majority-quorum Paxos
+    # Commit system keeps committing at a strictly higher rate than
+    # either all-replica 2PC variant — ROWA writes need the cut-off
+    # replica and 2PC cannot decide without every participant, so
+    # their in-window availability craters; graceful degradation.
+    for duration in PARTITION_DURATIONS:
+        if duration == 0.0:
+            continue
+        quorum = in_window[("paxos-commit", "quorum", duration)]
+        assert quorum > 0.0
+        assert quorum > in_window[("two-phase", "rowa", duration)]
+        assert quorum > in_window[("presumed-abort", "rowa", duration)]
+
+    # Longer cuts hurt the ROWA stacks\' whole-run throughput
+    # monotonically.
+    for protocol, replica in (("two-phase", "rowa"),
+                              ("presumed-abort", "rowa")):
+        t0 = throughput[(protocol, replica, PARTITION_DURATIONS[1])]
+        t1 = throughput[(protocol, replica, PARTITION_DURATIONS[2])]
+        assert t1 <= t0

@@ -1,0 +1,129 @@
+"""Partition tolerance: who keeps committing when the network splits?
+
+The adversarial network layer (``repro.sim.network``) can cut a set of
+sites off from the rest for a scripted window. Partitioned sites are
+*up* — they hold locks, vote, and answer local reads — but no message
+crosses the cut, so every protocol stack reveals its true availability
+story:
+
+* ``two-phase + rowa`` — ROWA writes must lock **every** replica and
+  2PC cannot decide without every participant's vote, so any write
+  touching the minority side stalls until the heal. The coordinator's
+  retransmission channel backs off, suspicion fires, and the round
+  aborts as *unavailable* — no wrong answers, just no progress.
+* ``paxos-commit + quorum`` — majority quorums mask the minority side:
+  reads and writes that can assemble a majority keep committing
+  **during the cut**, and Paxos Commit only needs F+1 of its 2F+1
+  acceptors. The minority's missed writes are caught up after the
+  heal by the anti-entropy pass.
+
+This demo cuts one site (``s0``) out of five for 60 time units, runs
+the same closed batch under both stacks, and reports commits that
+landed *inside* the partition window, retransmission effort, and
+whether both runs converge (every transaction commits) after the heal.
+
+Run:  python examples/partition_tolerance.py
+"""
+
+import random
+
+from repro.sim.network import NetworkConfig
+from repro.sim.runtime import SimulationConfig, Simulator
+from repro.sim.workload import WorkloadSpec, random_system
+from repro.util.render import format_table
+
+START, DURATION = 10.0, 60.0
+
+WORKLOAD = WorkloadSpec(
+    n_transactions=40,
+    n_entities=10,
+    n_sites=5,
+    entities_per_txn=(2, 3),
+    actions_per_entity=(0, 1),
+    hotspot_skew=0.5,
+    read_fraction=0.3,
+    replication_factor=3,
+)
+
+STACKS = [
+    ("two-phase", "rowa"),
+    ("paxos-commit", "quorum"),
+]
+
+
+def run_stack(protocol: str, replica: str):
+    system = random_system(random.Random(11), WORKLOAD)
+    config = SimulationConfig(
+        seed=5,
+        workload=WORKLOAD,
+        commit_protocol=protocol,
+        replica_protocol=replica,
+        network_delay=0.5,
+        commit_timeout=6.0,
+        network=NetworkConfig(
+            partition_schedule=((START, DURATION, ("s0",)),),
+        ),
+    )
+    sim = Simulator(system, "wound-wait", config)
+    result = sim.run()
+    in_window = sum(
+        1
+        for inst in sim._instances
+        if START <= inst.commit_time <= START + DURATION
+    )
+    return result, in_window
+
+
+def main() -> None:
+    print(
+        f"partition: site s0 cut off from t={START:g} "
+        f"for {DURATION:g} time units (5 sites, 3 copies/entity, "
+        f"{WORKLOAD.n_transactions} transactions)"
+    )
+    print()
+    rows = []
+    converged = []
+    window = {}
+    for protocol, replica in STACKS:
+        result, in_window = run_stack(protocol, replica)
+        window[(protocol, replica)] = in_window
+        converged.append(result.committed == result.total)
+        rows.append(
+            [
+                protocol,
+                replica,
+                in_window,
+                f"{result.committed}/{result.total}",
+                result.unavailable_aborts,
+                result.net_retransmits,
+                result.net_dropped,
+                f"{result.end_time:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "protocol",
+                "replica",
+                "during the cut",
+                "committed",
+                "unavail",
+                "retransmits",
+                "dropped",
+                "end",
+            ],
+            rows,
+        )
+    )
+    print()
+    quorum = window[("paxos-commit", "quorum")]
+    rowa = window[("two-phase", "rowa")]
+    print(
+        f"majority side commits during the cut: quorum={quorum}, "
+        f"rowa/2PC={rowa} (quorum rides through: {quorum > rowa})"
+    )
+    print(f"all converge after the heal: {all(converged)}")
+
+
+if __name__ == "__main__":
+    main()

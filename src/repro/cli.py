@@ -251,6 +251,91 @@ def _export_observability(sim, args, suffix: str) -> None:
             print(f"wrote {path}")
 
 
+def _parse_partition_episode(text: str):
+    """Parse one ``START:DURATION:SITE[,SITE...]`` episode spec."""
+    parts = text.split(":")
+    if len(parts) != 3 or not parts[2]:
+        raise argparse.ArgumentTypeError(
+            f"expected START:DURATION:SITE[,SITE...], got {text!r}"
+        )
+    try:
+        start, duration = float(parts[0]), float(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"episode start/duration must be numbers, got {text!r}"
+        ) from None
+    return (start, duration, tuple(parts[2].split(",")))
+
+
+def _network_config(args: argparse.Namespace):
+    """Build a NetworkConfig from CLI flags (None when all inert)."""
+    from repro.sim.network import NetworkConfig
+
+    config = NetworkConfig(
+        loss_rate=args.loss_rate,
+        dup_rate=args.dup_rate,
+        jitter=args.jitter,
+        partition_rate=args.partition_rate,
+        partition_duration=args.partition_duration,
+        partition_schedule=tuple(args.partition_at or ()),
+        retransmit_timeout=args.retransmit_timeout,
+    )
+    return config if config.enabled else None
+
+
+def _add_network_args(p: argparse.ArgumentParser) -> None:
+    net = p.add_argument_group(
+        "network chaos",
+        "adversarial-network injection; all-default flags attach "
+        "nothing and replay the perfect-network run bit for bit",
+    )
+    net.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="i.i.d. drop probability per message copy",
+    )
+    net.add_argument(
+        "--dup-rate",
+        type=float,
+        default=0.0,
+        help="probability a delivered message is duplicated in flight",
+    )
+    net.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="per-copy delay jitter, uniform in [0, JITTER]",
+    )
+    net.add_argument(
+        "--partition-rate",
+        type=float,
+        default=0.0,
+        help="Poisson arrival rate of random partition episodes",
+    )
+    net.add_argument(
+        "--partition-duration",
+        type=float,
+        default=20.0,
+        help="duration of each Poisson-arriving partition episode",
+    )
+    net.add_argument(
+        "--partition-at",
+        type=_parse_partition_episode,
+        action="append",
+        metavar="START:DURATION:SITES",
+        help="scripted partition episode cutting SITES (comma-"
+        "separated) off the rest; repeatable",
+    )
+    net.add_argument(
+        "--retransmit-timeout",
+        type=float,
+        default=2.0,
+        help="first retransmission deadline of an unacked message "
+        "(doubles per retry, capped)",
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.system import TransactionSystem
     from repro.sim.metrics import SimulationResult
@@ -298,6 +383,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     workload=_workload_spec(args),
                     workload_seed=args.workload_seed,
                     observe=observe,
+                    network=_network_config(args),
                 )
                 sim = Simulator(system, policy, config)
                 results.append(sim.run())
@@ -335,12 +421,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             metrics_window=args.cell_metrics,
             attribution=args.cell_attribution,
         )
+    chaos = any(r > 0 for r in args.loss_rates) or any(
+        r > 0 for r in args.partition_rates
+    )
+    network = None
+    if chaos:
+        from repro.sim.network import NetworkConfig
+
+        # The template every chaos cell derives from (its loss and
+        # partition rates are overridden per cell).
+        network = NetworkConfig(
+            partition_duration=args.partition_duration
+        )
     spec = SweepSpec(
         policies=tuple(args.policies),
         protocols=tuple(args.commit),
         replica_protocols=tuple(args.replica_protocols),
         arrival_rates=tuple(args.arrival_rates),
         failure_rates=tuple(args.failure_rates),
+        loss_rates=tuple(args.loss_rates),
+        partition_rates=tuple(args.partition_rates),
         seeds=tuple(args.seeds),
         workload=_workload_spec(args),
         base=SimulationConfig(
@@ -354,6 +454,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workload_seed=args.workload_seed,
             max_time=args.max_time,
             observe=observe,
+            network=network,
         ),
     )
     cells = spec.cells()
@@ -364,6 +465,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"protocols x {len(spec.replica_protocols)} replica protocols "
         f"x {len(spec.arrival_rates)} arrival rates x "
         f"{len(spec.failure_rates)} failure rates x "
+        f"{len(spec.loss_rates)} loss rates x "
+        f"{len(spec.partition_rates)} partition rates x "
         f"{len(spec.seeds)} seeds), running {mode}"
     )
     results = run_sweep(
@@ -760,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="anti-entropy scan period of recovering rowa-available "
         "sites (no reads served until a copy validates)",
     )
+    _add_network_args(p)
     _add_open_system_args(p)
     obs = p.add_argument_group(
         "observability",
@@ -866,6 +970,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--failure-rates", nargs="+", type=float, default=[0.0]
+    )
+    p.add_argument(
+        "--loss-rates",
+        nargs="+",
+        type=float,
+        default=[0.0],
+        help="network message-loss probabilities as a chaos grid axis",
+    )
+    p.add_argument(
+        "--partition-rates",
+        nargs="+",
+        type=float,
+        default=[0.0],
+        help="Poisson partition-episode rates as a chaos grid axis",
+    )
+    p.add_argument(
+        "--partition-duration",
+        type=float,
+        default=20.0,
+        help="duration of each Poisson partition episode (chaos cells)",
     )
     p.add_argument(
         "--seeds",

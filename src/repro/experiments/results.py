@@ -30,12 +30,17 @@ def _record(cell, result: SimulationResult) -> dict:
         "replication_factor": result.replication_factor,
         "arrival_rate": cell.arrival_rate,
         "failure_rate": cell.failure_rate,
+        "loss_rate": cell.loss_rate,
+        "partition_rate": cell.partition_rate,
         "seed": cell.seed,
         "injected": result.injected,
         "committed": result.committed,
         "total": result.total,
         "aborts": result.aborts,
         "crashes": result.crashes,
+        "partitions": result.partitions,
+        "net_dropped": result.net_dropped,
+        "net_retransmits": result.net_retransmits,
         "commit_messages": result.commit_messages,
         "acceptor_messages": result.acceptor_messages,
         "coordinator_takeovers": result.coordinator_takeovers,

@@ -43,9 +43,11 @@ class SweepCell:
     arrival_rate: float
     failure_rate: float
     seed: int
-    # Appended with a default so positional construction of the
+    # Appended with defaults so positional construction of the
     # historical five-coordinate cells keeps working.
     replica_protocol: str = "rowa"
+    loss_rate: float = 0.0
+    partition_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,11 @@ class SweepSpec:
         workload: workload drawn by closed batches and arrivals alike.
         base: configuration shared by every cell; each cell overrides
             its seed, protocol, arrival rate, and failure rate.
+        loss_rates: network message-loss probabilities (chaos axis;
+            the all-zero default leaves cells chaos-free).
+        partition_rates: Poisson partition-episode arrival rates
+            (chaos axis; episode duration and retransmission knobs
+            ride in ``base.network``).
     """
 
     policies: tuple[str, ...] = ("wound-wait", "wait-die")
@@ -74,24 +81,41 @@ class SweepSpec:
     seeds: tuple[int, ...] = (0, 1, 2)
     workload: WorkloadSpec = WorkloadSpec()
     base: SimulationConfig = SimulationConfig()
+    # Appended with singleton defaults: existing positional specs and
+    # the cell order of chaos-free sweeps are unchanged.
+    loss_rates: tuple[float, ...] = (0.0,)
+    partition_rates: tuple[float, ...] = (0.0,)
 
     def cells(self) -> list[SweepCell]:
         """Every grid point, in deterministic declaration order."""
         return [
             SweepCell(
                 policy, protocol, arrival_rate, failure_rate, seed,
-                replica_protocol,
+                replica_protocol, loss_rate, partition_rate,
             )
             for policy in self.policies
             for protocol in self.protocols
             for replica_protocol in self.replica_protocols
             for arrival_rate in self.arrival_rates
             for failure_rate in self.failure_rates
+            for loss_rate in self.loss_rates
+            for partition_rate in self.partition_rates
             for seed in self.seeds
         ]
 
     def cell_config(self, cell: SweepCell) -> SimulationConfig:
         """The cell's full simulation configuration."""
+        network = self.base.network
+        if cell.loss_rate > 0 or cell.partition_rate > 0:
+            # Chaos axes override the base network template (a plain
+            # NetworkConfig() template when the base has none).
+            from repro.sim.network import NetworkConfig
+
+            network = dataclasses.replace(
+                network or NetworkConfig(),
+                loss_rate=cell.loss_rate,
+                partition_rate=cell.partition_rate,
+            )
         return dataclasses.replace(
             self.base,
             seed=cell.seed,
@@ -100,6 +124,7 @@ class SweepSpec:
             arrival_rate=cell.arrival_rate,
             failure_rate=cell.failure_rate,
             workload=self.workload,
+            network=network,
         )
 
     def cell_system(self, cell: SweepCell) -> TransactionSystem:

@@ -112,6 +112,12 @@ class PaxosCommit(TwoPhaseCommit):
         self.sim.result.acceptor_messages += 1
         self._send(delay, payload)
 
+    def _send_acceptor_to(self, src: str, dst: str,
+                          payload: tuple) -> None:
+        """Route an acceptor-bank message site-to-site (chaos seam)."""
+        self.sim.result.acceptor_messages += 1
+        self._send_to(src, dst, payload)
+
     # ------------------------------------------------------------------
     # leader side
     # ------------------------------------------------------------------
@@ -175,7 +181,7 @@ class PaxosCommit(TwoPhaseCommit):
             start = 0
         for step in range(1, len(acceptors) + 1):
             candidate = acceptors[(start + step) % len(acceptors)]
-            if candidate != round.coordinator and self.sim.site_is_up(
+            if candidate != round.coordinator and not self.sim.suspect_down(
                 candidate
             ):
                 return candidate
@@ -188,7 +194,9 @@ class PaxosCommit(TwoPhaseCommit):
             return
         if ballot != round.ballot:
             return  # a takeover re-armed the chain under a newer ballot
-        if not sim.site_is_up(round.coordinator):
+        if sim.suspect_down(round.coordinator):
+            # The leader is suspected (crashed — or, under a network
+            # model, silent past the suspicion timeout): rotate.
             new_leader = self._next_leader(round)
             if new_leader is None:
                 # Every acceptor down (> F failures): nothing to do but
@@ -211,10 +219,14 @@ class PaxosCommit(TwoPhaseCommit):
                         self._learn(txn, round, site, acceptor)
                         if round.decided:
                             return
-                elif sim.site_is_up(acceptor):
+                elif not sim.suspect_down(acceptor):
+                    # Query + response modelled as one round trip; under
+                    # a network model the pair rides the channel as a
+                    # single retransmitted unit.
                     sim.result.commit_messages += 2
                     sim.result.acceptor_messages += 2
-                    sim.schedule(
+                    sim.transmit(
+                        sim.site_id(new_leader), sim.site_id(acceptor),
                         2 * self._delay(new_leader, acceptor),
                         ("cm_state", txn, acceptor, attempt, round.ballot),
                     )
@@ -224,9 +236,10 @@ class PaxosCommit(TwoPhaseCommit):
             )
             return
         missing = round.participants - round.votes
-        if any(not sim.site_is_up(site) for site in missing):
-            # A missing voter is down: its unprepared execution state
-            # was volatile (2PC's abort rule, unchanged).
+        if any(sim.suspect_down(site) for site in missing):
+            # A missing voter is suspected down: its unprepared
+            # execution state is presumed lost (2PC's abort rule,
+            # unchanged).
             self._decide_abort(txn, round)
             return
         # Transient loss: re-PREPARE the under-registered participants;
@@ -249,8 +262,8 @@ class PaxosCommit(TwoPhaseCommit):
         # Execution finished before the round began, so the vote is
         # yes — sent to every acceptor, not just the leader.
         for acceptor in round.acceptors:
-            self._send_acceptor(
-                self._delay(acceptor, site),
+            self._send_acceptor_to(
+                site, acceptor,
                 ("cm_vote", txn, acceptor, site, attempt),
             )
 
@@ -266,7 +279,7 @@ class PaxosCommit(TwoPhaseCommit):
             # Registrar and leader share a site: the relay is internal.
             self._learn(txn, round, site, acceptor)
         else:
-            self._send_acceptor(
-                self._delay(round.coordinator, acceptor),
+            self._send_acceptor_to(
+                acceptor, round.coordinator,
                 ("cm_learn", txn, acceptor, site, attempt),
             )

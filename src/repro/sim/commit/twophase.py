@@ -90,6 +90,21 @@ class TwoPhaseCommit(CommitProtocol):
         self.sim.result.commit_messages += 1
         self.sim.schedule(delay, payload)
 
+    def _send_to(self, src: str, dst: str, payload: tuple) -> None:
+        """Count one protocol message and route it site-to-site.
+
+        This is the chaos seam: under a network model the message rides
+        the retransmission channel (loss, duplication, partitions, acks
+        and backoff); without one :meth:`Simulator.transmit` is a plain
+        scheduled delivery, bit-identical to :meth:`_send`.
+        """
+        sim = self.sim
+        sim.result.commit_messages += 1
+        sim.transmit(
+            sim.site_id(src), sim.site_id(dst),
+            self._delay(src, dst), payload,
+        )
+
     # ------------------------------------------------------------------
     # coordinator side
     # ------------------------------------------------------------------
@@ -112,8 +127,8 @@ class TwoPhaseCommit(CommitProtocol):
         for site in sorted(round.participants):
             if only_missing and site in round.votes:
                 continue
-            self._send(
-                self._delay(round.coordinator, site),
+            self._send_to(
+                round.coordinator, site,
                 ("cm_prepare", txn, site, round.attempt),
             )
 
@@ -132,8 +147,8 @@ class TwoPhaseCommit(CommitProtocol):
         round.decided = True
         sim.finish_commit(sim.instance(txn))
         for site in sorted(round.participants):
-            self._send(
-                self._delay(round.coordinator, site),
+            self._send_to(
+                round.coordinator, site,
                 ("cm_release", txn, site, round.attempt),
             )
             # The participant's ACK is counted when it actually
@@ -162,9 +177,11 @@ class TwoPhaseCommit(CommitProtocol):
             )
             return
         missing = round.participants - round.votes
-        if any(not sim.site_is_up(site) for site in missing):
-            # A missing voter is down: its unprepared execution state
-            # was volatile, so the round cannot complete.
+        if any(sim.suspect_down(site) for site in missing):
+            # A missing voter is suspected down (crashed, or — under a
+            # network model — silent past the suspicion timeout): its
+            # unprepared execution state is presumed lost, so the round
+            # cannot complete.
             self._decide_abort(txn, round)
             return
         # Transient loss: re-send PREPARE to the missing voters only.
@@ -184,8 +201,8 @@ class TwoPhaseCommit(CommitProtocol):
         if not self.sim.site_is_up(site):
             return  # message lost: the participant is down
         # Execution finished before the round began, so the vote is yes.
-        self._send(
-            self._delay(round.coordinator, site),
+        self._send_to(
+            site, round.coordinator,
             ("cm_vote", txn, site, attempt),
         )
 

@@ -125,6 +125,25 @@ class SimulationResult:
         write_avail_area: same for the write rule.
         service_avail_area: same for both rules at once — divided by
             ``end_time`` this is the headline availability metric.
+        net_sent: physical message copies put on the wire by the
+            network model (originals, retransmissions, duplicates;
+            data only — acks are counted in ``net_acks``). The ledger
+            identity ``net_sent == net_delivered + net_dropped +
+            net_duplicates + net_inflight`` holds at every instant;
+            all counters stay 0 without a network model.
+        net_delivered: copies that arrived fresh and dispatched their
+            payload.
+        net_dropped: copies eaten in flight — loss draw, partition
+            cut, or arrival at a crashed site.
+        net_duplicates: copies suppressed by sequence-number dedup
+            (the payload had already been dispatched).
+        net_retransmits: timer-driven resends of unacked messages.
+        net_acks: acknowledgement copies put on the wire.
+        net_inflight: copies still in the event queue when the run
+            ended (the in-flight-at-end term of the ledger).
+        partitions: partition episodes that started during the run.
+        partition_time: total simulated time some partition cut was
+            active (episodes never overlap, so this is a plain sum).
         timeseries: windowed metrics recorded by the observability
             sampler (:class:`repro.sim.observe.MetricsSampler`), as a
             plain-JSON dict; None unless the run enabled it.
@@ -173,6 +192,15 @@ class SimulationResult:
     read_avail_area: float = 0.0
     write_avail_area: float = 0.0
     service_avail_area: float = 0.0
+    net_sent: int = 0
+    net_delivered: int = 0
+    net_dropped: int = 0
+    net_duplicates: int = 0
+    net_retransmits: int = 0
+    net_acks: int = 0
+    net_inflight: int = 0
+    partitions: int = 0
+    partition_time: float = 0.0
     timeseries: dict | None = None
     attribution: dict | None = None
 

@@ -252,6 +252,20 @@ class LatencyAttribution:
         states = self._states
         if kind == "event" or kind == "sched":
             ev = args[0]
+            if ev == "net_deliver":
+                # A chaos-wrapped logical send: the wrapper's payload
+                # slot carries the inner message, so recursing at send
+                # time opens the same in-network interval a direct send
+                # would. The matching inner *event* probe fires at real
+                # delivery (the channel re-dispatches through the
+                # registry) and closes it; retransmitted and duplicated
+                # copies travel as ``net_redeliver`` and stay invisible
+                # — a lossy link simply stretches the open interval,
+                # folding retransmission waits into the fanout and
+                # coordinator segments.
+                if kind == "sched":
+                    self.feed("sched", now, tuple(args[4]))
+                return
             idx = EVENT_TXN_ARG.get(ev)
             if idx is None:
                 return

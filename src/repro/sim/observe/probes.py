@@ -131,6 +131,11 @@ class ProbeSink:
     commit     (txn,)                         txn committed
     abort      (txn, attempt)                 txn aborted this attempt
     ========== ============================== ==========================
+
+    Under a network model the ``event``/``sched`` payloads include the
+    retransmission channel's wrapper events (:data:`NET_EVENT_KINDS`);
+    the protocol payload a ``net_deliver`` carries is dispatched — and
+    probed — as its own event at delivery time.
     """
 
     def bind(self, sim) -> None:
@@ -151,11 +156,34 @@ MONITORED_COUNTERS = frozenset({
     "wounds", "deaths", "timeouts", "detected", "crash_aborts",
     "unavailable_aborts", "commit_aborts", "crashes", "waits",
     "commit_messages", "prepared_blocks",
+    # Network-chaos ledger counters: each increment point in the
+    # retransmission channel emits a probe, so a traced run's counter
+    # stream replays the exact ledger history (``net_inflight`` is
+    # derivable as sent - delivered - dropped - duplicates and is not
+    # monitored — its churn would double the counter traffic).
+    "net_sent", "net_delivered", "net_dropped", "net_duplicates",
+    "net_retransmits", "net_acks", "partitions",
+})
+
+#: Event kinds owned by the network-chaos layer. ``net_deliver``
+#: wraps a logical send's first copy (its payload slot carries the
+#: inner message); ``net_redeliver`` is a retransmitted or duplicated
+#: copy; ``net_ack``/``net_retransmit`` are the ack path and the
+#: backoff timer chain; the partition kinds mark episode edges. All
+#: are *global*: they stay out of ``EVENT_TXN_ARG`` (the wrapper's
+#: second slot is a channel sequence number, not a transaction id) and
+#: are therefore never sampled out — the per-transaction view of a
+#: wrapped message comes from the inner event probe the channel emits
+#: when it dispatches the payload at delivery time.
+NET_EVENT_KINDS = frozenset({
+    "net_deliver", "net_redeliver", "net_ack", "net_retransmit",
+    "net_partition_start", "net_partition_stop",
 })
 
 #: payload index of the transaction id per ``event``/``sched`` payload
 #: kind; kinds absent from the table (``detect``, ``arrive``,
-#: ``site_crash``/``site_recover``) are global and never sampled out.
+#: ``site_crash``/``site_recover``, the ``NET_EVENT_KINDS``) are
+#: global and never sampled out.
 EVENT_TXN_ARG = {
     "begin": 1, "issue": 1, "op_done": 1, "restart": 1, "timeout": 1,
     "replica_req": 1, "cm_prepare": 1, "cm_vote": 1, "cm_retry": 1,

@@ -145,9 +145,22 @@ class ReplicaManager:
             if self._is_stale(sid, eid)
         )
 
-    def read_sids(self, eid: int) -> tuple[int, ...] | None:
-        """Replica sids a read of entity ``eid`` must lock now."""
+    def read_sids(
+        self, eid: int, from_sid: int = -1
+    ) -> tuple[int, ...] | None:
+        """Replica sids a read of entity ``eid`` must lock now.
+
+        ``from_sid`` is the requesting client's home site: during a
+        partition episode only replicas on the client's side of the
+        cut are eligible (a real client cannot reach the others).
+        With ``from_sid < 0`` — availability integration, name-based
+        wrappers — the rule counts as satisfiable if *some* side of
+        the cut satisfies it.
+        """
         sim = self.sim
+        network = sim.network
+        if network is not None and network.cut is not None:
+            return self._route_under_cut(eid, from_sid, network, True)
         if sim.failures is None or (
             sim._down_count == 0
             and not self._missed
@@ -159,15 +172,63 @@ class ReplicaManager:
         up = [sid for sid in replicas if site_up[sid]]
         return self.control.read_sites(replicas, up, self._stale_sids(eid))
 
-    def write_sids(self, eid: int) -> tuple[int, ...] | None:
-        """Replica sids a write of entity ``eid`` must lock now."""
+    def write_sids(
+        self, eid: int, from_sid: int = -1
+    ) -> tuple[int, ...] | None:
+        """Replica sids a write of entity ``eid`` must lock now.
+
+        ``from_sid`` as in :meth:`read_sids`.
+        """
         sim = self.sim
+        network = sim.network
+        if network is not None and network.cut is not None:
+            return self._route_under_cut(eid, from_sid, network, False)
         if sim.failures is None or sim._down_count == 0:
             return self._const_write[eid]
         replicas = self._replica_sids[eid]
         site_up = sim._site_up
         up = [sid for sid in replicas if site_up[sid]]
         return self.control.write_sites(replicas, up)
+
+    def _route_under_cut(
+        self, eid: int, from_sid: int, network, read: bool
+    ) -> tuple[int, ...] | None:
+        """Protocol routing restricted to one side of an active cut.
+
+        Unreachable replicas are withheld from the protocol's ``up``
+        list exactly as crashed ones are — so ``rowa`` writes fail
+        fast (abort and retry rather than wedge on a fan-out that
+        cannot arrive), ``rowa-available`` writes reach their side and
+        mark the far side missed, and ``quorum`` keeps committing on
+        whichever side holds a majority.
+        """
+        replicas = self._replica_sids[eid]
+        control = self.control
+        stale = self._stale_sids(eid) if read else ()
+        if from_sid >= 0:
+            probes: tuple[int, ...] = (from_sid,)
+        else:
+            # No client perspective: satisfiable if some side is.
+            side = network.cut
+            n_sites = len(self.sim._site_names)
+            probes = (
+                min(side),
+                min(sid for sid in range(n_sites) if sid not in side),
+            )
+        for probe in probes:
+            up = [
+                sid
+                for sid in replicas
+                if self._up(sid) and network.reachable(probe, sid)
+            ]
+            sites = (
+                control.read_sites(replicas, up, stale)
+                if read
+                else control.write_sites(replicas, up)
+            )
+            if sites is not None:
+                return sites
+        return None
 
     def cached_routes(
         self,
@@ -277,6 +338,37 @@ class ReplicaManager:
         self.sim.schedule(
             self.sim.config.catchup_time, ("replica_catchup", site)
         )
+
+    def on_partition_cut(self) -> None:
+        """A partition episode begins (availability bookkeeping only).
+
+        Must run *before* the network model installs the cut, so the
+        integral covers the pre-cut interval with pre-cut state — the
+        same convention as :meth:`on_crash`.
+        """
+        self._integrate()
+
+    def on_partition_heal(self) -> None:
+        """A partition healed: copies that missed writes catch up.
+
+        The partition-side analogue of a repair: every copy that
+        missed a write while unreachable re-enters the anti-entropy
+        scan and validates against a current replica. Must run
+        *before* the network model clears the cut.
+        """
+        self._integrate()
+        if not self._catchup_active:
+            return
+        sim = self.sim
+        stale_sids = sorted(set(self._missed) | set(self._unvalidated))
+        for sid in stale_sids:
+            missed = self._missed.get(sid)
+            if missed:
+                self._unvalidated.setdefault(sid, set()).update(missed)
+            sim.schedule(
+                sim.config.catchup_time,
+                ("replica_catchup", sim.site_name(sid)),
+            )
 
     def _on_catchup(self, site: Site) -> None:
         """Anti-entropy scan: validate the site's copies where possible.

@@ -95,6 +95,7 @@ from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import EXCLUSIVE, SHARED, SiteLockManager
 from repro.sim.metrics import SimulationResult
+from repro.sim.network import NetworkConfig, NetworkModel
 from repro.sim.observe import ObserveConfig, ObserverHub
 from repro.sim.policies import Decision, Policy, make_policy
 from repro.sim.replication import ReplicaManager
@@ -174,6 +175,12 @@ class SimulationConfig:
             (:class:`~repro.sim.observe.ObserveConfig`); None (the
             default) attaches nothing, leaving every hot path exactly
             as fast — and every digest exactly as it was — without it.
+        network: adversarial-network configuration
+            (:class:`~repro.sim.network.NetworkConfig`): message loss,
+            duplication, jitter, and partition episodes, plus the
+            retransmission substrate that lets protocols survive them.
+            None (the default) or an all-zero config attaches nothing
+            — the perfect network, bit-identical to the seed runs.
     """
 
     service_time: float = 1.0
@@ -199,6 +206,20 @@ class SimulationConfig:
     max_events: int = 1_000_000
     seed: int = 0
     observe: ObserveConfig | None = None
+    network: NetworkConfig | None = None
+
+    def __post_init__(self) -> None:
+        # A negative delay would silently corrupt event-heap ordering
+        # (events scheduled into the past); reject the rate/duration
+        # parameters outright, mirroring WorkloadSpec's validation.
+        for label, value in (
+            ("network_delay", self.network_delay),
+            ("commit_timeout", self.commit_timeout),
+            ("failure_rate", self.failure_rate),
+            ("repair_time", self.repair_time),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be >= 0, got {value}")
 
 
 class _Instance:
@@ -217,6 +238,7 @@ class _Instance:
         "prepared_since", "retained", "lock_sites", "pending_replicas",
         "eids", "kinds", "preds", "succ", "roots_mask", "all_mask",
         "lock_node_of", "shared_eids", "write_eids", "cross_mask",
+        "home_sid",
     )
 
     def __init__(self, index: int):
@@ -247,6 +269,9 @@ class _Instance:
         self.shared_eids: frozenset[int] = frozenset()
         self.write_eids: tuple[int, ...] = ()
         self.cross_mask = 0
+        # The client's home site: primary sid of the first entity —
+        # the source endpoint of client-originated network messages.
+        self.home_sid = 0
 
 
 class Simulator:
@@ -363,13 +388,27 @@ class Simulator:
         if self.config.failure_rate > 0:
             self.failures = FailureInjector(self)
             self.failures.attach()
+        # The adversarial network attaches after the protocols wired
+        # their handlers (its delivery path re-dispatches their event
+        # kinds) and before observability (so probe shadows wrap the
+        # whole chaos path). With the field unset or all-zero, nothing
+        # attaches and transmit() stays a pass-through to schedule().
+        self.network: NetworkModel | None = None
+        if self.config.network is not None and self.config.network.enabled:
+            self.network = NetworkModel(self)
+            self.network.attach()
         # Without fault injection no site ever goes down and no replica
         # ever goes stale, so every protocol's site choice is a
         # constant of the schema — precompute the routing tables and
-        # skip the per-request protocol call.
+        # skip the per-request protocol call. Partition episodes make
+        # reachability (and hence routing) time-dependent, so they
+        # disable the constant tables too.
         self._route_read: list[tuple[int, ...]] | None = None
         self._route_write: list[tuple[int, ...]] | None = None
-        if self.failures is None:
+        if self.failures is None and (
+            self.network is None
+            or not self.network.config.partitions_possible
+        ):
             # The manager computed these once already; share them.
             self._route_read, self._route_write = (
                 self.replicas.cached_routes()
@@ -402,6 +441,7 @@ class Simulator:
         eids = [eid_of[op.entity] for op in ops]
         inst.eids = eids
         inst.kinds = [op.kind for op in ops]
+        inst.home_sid = self._primary_sid[eids[0]] if eids else 0
         dag = t.dag
         n = len(ops)
         # Readiness runs on *direct-predecessor* masks: a node is ready
@@ -470,6 +510,35 @@ class Simulator:
         queue = self._queue
         _heappush(queue._heap, (time, queue._seq, payload))
         queue._seq += 1
+
+    def transmit(
+        self, src_sid: int, dst_sid: int, delay: float, payload: tuple
+    ) -> None:
+        """Send a cross-site message from ``src_sid`` to ``dst_sid``.
+
+        The network seam: the default body is exactly
+        :meth:`schedule` — a perfect network — and
+        :class:`~repro.sim.network.NetworkModel` shadows this method
+        on the instance to apply loss, duplication, jitter, partition
+        cuts, and the retransmission substrate. ``self.schedule`` is
+        resolved at call time, so the ObserverHub's ``sched``-probe
+        shadow keeps seeing every enqueue either way.
+        """
+        self.schedule(delay, payload)
+
+    def suspect_down(self, site: str) -> bool:
+        """Whether a protocol should *suspect* ``site`` has failed.
+
+        Without a network model this is omniscient truth
+        (``not site_is_up``), the pre-network behaviour. With one
+        attached it becomes timeout-based failure suspicion: a site is
+        suspected while it is crashed *or* while the oldest unacked
+        message addressed to it is older than the configured
+        ``suspect_timeout`` — which is all a real protocol could
+        observe, and what lets a partitioned-but-up site be routed
+        around without ever being marked crashed.
+        """
+        return not self.site_is_up(site)
 
     @property
     def now(self) -> float:
@@ -736,6 +805,7 @@ class Simulator:
         kinds = inst.kinds
         net_delay = self._net_delay
         cross = inst.cross_mask
+        network = self.network
         while pending:
             low = pending & -pending
             node = low.bit_length() - 1
@@ -744,9 +814,22 @@ class Simulator:
                 continue
             inst.issued |= low
             if net_delay > 0 and cross >> node & 1:
-                self.schedule(
-                    net_delay, ("issue", inst.index, node, inst.attempt)
-                )
+                if network is None or kinds[node] is _LOCK:
+                    # Lock issues are client-local decisions — the
+                    # network cost (and the chaos) of acquisition
+                    # rides on the replica fan-out.
+                    self.schedule(
+                        net_delay, ("issue", inst.index, node, inst.attempt)
+                    )
+                else:
+                    eid = inst.eids[node]
+                    sites = inst.lock_sites.get(eid)
+                    self.transmit(
+                        inst.home_sid,
+                        sites[0] if sites else self._primary_sid[eid],
+                        net_delay,
+                        ("issue", inst.index, node, inst.attempt),
+                    )
                 continue
             if kinds[node] is _LOCK or self.failures is not None:
                 self._issue_one(inst, node)
@@ -816,9 +899,9 @@ class Simulator:
             )
         else:
             sites = (
-                self.replicas.read_sids(eid)
+                self.replicas.read_sids(eid, inst.home_sid)
                 if shared
-                else self.replicas.write_sids(eid)
+                else self.replicas.write_sids(eid, inst.home_sid)
             )
             if sites is None:
                 # No legal replica set right now: under rowa a single
@@ -852,7 +935,12 @@ class Simulator:
         primary = self._primary_sid[eid]
         for sid in sites:
             if sid != primary and self._net_delay > 0:
-                self.schedule(
+                # Fan-out to a remote replica is a client message on
+                # the network seam: chaos (loss, duplication, cuts)
+                # and the retransmission substrate apply here.
+                self.transmit(
+                    inst.home_sid,
+                    sid,
                     self._net_delay,
                     ("replica_req", inst.index, node, sid, inst.attempt),
                 )
@@ -1253,6 +1341,7 @@ class Simulator:
         kinds = inst.kinds
         net_delay = self._net_delay
         cross = inst.cross_mask
+        network = self.network
         while pending:
             low = pending & -pending
             ready = low.bit_length() - 1
@@ -1261,9 +1350,20 @@ class Simulator:
                 continue
             inst.issued |= low
             if net_delay > 0 and cross >> ready & 1:
-                self.schedule(
-                    net_delay, ("issue", inst.index, ready, inst.attempt)
-                )
+                if network is None or kinds[ready] is _LOCK:
+                    # Lock issues stay client-local; see _issue_nodes.
+                    self.schedule(
+                        net_delay, ("issue", inst.index, ready, inst.attempt)
+                    )
+                else:
+                    eid = inst.eids[ready]
+                    sites = inst.lock_sites.get(eid)
+                    self.transmit(
+                        inst.home_sid,
+                        sites[0] if sites else self._primary_sid[eid],
+                        net_delay,
+                        ("issue", inst.index, ready, inst.attempt),
+                    )
                 continue
             if kinds[ready] is _LOCK or self.failures is not None:
                 self._issue_one(inst, ready)
@@ -1475,6 +1575,11 @@ class Simulator:
         max_events = config.max_events
         warmup_time = config.warmup_time
         track_failures = self.failures is not None
+        # With fault injection or a network model attached, trailing
+        # upkeep events (crash/recover pairs, retransmission chains,
+        # partition episodes) can outlive the work; break once the
+        # batch drained so they cannot inflate end_time.
+        drain_break = track_failures or self.network is not None
         events_processed = self._events_processed
         # The in-flight integral accumulates in a local and is flushed
         # after the loop — one float add per event instead of an
@@ -1504,7 +1609,7 @@ class Simulator:
                 else:
                     handlers[payload[0]](*payload[1:])
                 if (
-                    track_failures
+                    drain_break
                     and self._retained_total == 0
                     and not self.has_uncommitted()
                 ):

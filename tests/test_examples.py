@@ -108,3 +108,12 @@ class TestContentionAnalysis:
         assert "blocked" in out and "behind" in out
         assert "wound:" in out
         assert "reproduces the online summary: True" in out
+
+
+class TestPartitionTolerance:
+    def test_partition_story(self, capsys):
+        out = run_example("partition_tolerance", capsys)
+        assert "site s0 cut off" in out
+        assert "two-phase" in out and "quorum" in out
+        assert "quorum rides through: True" in out
+        assert "all converge after the heal: True" in out

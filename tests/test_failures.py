@@ -294,3 +294,101 @@ class TestChainContinuation:
         assert len(idle_recoveries) > 3 * len(sim.site_names())
         # And crashes demonstrably continue after early idle gaps.
         assert sum(1 for t in crash_times if t > idle_recoveries[2]) > 10
+
+
+class TestPartitionInterplay:
+    """Partitions (repro.sim.network) and crashes compose: a
+    partitioned site is unreachable but *up*, and a crash during a
+    partition must still drain cleanly."""
+
+    def _replicated(self):
+        import random
+
+        from repro.sim.workload import WorkloadSpec, random_system
+
+        spec = WorkloadSpec(
+            n_transactions=25,
+            n_entities=10,
+            n_sites=4,
+            entities_per_txn=(2, 3),
+            actions_per_entity=(0, 1),
+            hotspot_skew=0.5,
+            read_fraction=0.3,
+            replication_factor=3,
+        )
+        return spec, random_system(random.Random(13), spec)
+
+    def test_partitioned_site_is_not_crashed(self):
+        """A partition episode alone marks nothing down: no crashes,
+        no crash aborts, and every site reads as up throughout."""
+        from repro.sim.network import NetworkConfig
+
+        spec, system = self._replicated()
+        sim = Simulator(
+            system,
+            "wound-wait",
+            SimulationConfig(
+                seed=2,
+                workload=spec,
+                network_delay=0.5,
+                replica_protocol="quorum",
+                commit_protocol="paxos-commit",
+                network=NetworkConfig(
+                    partition_schedule=((5.0, 30.0, ("s0",)),)
+                ),
+            ),
+        )
+        # No failure injection: the up-flag path must never engage.
+        assert sim.failures is None
+        up_during_cut: list[bool] = []
+        handlers = sim._registry._handlers
+        orig_stop = handlers["net_partition_stop"]
+
+        def on_stop(idx):
+            up_during_cut.append(
+                all(sim.site_is_up(s) for s in sim.site_names())
+            )
+            orig_stop(idx)
+
+        handlers["net_partition_stop"] = on_stop
+        result = sim.run()
+        assert result.partitions == 1
+        assert result.crashes == 0
+        # Partition-induced aborts are *unavailability* (a documented
+        # subset of crash_aborts), never actual-crash kills.
+        assert result.crash_aborts == result.unavailable_aborts
+        assert up_during_cut == [True]
+        assert result.committed == result.total
+
+    def test_crash_during_partition_still_drains(self):
+        """Crashes composed with partition episodes: locks drain, every
+        transaction commits, and both fault ledgers are populated."""
+        from repro.sim.network import NetworkConfig
+
+        spec, system = self._replicated()
+        sim = Simulator(
+            system,
+            "wound-wait",
+            SimulationConfig(
+                seed=4,
+                workload=spec,
+                network_delay=0.5,
+                replica_protocol="quorum",
+                commit_protocol="paxos-commit",
+                failure_rate=0.01,
+                repair_time=6.0,
+                network=NetworkConfig(
+                    loss_rate=0.05,
+                    partition_schedule=((5.0, 25.0, ("s1",)),),
+                ),
+            ),
+        )
+        result = sim.run()
+        assert not result.truncated
+        assert result.committed == result.total
+        assert result.partitions == 1
+        for name, site in sim._sites.items():
+            assert site.involved() == [], name
+        for inst in sim._instances:
+            assert inst.retained == set()
+            assert inst.waiting == {}

@@ -28,6 +28,7 @@ from repro.sim import (
     Simulator,
     simulate,
 )
+from repro.sim.network import NetworkConfig
 from repro.sim.workload import WorkloadSpec, random_system
 
 # The bench's behaviour-digest surface (benchmarks/bench_core_speed.py
@@ -97,11 +98,28 @@ def _scenarios():
             max_time=4_000.0,
         )
 
+    def chaos():
+        spec = WorkloadSpec(
+            n_entities=12, n_sites=4, entities_per_txn=(2, 3),
+            actions_per_entity=(0, 1), hotspot_skew=0.5,
+            read_fraction=0.3, replication_factor=3,
+        )
+        return TransactionSystem([]), "wound-wait", SimulationConfig(
+            arrival_rate=0.6, max_transactions=80, warmup_time=30.0,
+            workload=spec, seed=4, replica_protocol="quorum",
+            commit_protocol="paxos-commit", network_delay=0.5,
+            network=NetworkConfig(
+                loss_rate=0.1, dup_rate=0.05, jitter=0.2,
+                partition_schedule=((40.0, 25.0, ("s1", "s2")),),
+            ),
+        )
+
     return {
         "closed": closed,
         "open": open_detect,
         "replicated": replicated,
         "detection": detection,
+        "chaos": chaos,
     }
 
 

@@ -47,6 +47,28 @@ def _find_deadlock_seed(system, policy="blocking", tries=60) -> int | None:
     return None
 
 
+class TestConfigValidation:
+    """SimulationConfig rejects out-of-range rate/duration parameters
+    (mirroring WorkloadSpec's validation)."""
+
+    @pytest.mark.parametrize(
+        "field",
+        ["network_delay", "commit_timeout", "failure_rate", "repair_time"],
+    )
+    def test_negative_value_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            SimulationConfig(**{field: -0.5})
+
+    def test_zero_values_accepted(self):
+        config = SimulationConfig(
+            network_delay=0.0, failure_rate=0.0, repair_time=0.0
+        )
+        assert config.network_delay == 0.0
+
+    def test_defaults_valid(self):
+        SimulationConfig()  # must not raise
+
+
 class TestBasicRuns:
     def test_disjoint_commits(self):
         result = simulate(disjoint_pair(), "blocking")
