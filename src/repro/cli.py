@@ -336,6 +336,64 @@ def _add_network_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _durability_config(args: argparse.Namespace):
+    """Build a DurabilityConfig from CLI flags (None when unset).
+
+    ``--flush-time`` is the enabling flag: leaving it unset attaches
+    no durability model, keeping the no-flag run bit-identical to the
+    idealized-WAL simulator.
+    """
+    if args.flush_time is None:
+        return None
+    from repro.sim.durability import DurabilityConfig
+
+    return DurabilityConfig(
+        flush_time=args.flush_time,
+        tail_loss_rate=args.tail_loss_rate,
+        torn_write_rate=args.torn_write_rate,
+        amnesia_rate=args.amnesia_rate,
+    )
+
+
+def _add_durability_args(p: argparse.ArgumentParser) -> None:
+    dur = p.add_argument_group(
+        "durability",
+        "simulated write-ahead logging; without --flush-time no "
+        "durability model attaches and PREPARED state survives "
+        "crashes by fiat (the legacy idealization)",
+    )
+    dur.add_argument(
+        "--flush-time",
+        type=float,
+        default=None,
+        metavar="T",
+        help="cost of one forced log write; giving this flag attaches "
+        "the durability model (crashes then truncate each site to its "
+        "log and recovery replays it)",
+    )
+    dur.add_argument(
+        "--tail-loss-rate",
+        type=float,
+        default=0.0,
+        help="probability a crash silently drops the newest durable "
+        "log record",
+    )
+    dur.add_argument(
+        "--torn-write-rate",
+        type=float,
+        default=0.0,
+        help="probability the record being flushed at crash time is "
+        "torn (lost even though the flush completed)",
+    )
+    dur.add_argument(
+        "--amnesia-rate",
+        type=float,
+        default=0.0,
+        help="probability a crash wipes the whole log; the site "
+        "rejoins as a fresh replica via anti-entropy catch-up",
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.system import TransactionSystem
     from repro.sim.metrics import SimulationResult
@@ -384,6 +442,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     workload_seed=args.workload_seed,
                     observe=observe,
                     network=_network_config(args),
+                    durability=_durability_config(args),
                 )
                 sim = Simulator(system, policy, config)
                 results.append(sim.run())
@@ -455,6 +514,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_time=args.max_time,
             observe=observe,
             network=network,
+            durability=_durability_config(args),
         ),
     )
     cells = spec.cells()
@@ -864,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sites (no reads served until a copy validates)",
     )
     _add_network_args(p)
+    _add_durability_args(p)
     _add_open_system_args(p)
     obs = p.add_argument_group(
         "observability",
@@ -1045,6 +1106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "records (JSON/CSV) gain hotspot-share, wasted-work, and "
         "blame-graph columns",
     )
+    _add_durability_args(p)
     _add_open_system_args(
         p, max_transactions_default=200, single_rate=False
     )

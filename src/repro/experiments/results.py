@@ -42,6 +42,10 @@ def _record(cell, result: SimulationResult) -> dict:
         "net_dropped": result.net_dropped,
         "net_retransmits": result.net_retransmits,
         "commit_messages": result.commit_messages,
+        "log_forces": result.log_forces,
+        "log_replays": result.log_replays,
+        "in_doubt_resolved": result.in_doubt_resolved,
+        "tail_losses": result.tail_losses,
         "acceptor_messages": result.acceptor_messages,
         "coordinator_takeovers": result.coordinator_takeovers,
         "end_time": result.end_time,

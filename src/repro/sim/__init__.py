@@ -29,7 +29,13 @@ past a warm-up window. A replica-control layer
 maps each logical entity to a replica set of sites and routes reads
 (shared locks) and writes (exclusive locks) through ``rowa``,
 ``rowa-available``, or ``quorum`` — failures then cost availability,
-which the run integrates per protocol.
+which the run integrates per protocol. A durability model
+(:mod:`repro.sim.durability`, ``SimulationConfig(durability=
+DurabilityConfig(...))``) gives each site a simulated write-ahead log:
+protocol force points cost real flush time, crashes truncate state to
+the log (with optional tail-loss / torn-write / amnesia faults), and
+recovery replays the log, re-acquires the log-implied locks, and
+resolves in-doubt transactions by protocol inquiry.
 
 Every run records a trace of committed operations which replays as a
 legal :class:`repro.core.Schedule`, so runtime serializability is
@@ -52,6 +58,7 @@ from repro.sim.commit import (
     make_protocol,
     protocol_names,
 )
+from repro.sim.durability import DurabilityConfig, DurabilityManager
 from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import SiteLockManager
@@ -99,6 +106,8 @@ __all__ = [
     "BlockingPolicy",
     "CommitProtocol",
     "DetectionPolicy",
+    "DurabilityConfig",
+    "DurabilityManager",
     "EventQueue",
     "EventTracer",
     "FailureInjector",

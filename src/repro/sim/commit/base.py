@@ -57,6 +57,24 @@ class CommitProtocol:
     def on_abort(self, inst: "_Instance") -> None:
         """The transaction aborted; drop any per-round state."""
 
+    def on_durability_wipe(self, site: str) -> None:
+        """``site``'s write-ahead log was wiped (amnesia crash).
+
+        Protocols that keep durable per-site state outside the WAL
+        proper — Paxos Commit's acceptor registries — drop the site's
+        share here. The base protocol keeps no such state.
+        """
+
+    def inquiry_target(self, txn: int) -> str | None:
+        """The site a recovered participant should ask about ``txn``.
+
+        Recovery replay sends ``cm_inquire`` for each in-doubt
+        (prepared, undecided) transaction to this site. None means the
+        protocol has no round state to consult — the instant protocol
+        never leaves a participant in doubt.
+        """
+        return None
+
 
 _PROTOCOLS: dict[str, type[CommitProtocol]] = {}
 

@@ -24,10 +24,16 @@ to F simultaneous site failures:
    participants therefore stop blocking on a crashed coordinator —
    the stall 2PC cannot avoid (its retry handler can only wait).
 
-Acceptor state is durable across crashes (it lives on the write-ahead
-log, like the prepared participants' retained locks); a *down*
-acceptor simply receives no messages, so votes addressed to it are
-lost until a retransmitted PREPARE makes the participant vote again.
+Acceptor state is durable across crashes; a *down* acceptor simply
+receives no messages, so votes addressed to it are lost until a
+retransmitted PREPARE makes the participant vote again. Without a
+durability model that durability is an assumption (the registry just
+persists in round state); with one (``config.durability``) it is
+earned — an acceptor forces an *accept* record before registering a
+vote, a takeover leader forces a *ballot* record before deposing the
+old one, and an amnesia log-wipe really does empty the site's
+registries (:meth:`PaxosCommit.on_durability_wipe`), which is exactly
+the failure the 2F+1 redundancy is there to mask.
 
 Degeneracy contract, pinned by the golden-digest suite: with
 ``commit_fault_tolerance=0`` there is exactly one acceptor, co-located
@@ -62,7 +68,8 @@ class _PaxosRound:
     """
 
     __slots__ = ("attempt", "coordinator", "participants", "decided",
-                 "acceptors", "majority", "ballot", "accepted", "learned")
+                 "deciding", "acceptors", "majority", "ballot",
+                 "accepted", "learned")
 
     def __init__(self, attempt: int, coordinator: str,
                  participants: frozenset[str],
@@ -71,6 +78,7 @@ class _PaxosRound:
         self.coordinator = coordinator
         self.participants = participants
         self.decided = False
+        self.deciding = False  # decision record mid-flush (see _Round)
         self.acceptors = acceptors
         self.majority = len(acceptors) // 2 + 1
         self.ballot = 0
@@ -194,6 +202,15 @@ class PaxosCommit(TwoPhaseCommit):
             return
         if ballot != round.ballot:
             return  # a takeover re-armed the chain under a newer ballot
+        if round.deciding:
+            # The decision record is mid-flush (durability model):
+            # keep the chain alive so a crash-cancelled flush is
+            # re-driven.
+            sim.schedule(
+                sim.config.commit_timeout,
+                ("cm_retry", txn, attempt, ballot),
+            )
+            return
         if sim.suspect_down(round.coordinator):
             # The leader is suspected (crashed — or, under a network
             # model, silent past the suspicion timeout): rotate.
@@ -206,36 +223,32 @@ class PaxosCommit(TwoPhaseCommit):
                     ("cm_retry", txn, attempt, ballot),
                 )
                 return
-            round.ballot += 1
-            round.coordinator = new_leader
-            round.learned = {}
-            sim.leader_takeover(txn, new_leader)
-            # Phase 1: recover the registered votes from the up
-            # acceptors. The co-located registry merges for free; every
-            # other up acceptor costs a query/response round trip.
-            for acceptor in round.acceptors:
-                if acceptor == new_leader:
-                    for site in round.accepted[acceptor]:
-                        self._learn(txn, round, site, acceptor)
-                        if round.decided:
-                            return
-                elif not sim.suspect_down(acceptor):
-                    # Query + response modelled as one round trip; under
-                    # a network model the pair rides the channel as a
-                    # single retransmitted unit.
-                    sim.result.commit_messages += 2
-                    sim.result.acceptor_messages += 2
-                    sim.transmit(
-                        sim.site_id(new_leader), sim.site_id(acceptor),
-                        2 * self._delay(new_leader, acceptor),
-                        ("cm_state", txn, acceptor, attempt, round.ballot),
-                    )
-            sim.schedule(
-                sim.config.commit_timeout,
-                ("cm_retry", txn, attempt, round.ballot),
+            dur = sim.durability
+            if dur is None:
+                self._takeover(txn, round, attempt, new_leader)
+                return
+            # The new leader forces its ballot record before deposing
+            # the old one; a crash mid-flush re-arms the old chain so
+            # the next retry rotates again.
+            dur.force(
+                new_leader,
+                ("ballot", txn, attempt, round.ballot + 1),
+                lambda: self._takeover_if_current(
+                    txn, round, attempt, ballot, new_leader
+                ),
+                lambda: sim.schedule(
+                    sim.config.commit_timeout,
+                    ("cm_retry", txn, attempt, ballot),
+                ),
             )
             return
         missing = round.participants - round.votes
+        if not missing:
+            # Every participant is majority-registered but no decision
+            # stands — only reachable when a leader crash cancelled the
+            # decision flush. Re-drive it.
+            self._decide_commit(txn, round)
+            return
         if any(sim.suspect_down(site) for site in missing):
             # A missing voter is suspected down: its unprepared
             # execution state is presumed lost (2PC's abort rule,
@@ -249,18 +262,77 @@ class PaxosCommit(TwoPhaseCommit):
             sim.config.commit_timeout, ("cm_retry", txn, attempt, ballot)
         )
 
+    def _rearm_retry(self, txn: int, round: _PaxosRound) -> None:
+        """Paxos retries are ballot-tagged so a takeover can invalidate
+        stale chains; re-arm under the round's current ballot."""
+        self.sim.schedule(
+            self.sim.config.commit_timeout,
+            ("cm_retry", txn, round.attempt, round.ballot),
+        )
+
+    def _takeover_if_current(
+        self, txn: int, round: _PaxosRound, attempt: int, ballot: int,
+        new_leader: str,
+    ) -> None:
+        """Ballot-flush continuation: depose if nothing superseded us."""
+        sim = self.sim
+        if (self._rounds.get(txn) is not round or round.decided
+                or round.deciding):
+            return
+        if round.attempt != attempt or round.ballot != ballot:
+            return  # a competing takeover won while we flushed
+        if not sim.site_is_up(new_leader):  # pragma: no cover
+            # A crash cancels the flush, so this cannot fire; re-arm
+            # the chain defensively all the same.
+            sim.schedule(
+                sim.config.commit_timeout,
+                ("cm_retry", txn, attempt, ballot),
+            )
+            return
+        self._takeover(txn, round, attempt, new_leader)
+
+    def _takeover(
+        self, txn: int, round: _PaxosRound, attempt: int, new_leader: str
+    ) -> None:
+        sim = self.sim
+        round.ballot += 1
+        round.coordinator = new_leader
+        round.learned = {}
+        sim.leader_takeover(txn, new_leader)
+        # Phase 1: recover the registered votes from the up
+        # acceptors. The co-located registry merges for free; every
+        # other up acceptor costs a query/response round trip.
+        for acceptor in round.acceptors:
+            if acceptor == new_leader:
+                for site in round.accepted[acceptor]:
+                    self._learn(txn, round, site, acceptor)
+                    if round.decided:
+                        return
+            elif not sim.suspect_down(acceptor):
+                # Query + response modelled as one round trip; under
+                # a network model the pair rides the channel as a
+                # single retransmitted unit.
+                sim.result.commit_messages += 2
+                sim.result.acceptor_messages += 2
+                sim.transmit(
+                    sim.site_id(new_leader), sim.site_id(acceptor),
+                    2 * self._delay(new_leader, acceptor),
+                    ("cm_state", txn, acceptor, attempt, round.ballot),
+                )
+        sim.schedule(
+            sim.config.commit_timeout,
+            ("cm_retry", txn, attempt, round.ballot),
+        )
+
     # ------------------------------------------------------------------
     # participant / acceptor side
     # ------------------------------------------------------------------
 
-    def _on_prepare(self, txn: int, site: str, attempt: int) -> None:
-        round = self._rounds.get(txn)
-        if round is None or round.attempt != attempt or round.decided:
-            return
-        if not self.sim.site_is_up(site):
-            return  # message lost: the participant is down
-        # Execution finished before the round began, so the vote is
-        # yes — sent to every acceptor, not just the leader.
+    def _send_votes(self, txn: int, site: str, attempt: int,
+                    round: _PaxosRound) -> None:
+        """The participant's yes-vote goes to *every* acceptor, not
+        just the leader (the inherited ``_on_prepare`` — and, under a
+        durability model, the prepare-record force — is unchanged)."""
         for acceptor in round.acceptors:
             self._send_acceptor_to(
                 site, acceptor,
@@ -272,8 +344,27 @@ class PaxosCommit(TwoPhaseCommit):
         round = self._rounds.get(txn)
         if round is None or round.attempt != attempt or round.decided:
             return
-        if not self.sim.site_is_up(acceptor):
+        sim = self.sim
+        if not sim.site_is_up(acceptor):
             return  # vote lost at a down acceptor; a re-vote refills it
+        dur = sim.durability
+        if dur is None or site in round.accepted[acceptor]:
+            # No log — or a re-vote the acceptor already durably
+            # registered: register/relay without a second force.
+            self._register_vote(txn, round, acceptor, site, attempt)
+            return
+        # The acceptor forces its accept record before registering:
+        # what phase 1 reads after a crash must be what was promised.
+        record = ("accept", txn, attempt, site)
+        if dur.flush_pending(acceptor, record):
+            return  # a duplicate vote's force is still in flight
+        dur.force(
+            acceptor, record,
+            lambda: self._accept_if_current(txn, acceptor, site, attempt),
+        )
+
+    def _register_vote(self, txn: int, round: _PaxosRound,
+                       acceptor: str, site: str, attempt: int) -> None:
         round.accepted[acceptor].add(site)
         if acceptor == round.coordinator:
             # Registrar and leader share a site: the relay is internal.
@@ -283,3 +374,27 @@ class PaxosCommit(TwoPhaseCommit):
                 acceptor, round.coordinator,
                 ("cm_learn", txn, acceptor, site, attempt),
             )
+
+    def _accept_if_current(self, txn: int, acceptor: str, site: str,
+                           attempt: int) -> None:
+        """Accept-flush continuation: register if the round stands."""
+        round = self._rounds.get(txn)
+        if round is None or round.attempt != attempt or round.decided:
+            return
+        if not self.sim.site_is_up(acceptor):
+            return  # pragma: no cover - a crash cancels the flush
+        self._register_vote(txn, round, acceptor, site, attempt)
+
+    # ------------------------------------------------------------------
+    # durability hooks
+    # ------------------------------------------------------------------
+
+    def on_durability_wipe(self, site: str) -> None:
+        """An amnesia crash emptied ``site``'s log: its acceptor
+        registries are gone with it — the redundancy the 2F+1 bank
+        exists to absorb (a majority of honest registries still
+        decides correctly)."""
+        for round in self._rounds.values():
+            accepted = round.accepted.get(site)
+            if accepted:
+                accepted.clear()

@@ -34,6 +34,21 @@ The PREPARED window also bends the contention policies: a prepared
 holder can no longer be wounded (the runtime downgrades ABORT_HOLDER
 to WAIT_PREPARED), which is sound because a decision always arrives in
 finite time.
+
+With a durability model attached (``config.durability``), the round
+additionally observes the protocol's classic force points
+(:mod:`repro.sim.durability`): a participant forces a *prepare* record
+before VOTE-YES, the coordinator forces the *decision* record before
+the release fan-out, and a participant forces the decision before
+releasing and ACKing — each force costing ``flush_time`` on that
+site's timeline. Crash-recovered participants resolve their in-doubt
+transactions by inquiry: ``cm_inquire`` asks the coordinator, which
+answers with a decision (``cm_status``), re-PREPAREs a still-open
+round, or reports abort; a participant that lost its volatile state
+before its prepare record became durable answers PREPARE with
+``cm_refuse``, aborting the round. With the field unset (`sim.
+durability is None`) every handler takes its original branch — the
+pre-durability instruction stream, bit for bit.
 """
 
 from __future__ import annotations
@@ -42,12 +57,16 @@ from repro.sim.commit.base import CommitProtocol, register_protocol
 
 __all__ = ["TwoPhaseCommit"]
 
+#: the runtime's committed-status literal (a value import would be an
+#: import cycle; see repro.sim.runtime).
+_COMMITTED = "committed"
+
 
 class _Round:
     """Coordinator-side state of one commit round."""
 
     __slots__ = ("attempt", "coordinator", "participants", "votes",
-                 "decided")
+                 "decided", "deciding")
 
     def __init__(self, attempt: int, coordinator: str,
                  participants: frozenset[str]):
@@ -56,6 +75,11 @@ class _Round:
         self.participants = participants
         self.votes: set[str] = set()
         self.decided = False
+        # True while the coordinator's decision record is being
+        # flushed (durability model only): the outcome is chosen but
+        # not yet durable, so no competing decision may start and no
+        # inquiry may be answered with the opposite verdict.
+        self.deciding = False
 
 
 @register_protocol
@@ -75,6 +99,12 @@ class TwoPhaseCommit(CommitProtocol):
         sim.register_handler("cm_vote", self._on_vote)
         sim.register_handler("cm_retry", self._on_retry)
         sim.register_handler("cm_release", self._on_release)
+        # Recovery-inquiry events: only ever sent under a durability
+        # model, but registered unconditionally (registration is free
+        # and keeps the handler table uniform).
+        sim.register_handler("cm_inquire", self._on_inquire)
+        sim.register_handler("cm_status", self._on_status)
+        sim.register_handler("cm_refuse", self._on_refuse)
 
     # ------------------------------------------------------------------
     # messaging helpers
@@ -134,7 +164,8 @@ class TwoPhaseCommit(CommitProtocol):
 
     def _on_vote(self, txn: int, site: str, attempt: int) -> None:
         round = self._rounds.get(txn)
-        if round is None or round.attempt != attempt or round.decided:
+        if (round is None or round.attempt != attempt or round.decided
+                or round.deciding):
             return
         if not self.sim.site_is_up(round.coordinator):
             return  # vote lost; the retry loop re-collects it
@@ -143,6 +174,36 @@ class TwoPhaseCommit(CommitProtocol):
             self._decide_commit(txn, round)
 
     def _decide_commit(self, txn: int, round: _Round) -> None:
+        dur = self.sim.durability
+        if dur is None:
+            self._apply_commit(txn, round)
+            return
+        if round.deciding or round.decided:
+            return
+        # Force the commit record at the coordinator before anything
+        # irreversible happens. A coordinator crash mid-flush cancels
+        # it (the decision was never taken); the cancel re-arms the
+        # retry chain, which re-drives the decision after recovery —
+        # the retry branches that reach a decide consume the chain, so
+        # without the re-arm a crash here would orphan the round.
+        round.deciding = True
+
+        def apply() -> None:
+            round.deciding = False
+            if not round.decided:
+                self._apply_commit(txn, round)
+
+        def cancel() -> None:
+            round.deciding = False
+            self._rearm_retry(txn, round)
+
+        dur.force(
+            round.coordinator,
+            ("decision", txn, round.attempt, "commit"),
+            apply, cancel,
+        )
+
+    def _apply_commit(self, txn: int, round: _Round) -> None:
         sim = self.sim
         round.decided = True
         sim.finish_commit(sim.instance(txn))
@@ -156,6 +217,44 @@ class TwoPhaseCommit(CommitProtocol):
             # participant has not acknowledged anything yet.
 
     def _decide_abort(self, txn: int, round: _Round) -> None:
+        dur = self.sim.durability
+        if dur is None or not self.notify_on_abort:
+            # No durability model — or presumed-abort, whose whole
+            # optimisation is that aborts are never logged: absent
+            # records read as ABORT, so no force is needed.
+            self._apply_abort(txn, round)
+            return
+        if round.deciding or round.decided:
+            return
+        round.deciding = True
+
+        def apply() -> None:
+            round.deciding = False
+            if not round.decided:
+                self._apply_abort(txn, round)
+
+        def cancel() -> None:
+            round.deciding = False
+            self._rearm_retry(txn, round)
+
+        dur.force(
+            round.coordinator,
+            ("decision", txn, round.attempt, "abort"),
+            apply, cancel,
+        )
+
+    def _rearm_retry(self, txn: int, round: _Round) -> None:
+        """Restart the retry chain for a round whose decision flush was
+        crash-cancelled. Subclasses with richer retry payloads (Paxos
+        tags retries with the ballot) override this. A duplicate chain
+        is harmless: every ``cm_retry`` delivery re-checks the round's
+        identity and decision state before acting."""
+        self.sim.schedule(
+            self.sim.config.commit_timeout,
+            ("cm_retry", txn, round.attempt),
+        )
+
+    def _apply_abort(self, txn: int, round: _Round) -> None:
         sim = self.sim
         round.decided = True
         if self.notify_on_abort:
@@ -169,6 +268,13 @@ class TwoPhaseCommit(CommitProtocol):
         round = self._rounds.get(txn)
         if round is None or round.attempt != attempt or round.decided:
             return
+        if round.deciding:
+            # The decision record is mid-flush: keep the chain alive
+            # so a crash-cancelled flush is re-driven.
+            sim.schedule(
+                sim.config.commit_timeout, ("cm_retry", txn, attempt)
+            )
+            return
         if not sim.site_is_up(round.coordinator):
             # Coordinator down: no decision possible; prepared
             # participants stay blocked until it recovers.
@@ -177,6 +283,13 @@ class TwoPhaseCommit(CommitProtocol):
             )
             return
         missing = round.participants - round.votes
+        if not missing:
+            # Every vote is in but no decision stands — only reachable
+            # when a coordinator crash cancelled the decision flush
+            # (without a durability model the decision fires at the
+            # last vote, synchronously). Re-drive it.
+            self._decide_commit(txn, round)
+            return
         if any(sim.suspect_down(site) for site in missing):
             # A missing voter is suspected down (crashed, or — under a
             # network model — silent past the suspicion timeout): its
@@ -200,11 +313,64 @@ class TwoPhaseCommit(CommitProtocol):
             return
         if not self.sim.site_is_up(site):
             return  # message lost: the participant is down
-        # Execution finished before the round began, so the vote is yes.
+        dur = self.sim.durability
+        if dur is None:
+            # Execution finished before the round began, so the vote
+            # is yes.
+            self._send_votes(txn, site, attempt, round)
+            return
+        self._prepare_with_log(txn, site, attempt, round)
+
+    def _send_votes(
+        self, txn: int, site: str, attempt: int, round: _Round
+    ) -> None:
+        """Send the participant's yes-vote (Paxos fans out instead)."""
         self._send_to(
             site, round.coordinator,
             ("cm_vote", txn, site, attempt),
         )
+
+    def _prepare_with_log(
+        self, txn: int, site: str, attempt: int, round: _Round
+    ) -> None:
+        """Durable-prepare path: force the prepare record, then vote."""
+        sim = self.sim
+        dur = sim.durability
+        if dur.has_prepare(site, txn, attempt):
+            # Already durably prepared (a retransmitted PREPARE, or a
+            # recovered participant being re-asked): vote again
+            # without a second force.
+            self._send_votes(txn, site, attempt, round)
+            return
+        sid = sim.site_id(site)
+        inst = sim.instance(txn)
+        locks = tuple(sorted(e for e in inst.retained if e[1] == sid))
+        if not locks:
+            # The site lost this transaction's volatile state (a crash
+            # wiped its lock table — possibly with log amnesia —
+            # before the prepare record became durable): it must not
+            # vote yes on state it no longer has.
+            self._send_to(
+                site, round.coordinator,
+                ("cm_refuse", txn, site, attempt),
+            )
+            return
+        record = ("prepare", txn, attempt, locks)
+        if dur.flush_pending(site, record):
+            return  # an earlier PREPARE's force is still in flight
+        dur.force(
+            site, record,
+            lambda: self._vote_if_current(txn, site, attempt),
+        )
+
+    def _vote_if_current(self, txn: int, site: str, attempt: int) -> None:
+        """Flush-completion continuation: vote if the round stands."""
+        round = self._rounds.get(txn)
+        if round is None or round.attempt != attempt or round.decided:
+            return
+        if not self.sim.site_is_up(site):
+            return  # pragma: no cover - a crash cancels the flush
+        self._send_votes(txn, site, attempt, round)
 
     def _on_release(self, txn: int, site: str, attempt: int) -> None:
         sim = self.sim
@@ -219,10 +385,127 @@ class TwoPhaseCommit(CommitProtocol):
                 ("cm_release", txn, site, attempt),
             )
             return
+        dur = sim.durability
+        if dur is None:
+            sim.release_retained(inst, site)
+            sim.result.commit_messages += 1  # the participant's ACK
+            if not inst.retained:
+                self._rounds.pop(txn, None)
+            return
+        # The participant forces the decision record before releasing
+        # and ACKing — the force that makes a later crash replay skip
+        # this transaction instead of re-entering doubt.
+        if dur.has_decision(site, txn, attempt):
+            self._apply_release(txn, site, attempt)
+            return
+        record = ("decision", txn, attempt, "commit")
+        if dur.flush_pending(site, record):
+            return  # a duplicate decision's force is in flight
+        dur.force(
+            site, record,
+            lambda: self._apply_release(txn, site, attempt),
+        )
+
+    def _apply_release(self, txn: int, site: str, attempt: int) -> None:
+        """Release the participant's retained locks and ACK."""
+        sim = self.sim
+        inst = sim.instance(txn)
+        if inst.attempt != attempt:
+            return  # the round aborted while the record flushed
         sim.release_retained(inst, site)
         sim.result.commit_messages += 1  # the participant's ACK
         if not inst.retained:
             self._rounds.pop(txn, None)
+        dur = sim.durability
+        if dur is not None:
+            dur.resolved(txn, site)
+
+    # ------------------------------------------------------------------
+    # recovery inquiry (durability model only)
+    # ------------------------------------------------------------------
+
+    def inquiry_target(self, txn: int) -> str | None:
+        round = self._rounds.get(txn)
+        if round is not None:
+            return round.coordinator
+        return self.sim.transaction_sites(txn)[0]
+
+    def _on_inquire(self, txn: int, site: str, attempt: int) -> None:
+        """A recovered participant asks about an in-doubt transaction.
+
+        Answer with the durable truth: COMMIT if the transaction
+        committed at this attempt, a re-PREPARE if the round is still
+        collecting votes (the inquirer's vote may be the missing one),
+        ABORT otherwise — 2PC logs its aborts, presumed-abort answers
+        from the absence of a record; the message is the same.
+        """
+        sim = self.sim
+        round = self._rounds.get(txn)
+        coordinator = (
+            round.coordinator if round is not None
+            else sim.transaction_sites(txn)[0]
+        )
+        if not sim.site_is_up(coordinator):
+            return  # lost; the participant's requery re-asks
+        inst = sim.instance(txn)
+        if inst.status == _COMMITTED and inst.attempt == attempt:
+            self._send_to(
+                coordinator, site,
+                ("cm_status", txn, site, attempt, "commit"),
+            )
+            return
+        if (round is not None and round.attempt == attempt
+                and not round.decided):
+            if round.deciding:
+                # The verdict is mid-flush: answering now could
+                # contradict it. Stay silent; the requery re-asks.
+                return
+            self._send_to(
+                coordinator, site,
+                ("cm_prepare", txn, site, attempt),
+            )
+            return
+        self._send_to(
+            coordinator, site,
+            ("cm_status", txn, site, attempt, "abort"),
+        )
+
+    def _on_status(
+        self, txn: int, site: str, attempt: int, verdict: str
+    ) -> None:
+        """An inquiry answer reached the recovered participant."""
+        sim = self.sim
+        if not sim.site_is_up(site):
+            return  # lost; the requery re-asks after the next recovery
+        dur = sim.durability
+        if dur is None:
+            return  # pragma: no cover - only sent under a dur model
+        inst = sim.instance(txn)
+        if verdict == "commit" and inst.attempt == attempt:
+            if dur.has_decision(site, txn, attempt):
+                self._apply_release(txn, site, attempt)
+                return
+            record = ("decision", txn, attempt, "commit")
+            if dur.flush_pending(site, record):
+                return
+            dur.force(
+                site, record,
+                lambda: self._apply_release(txn, site, attempt),
+            )
+            return
+        # ABORT (or a stale attempt): presumption resolves the doubt;
+        # the global abort path owns any remaining lock state.
+        dur.resolved(txn, site)
+
+    def _on_refuse(self, txn: int, site: str, attempt: int) -> None:
+        """A participant refused PREPARE: its volatile state is gone."""
+        round = self._rounds.get(txn)
+        if (round is None or round.attempt != attempt or round.decided
+                or round.deciding):
+            return
+        if not self.sim.site_is_up(round.coordinator):
+            return  # lost; the retry loop aborts on suspicion instead
+        self._decide_abort(txn, round)
 
     # ------------------------------------------------------------------
     # runtime callbacks

@@ -144,6 +144,25 @@ class SimulationResult:
         partitions: partition episodes that started during the run.
         partition_time: total simulated time some partition cut was
             active (episodes never overlap, so this is a plain sum).
+        log_forces: forced write-ahead-log writes completed (prepare,
+            decision, acceptor accept/ballot records); each cost
+            ``flush_time`` on its site's timeline. Zero without a
+            durability model.
+        tail_losses: crashes where the log's tail record was lost —
+            the disk acknowledged a write it never persisted.
+        torn_writes: crashes where the final log record was torn
+            (partially written, unreadable at replay).
+        amnesia_wipes: crashes that wiped a site's entire log; the
+            site rejoined as a fresh replica.
+        log_replays: recoveries that replayed a non-empty log.
+        in_doubt_resolved: in-doubt (prepared, undecided) participant
+            states resolved — by an arriving decision, a
+            ``cm_status`` inquiry answer, or presumption against a
+            stale attempt.
+        retained_lock_time: total time lock entries sat retained past
+            their holder's PREPARE, summed over entries (the
+            window other transactions can block on a vote that is
+            waiting for its coordinator — the EXP-RECOVERY metric).
         timeseries: windowed metrics recorded by the observability
             sampler (:class:`repro.sim.observe.MetricsSampler`), as a
             plain-JSON dict; None unless the run enabled it.
@@ -201,6 +220,13 @@ class SimulationResult:
     net_inflight: int = 0
     partitions: int = 0
     partition_time: float = 0.0
+    log_forces: int = 0
+    tail_losses: int = 0
+    torn_writes: int = 0
+    amnesia_wipes: int = 0
+    log_replays: int = 0
+    in_doubt_resolved: int = 0
+    retained_lock_time: float = 0.0
     timeseries: dict | None = None
     attribution: dict | None = None
 

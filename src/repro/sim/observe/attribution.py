@@ -18,7 +18,9 @@ coordinator blocked behind a PREPARED (or committed-with-release-in-
 fanout      every issued operation in flight on the network (replica
             fan-out and cross-site issue hops) with none in service
 service     executing operations (the closure term, see below)
-commit      the final, successful commit round
+commit      the final, successful commit round, net of log forces
+log_force   inside the commit round with a forced log write in flight
+            at the transaction's sites (durability model only)
 =========== =========================================================
 
 **Conservation.** For every committed transaction the engine observes
@@ -28,13 +30,14 @@ dispatch times), so ``exec_latency = exec_done - start`` and
 latency split bit for bit. The ``service`` segment is then defined as
 the *closure term* ``exec_latency - admission - lock_wait -
 coordinator - fanout`` (left-associated, exactly that expression) and
-``commit`` as ``commit_latency`` verbatim, which makes the
-decomposition conserve with **zero tolerance** by construction: IEEE
-float addition does not reassociate, so a naively reordered sum could
-drift by an ulp, but the canonical identity
+``commit`` as ``commit_latency - log_force`` (the measured log-force
+time is carved out of the commit window it lives inside), which makes
+the decomposition conserve with **zero tolerance** by construction:
+IEEE float addition does not reassociate, so a naively reordered sum
+could drift by an ulp, but the canonical identity
 
     ``service == exec_latency - admission - lock_wait - coordinator
-    - fanout``  and  ``commit == commit_latency``
+    - fanout``  and  ``commit == commit_latency - log_force``
 
 holds exactly. The independently *measured* service time is kept as a
 drift diagnostic (``conservation.max_service_drift``); a negative
@@ -79,10 +82,12 @@ __all__ = [
 #: Segment names, in canonical (conservation) order.
 SEGMENTS = (
     "admission", "lock_wait", "coordinator", "fanout", "service",
-    "commit",
+    "commit", "log_force",
 )
 
-_ADMISSION, _LOCK, _COORD, _FANOUT, _SERVICE, _COMMIT = range(6)
+(
+    _ADMISSION, _LOCK, _COORD, _FANOUT, _SERVICE, _COMMIT, _LOGFORCE,
+) = range(7)
 
 _CELL_KINDS = frozenset({"wait", "unwait", "hold", "unhold"})
 
@@ -93,7 +98,8 @@ class _TxnState:
     __slots__ = (
         "txn", "start", "exec_done", "commit", "attempt",
         "attempt_start", "last", "aborted", "prepared", "in_service",
-        "in_net", "wait_cells", "seg", "done", "measured_service",
+        "in_net", "in_flush", "wait_cells", "seg", "done",
+        "measured_service",
     )
 
     def __init__(self, txn: int, now: float):
@@ -108,8 +114,9 @@ class _TxnState:
         self.prepared = False
         self.in_service = 0
         self.in_net = 0
+        self.in_flush = 0
         self.wait_cells: dict = {}  # cell -> wait-open time (ordered)
-        self.seg = [0.0] * 6
+        self.seg = [0.0] * 7
         self.done = False
         self.measured_service = 0.0
 
@@ -202,6 +209,8 @@ class LatencyAttribution:
                 return _COORD, cell
             return _LOCK, cell
         if st.prepared:
+            if st.in_flush > 0:
+                return _LOGFORCE, None
             return _COMMIT, None
         if st.in_service == 0 and st.in_net > 0:
             return _FANOUT, None
@@ -289,6 +298,16 @@ class LatencyAttribution:
                     ):
                         self._advance(st, now)
                         st.in_net -= 1
+                elif ev == "dur_flush":
+                    # A forced write completed (or was cancelled by a
+                    # crash — the heap event fires either way, keeping
+                    # the sched/event pair balanced).
+                    if (
+                        st is not None and not st.done
+                        and st.in_flush > 0
+                    ):
+                        self._advance(st, now)
+                        st.in_flush -= 1
                 elif ev == "restart":
                     if (
                         st is not None and st.aborted
@@ -310,6 +329,12 @@ class LatencyAttribution:
                     if st.attempt == attempt:
                         self._advance(st, now)
                         st.in_net += 1
+                elif ev == "dur_flush":
+                    # A forced log write opens at one of the txn's
+                    # sites: inside the prepared window this interval
+                    # is log-force, not commit, time.
+                    self._advance(st, now)
+                    st.in_flush += 1
         elif kind in _CELL_KINDS:
             cell = (args[0], args[1])
             txn = args[2]
@@ -400,10 +425,14 @@ class LatencyAttribution:
             bucket = self._abort_cause_wasted
             bucket[cause] = bucket.get(cause, 0.0) + wasted
         # A failed commit round's stall is coordinator time: the final
-        # split only has room for the *successful* round under commit.
+        # split only has room for the *successful* round under commit
+        # (and its log forces were wasted the same way).
         if st.seg[_COMMIT]:
             st.seg[_COORD] += st.seg[_COMMIT]
             st.seg[_COMMIT] = 0.0
+        if st.seg[_LOGFORCE]:
+            st.seg[_COORD] += st.seg[_LOGFORCE]
+            st.seg[_LOGFORCE] = 0.0
         for cell in st.wait_cells:
             waiters = self._waiters.get(cell)
             if waiters is not None and txn in waiters:
@@ -414,6 +443,7 @@ class LatencyAttribution:
         st.wait_cells.clear()
         st.in_service = 0
         st.in_net = 0
+        st.in_flush = 0
         st.prepared = False
         st.exec_done = -1.0
         st.aborted = True
@@ -433,7 +463,7 @@ class LatencyAttribution:
             exec_lat - seg[_ADMISSION] - seg[_LOCK] - seg[_COORD]
             - seg[_FANOUT]
         )
-        seg[_COMMIT] = commit_lat
+        seg[_COMMIT] = commit_lat - seg[_LOGFORCE]
         self._committed += 1
         self._useful += st.commit - st.start
         self.transactions[st.txn] = {
@@ -471,10 +501,11 @@ class LatencyAttribution:
                     f"T{txn}: service {seg['service']!r} != closure "
                     f"{closure!r}"
                 )
-            if seg["commit"] != commit_lat:
+            if seg["commit"] != commit_lat - seg["log_force"]:
                 errors.append(
                     f"T{txn}: commit {seg['commit']!r} != "
-                    f"{commit_lat!r}"
+                    f"{commit_lat!r} - log_force "
+                    f"{seg['log_force']!r}"
                 )
             for name, value in seg.items():
                 if value < -tolerance:

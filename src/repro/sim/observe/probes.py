@@ -163,6 +163,12 @@ MONITORED_COUNTERS = frozenset({
     # monitored — its churn would double the counter traffic).
     "net_sent", "net_delivered", "net_dropped", "net_duplicates",
     "net_retransmits", "net_acks", "partitions",
+    # Durability counters: forces completing, storage faults at
+    # crashes, replays, and in-doubt resolutions. The off path (no
+    # durability model) never writes them, so enabling observability
+    # on a durability-free run emits not one extra probe.
+    "log_forces", "tail_losses", "torn_writes", "amnesia_wipes",
+    "log_replays", "in_doubt_resolved",
 })
 
 #: Event kinds owned by the network-chaos layer. ``net_deliver``
@@ -188,6 +194,8 @@ EVENT_TXN_ARG = {
     "begin": 1, "issue": 1, "op_done": 1, "restart": 1, "timeout": 1,
     "replica_req": 1, "cm_prepare": 1, "cm_vote": 1, "cm_retry": 1,
     "cm_release": 1, "cm_learn": 1, "cm_state": 1,
+    "cm_inquire": 1, "cm_status": 1, "cm_refuse": 1,
+    "dur_flush": 1, "dur_requery": 1,
 }
 
 #: probe kinds delivered to sample-aware sinks for *every*

@@ -91,6 +91,7 @@ from repro.core.system import GlobalNode, TransactionSystem
 from repro.core.transaction import Transaction
 from repro.sim.arrivals import ArrivalProcess, OpenSystem
 from repro.sim.commit import make_protocol
+from repro.sim.durability import DurabilityConfig, DurabilityManager
 from repro.sim.events import EventQueue, HandlerRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.locks import EXCLUSIVE, SHARED, SiteLockManager
@@ -181,6 +182,14 @@ class SimulationConfig:
             retransmission substrate that lets protocols survive them.
             None (the default) or an all-zero config attaches nothing
             — the perfect network, bit-identical to the seed runs.
+        durability: durable-storage configuration
+            (:class:`~repro.sim.durability.DurabilityConfig`): per-site
+            write-ahead logs with protocol force points costing
+            ``flush_time`` each, crash truncation to log contents,
+            replay-based recovery with in-doubt inquiry, and the
+            tail-loss/torn-write/amnesia fault model. None (the
+            default) keeps the idealized crash model — no log, no
+            forces, bit-identical to the seed runs.
     """
 
     service_time: float = 1.0
@@ -207,6 +216,7 @@ class SimulationConfig:
     seed: int = 0
     observe: ObserveConfig | None = None
     network: NetworkConfig | None = None
+    durability: DurabilityConfig | None = None
 
     def __post_init__(self) -> None:
         # A negative delay would silently corrupt event-heap ordering
@@ -381,6 +391,15 @@ class Simulator:
             self.replicas.schema.replication_factor
         )
         self._register_core_handlers()
+        # Durable storage wires before the commit protocols: their
+        # handlers branch on `sim.durability` at event time (None = the
+        # exact pre-durability instruction stream), so the attribute
+        # must exist — and the flush/requery handlers be registered —
+        # by the time any protocol event runs.
+        self.durability: DurabilityManager | None = None
+        if self.config.durability is not None:
+            self.durability = DurabilityManager(self)
+            self.durability.attach()
         self.commit = make_protocol(self.config.commit_protocol)
         self.commit.attach(self)
         self._retains_locks = self.commit.retains_locks
@@ -721,11 +740,19 @@ class Simulator:
         charged to ``prepared_block_time``.
         """
         only_sid = None if site_name is None else self._site_ids[site_name]
+        prepared_since = inst.prepared_since
         for eid, held_at in sorted(inst.retained):
             if only_sid is not None and held_at != only_sid:
                 continue
             inst.retained.discard((eid, held_at))
             self._retained_total -= 1
+            if prepared_since >= 0:
+                # Lock-retention accounting: how long this entry sat
+                # retained past its holder's PREPARE (the quantity the
+                # EXP-RECOVERY bench plots against flush cost).
+                self.result.retained_lock_time += (
+                    self._now - prepared_since
+                )
             site = self._site_list[held_at]
             holders = site.holders_map(eid)
             if holders is None or inst.index not in holders:
@@ -747,8 +774,14 @@ class Simulator:
     def crash_site(self, site_name: str) -> None:
         """Abort every RUNNING transaction with lock state at the site.
 
-        PREPARED transactions survive: their locks are conceptually on
-        the write-ahead log and stay retained across the crash.
+        PREPARED transactions are not aborted — they already voted in
+        a commit round. What happens to their locks depends on the
+        durability model: without one (``config.durability`` unset)
+        the legacy idealization applies and the retained locks simply
+        stay across the crash; with one, the failure injector follows
+        this call with :meth:`DurabilityManager.on_site_crash`, which
+        wipes the site's volatile lock table and leaves recovery
+        replay to re-acquire whatever the write-ahead log implies.
         Waiters go first so that releasing the holders' locks does not
         grant work to a site that is down.
         """

@@ -32,6 +32,7 @@ import pytest
 
 from repro.core.system import TransactionSystem
 from repro.sim.commit import protocol_names
+from repro.sim.durability import DurabilityConfig
 from repro.sim.network import NetworkConfig
 from repro.sim.replication import replica_control_names
 from repro.sim.runtime import _COMMITTED, SimulationConfig, Simulator
@@ -132,6 +133,65 @@ class TestChaosConformance:
                 saw_chaos = True
         # The battery actually exercised the adversary.
         assert saw_chaos
+
+
+class TestChaosWithDurability:
+    """The full stack: lossy partitioned network, site crashes, and a
+    faulty disk (tail loss on every crash) — composed, the invariants
+    must still hold and recovery must actually run."""
+
+    PROTOCOLS = [p for p in protocol_names() if p != "instant"]
+
+    def _run(self, protocol, seed):
+        system = random_system(random.Random(7), SPEC)
+        sim = Simulator(
+            system,
+            "wound-wait",
+            SimulationConfig(
+                seed=seed,
+                workload=SPEC,
+                commit_protocol=protocol,
+                replica_protocol="quorum",
+                network_delay=0.5,
+                commit_timeout=6.0,
+                failure_rate=0.01,
+                repair_time=8.0,
+                network=NetworkConfig(
+                    loss_rate=0.1, dup_rate=0.05, jitter=0.2,
+                    partition_rate=0.01, partition_duration=15.0,
+                ),
+                durability=DurabilityConfig(
+                    flush_time=0.5, tail_loss_rate=0.3,
+                    torn_write_rate=0.1,
+                ),
+            ),
+        )
+        result = sim.run()
+        return sim, result
+
+    def test_composed_faults_hold_invariants(self):
+        saw_replay = False
+        for protocol in self.PROTOCOLS:
+            for seed in range(3):
+                sim, result = self._run(protocol, seed)
+                tag = (protocol, seed)
+                assert not result.truncated, tag
+                statuses = [inst.status for inst in sim._instances]
+                assert all(s is _COMMITTED for s in statuses), tag
+                assert result.committed == result.total, tag
+                for inst in sim._instances:
+                    assert inst.retained == set(), tag
+                for name, site in sim._sites.items():
+                    assert site.involved() == [], tag + (name,)
+                assert sim.durability.in_doubt() == set(), tag
+                assert (
+                    sum(result.aborts_by_cause.values()) == result.aborts
+                ), tag
+                assert result.log_forces > 0, tag
+                if result.log_replays > 0:
+                    saw_replay = True
+        # The battery exercised crash-recovery replay, not just forces.
+        assert saw_replay
 
 
 class TestNetworkConfigValidation:

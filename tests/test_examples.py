@@ -110,6 +110,17 @@ class TestContentionAnalysis:
         assert "reproduces the online summary: True" in out
 
 
+class TestDurableRecovery:
+    def test_recovery_story(self, capsys):
+        out = run_example("durable_recovery", capsys)
+        assert "durable recovery" in out
+        assert "two-phase" in out and "paxos-commit" in out
+        assert "re-acquired exactly the log-implied locks: True" in out
+        assert "presumed-abort logs nothing about aborting rounds: True" in out
+        # The crashing run actually exercised inquiry resolution.
+        assert "in-doubt participants resolved by inquiry: 0" not in out
+
+
 class TestPartitionTolerance:
     def test_partition_story(self, capsys):
         out = run_example("partition_tolerance", capsys)

@@ -68,6 +68,31 @@ class TestConfigValidation:
     def test_defaults_valid(self):
         SimulationConfig()  # must not raise
 
+    def test_durability_negative_flush_time_rejected(self):
+        from repro.sim.durability import DurabilityConfig
+
+        with pytest.raises(ValueError, match="flush_time"):
+            DurabilityConfig(flush_time=-0.1)
+
+    @pytest.mark.parametrize(
+        "field", ["tail_loss_rate", "torn_write_rate", "amnesia_rate"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_durability_rates_bounded(self, field, value):
+        from repro.sim.durability import DurabilityConfig
+
+        with pytest.raises(ValueError, match=field):
+            DurabilityConfig(**{field: value})
+
+    def test_durability_defaults_valid(self):
+        from repro.sim.durability import DurabilityConfig
+
+        config = DurabilityConfig()
+        assert config.flush_time == 0.5
+        assert config.tail_loss_rate == 0.0
+        # Zero flush time (instant, infallible disk) is legal.
+        DurabilityConfig(flush_time=0.0)
+
 
 class TestBasicRuns:
     def test_disjoint_commits(self):
